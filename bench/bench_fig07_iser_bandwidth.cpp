@@ -1,0 +1,84 @@
+// Fig. 7: iSER bandwidth, default Linux scheduling vs NUMA tuning, for
+// read and write fio workloads across block sizes (6 LUNs x 4 threads,
+// two IB FDR links, tmpfs-backed target).
+//
+// Paper shape: reads gain ~7.6% from tuning; writes gain up to ~19% for
+// blocks > 4 MB; tuned reads run ~7.5% above tuned writes (RDMA Write vs
+// RDMA Read); tuned write lands at ~94.8 Gbps (the Fig. 9 path limit).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "metrics/table.hpp"
+#include "scenarios.hpp"
+
+namespace e2e::bench {
+namespace {
+
+const std::uint64_t kBlocks[] = {256ull << 10, 1ull << 20, 4ull << 20,
+                                 8ull << 20};
+
+std::map<std::tuple<bool, bool, std::uint64_t>, IserPoint> g_points;
+
+void BM_IserFio(benchmark::State& state) {
+  const bool tuned = state.range(0) != 0;
+  const bool write = state.range(1) != 0;
+  const std::uint64_t block = kBlocks[state.range(2)];
+  IserPoint p;
+  for (auto _ : state) {
+    p = run_iser_point(tuned, write, block);
+    benchmark::DoNotOptimize(p.gbps);
+  }
+  g_points[{tuned, write, block}] = p;
+  state.counters["Gbps"] = p.gbps;
+  state.counters["target_cpu_pct"] = p.target_cpu_pct;
+  state.SetLabel(std::string(tuned ? "tuned" : "default") +
+                 (write ? "/write" : "/read") + "/" +
+                 std::to_string(block >> 20) + "MiB");
+}
+BENCHMARK(BM_IserFio)
+    ->ArgsProduct({{0, 1}, {0, 1}, {0, 1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace e2e::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace e2e::bench;
+  e2e::metrics::Table t("Fig. 7 iSER bandwidth (Gbps) vs block size");
+  t.header({"block", "read/default", "read/tuned", "write/default",
+            "write/tuned"});
+  for (auto block : kBlocks) {
+    t.row({std::to_string(block >> 10) + " KiB",
+           e2e::metrics::Table::num(g_points[{false, false, block}].gbps),
+           e2e::metrics::Table::num(g_points[{true, false, block}].gbps),
+           e2e::metrics::Table::num(g_points[{false, true, block}].gbps),
+           e2e::metrics::Table::num(g_points[{true, true, block}].gbps)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  const auto& tr = g_points[{true, false, 4ull << 20}];
+  const auto& tw = g_points[{true, true, 4ull << 20}];
+  const auto& dr = g_points[{false, false, 4ull << 20}];
+  const auto& dw = g_points[{false, true, 4ull << 20}];
+  print_comparison(
+      "Fig. 7 headline shapes (4 MiB blocks)",
+      {
+          {"tuned write (path limit)", 94.8, tw.gbps, "Gbps"},
+          {"read advantage over write (tuned)", 7.5,
+           100.0 * (tr.gbps / tw.gbps - 1.0), "%"},
+          {"write loss without tuning", -19.0,
+           100.0 * (dw.gbps / tw.gbps - 1.0), "%"},
+          {"read loss without tuning", -7.1,
+           100.0 * (dr.gbps / tr.gbps - 1.0), "%"},
+      });
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 8: iSER target CPU utilization for the Fig. 7 sweep.
+//
+// Paper shape: the un-tuned write path costs ~3x the CPU of the tuned one
+// (write-invalidate coherence storms); reads see only a modest penalty.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "metrics/table.hpp"
+#include "scenarios.hpp"
+
+namespace e2e::bench {
+namespace {
+
+const std::uint64_t kBlocks[] = {1ull << 20, 4ull << 20, 8ull << 20};
+
+std::map<std::tuple<bool, bool, std::uint64_t>, IserPoint> g_points;
+
+void BM_IserCpu(benchmark::State& state) {
+  const bool tuned = state.range(0) != 0;
+  const bool write = state.range(1) != 0;
+  const std::uint64_t block = kBlocks[state.range(2)];
+  IserPoint p;
+  for (auto _ : state) {
+    p = run_iser_point(tuned, write, block);
+    benchmark::DoNotOptimize(p.target_cpu_pct);
+  }
+  g_points[{tuned, write, block}] = p;
+  state.counters["target_cpu_pct"] = p.target_cpu_pct;
+  state.counters["Gbps"] = p.gbps;
+  state.SetLabel(std::string(tuned ? "tuned" : "default") +
+                 (write ? "/write" : "/read") + "/" +
+                 std::to_string(block >> 20) + "MiB");
+}
+BENCHMARK(BM_IserCpu)
+    ->ArgsProduct({{0, 1}, {0, 1}, {0, 1, 2}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace e2e::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace e2e::bench;
+  e2e::metrics::Table t("Fig. 8 iSER target CPU (%, 100 == one core)");
+  t.header({"block", "read/default", "read/tuned", "write/default",
+            "write/tuned"});
+  for (auto block : kBlocks) {
+    t.row({std::to_string(block >> 20) + " MiB",
+           e2e::metrics::Table::num(
+               g_points[{false, false, block}].target_cpu_pct, 0),
+           e2e::metrics::Table::num(
+               g_points[{true, false, block}].target_cpu_pct, 0),
+           e2e::metrics::Table::num(
+               g_points[{false, true, block}].target_cpu_pct, 0),
+           e2e::metrics::Table::num(
+               g_points[{true, true, block}].target_cpu_pct, 0)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  const auto& tw = g_points[{true, true, 4ull << 20}];
+  const auto& dw = g_points[{false, true, 4ull << 20}];
+  const auto& tr = g_points[{true, false, 4ull << 20}];
+  const auto& dr = g_points[{false, false, 4ull << 20}];
+  print_comparison(
+      "Fig. 8 headline shapes (4 MiB blocks)",
+      {
+          {"write CPU ratio default/tuned", 3.0,
+           dw.target_cpu_pct / tw.target_cpu_pct, "x"},
+          {"read CPU ratio default/tuned", 1.2,
+           dr.target_cpu_pct / tr.target_cpu_pct, "x"},
+      });
+  return 0;
+}

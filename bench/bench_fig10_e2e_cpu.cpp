@@ -1,0 +1,75 @@
+// Fig. 10: CPU utilization breakdown of the Fig. 9 end-to-end transfers.
+//
+// Paper shape: GridFTP's "sys" (kernel TCP/IP + copies) dominates its
+// profile; RFTP spends its (much smaller) budget in user-space protocol
+// and storage I/O.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "scenarios.hpp"
+
+namespace e2e::bench {
+namespace {
+
+E2eResult g_rftp, g_grid;
+
+void BM_E2eRftpCpu(benchmark::State& state) {
+  for (auto _ : state) {
+    g_rftp = run_e2e_rftp(32ull << 30);
+    benchmark::DoNotOptimize(g_rftp.src_usage.total());
+  }
+  state.counters["src_cpu_pct"] =
+      g_rftp.src_usage.total_percent(g_rftp.window);
+}
+BENCHMARK(BM_E2eRftpCpu)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_E2eGridFtpCpu(benchmark::State& state) {
+  for (auto _ : state) {
+    g_grid = run_e2e_gridftp(8ull << 30);
+    benchmark::DoNotOptimize(g_grid.src_usage.total());
+  }
+  state.counters["src_cpu_pct"] =
+      g_grid.src_usage.total_percent(g_grid.window);
+}
+BENCHMARK(BM_E2eGridFtpCpu)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace e2e::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace e2e::bench;
+  using e2e::metrics::CpuCategory;
+  print_cpu_breakdown("RFTP source host", g_rftp.src_usage, g_rftp.window);
+  print_cpu_breakdown("RFTP destination host", g_rftp.dst_usage,
+                      g_rftp.window);
+  print_cpu_breakdown("GridFTP source host", g_grid.src_usage,
+                      g_grid.window);
+  print_cpu_breakdown("GridFTP destination host", g_grid.dst_usage,
+                      g_grid.window);
+
+  const double grid_sys =
+      g_grid.src_usage.percent(CpuCategory::kKernelProto, g_grid.window) +
+      g_grid.src_usage.percent(CpuCategory::kCopy, g_grid.window);
+  const double grid_user =
+      g_grid.src_usage.percent(CpuCategory::kUserProto, g_grid.window);
+  const double rftp_kernel =
+      g_rftp.src_usage.percent(CpuCategory::kKernelProto, g_rftp.window);
+  print_comparison(
+      "Fig. 10 shapes",
+      {
+          {"GridFTP sys share of (sys+user)", 80.0,
+           100.0 * grid_sys / (grid_sys + grid_user), "%"},
+          {"RFTP kernel-protocol CPU", 0.0, rftp_kernel, "%"},
+          {"GridFTP CPU per Gbps / RFTP CPU per Gbps", 3.0,
+           (g_grid.src_usage.total_percent(g_grid.window) /
+            g_grid.transfer.goodput_gbps) /
+               (g_rftp.src_usage.total_percent(g_rftp.window) /
+                g_rftp.transfer.goodput_gbps),
+           "x"},
+      });
+  return 0;
+}

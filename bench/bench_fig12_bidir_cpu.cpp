@@ -1,0 +1,61 @@
+// Fig. 12: CPU utilization breakdown of the bi-directional Fig. 11 runs.
+//
+// Paper shape: GridFTP's bidirectional CPU saturates (its scaling limit);
+// RFTP's CPU roughly doubles but stays far below saturation.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "scenarios.hpp"
+
+namespace e2e::bench {
+namespace {
+
+BidirResult g_rftp, g_grid;
+
+void BM_BidirRftpCpu(benchmark::State& state) {
+  for (auto _ : state) {
+    g_rftp = run_e2e_rftp_bidir(16ull << 30);
+    benchmark::DoNotOptimize(g_rftp.src_usage.total());
+  }
+  state.counters["src_cpu_pct"] =
+      g_rftp.src_usage.total_percent(g_rftp.window);
+}
+BENCHMARK(BM_BidirRftpCpu)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_BidirGridFtpCpu(benchmark::State& state) {
+  for (auto _ : state) {
+    g_grid = run_e2e_gridftp_bidir(4ull << 30);
+    benchmark::DoNotOptimize(g_grid.src_usage.total());
+  }
+  state.counters["src_cpu_pct"] =
+      g_grid.src_usage.total_percent(g_grid.window);
+}
+BENCHMARK(BM_BidirGridFtpCpu)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace e2e::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace e2e::bench;
+  print_cpu_breakdown("RFTP host (bi-directional)", g_rftp.src_usage,
+                      g_rftp.window);
+  print_cpu_breakdown("GridFTP host (bi-directional)", g_grid.src_usage,
+                      g_grid.window);
+  print_comparison(
+      "Fig. 12 shapes",
+      {
+          {"GridFTP CPU per aggregate Gbps", 0.0,
+           g_grid.src_usage.total_percent(g_grid.window) /
+               g_grid.aggregate_gbps,
+           "%/Gbps"},
+          {"RFTP CPU per aggregate Gbps", 0.0,
+           g_rftp.src_usage.total_percent(g_rftp.window) /
+               g_rftp.aggregate_gbps,
+           "%/Gbps"},
+      });
+  return 0;
+}

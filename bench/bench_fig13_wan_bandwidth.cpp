@@ -1,0 +1,78 @@
+// Fig. 13: RFTP payload bandwidth on the 40G, 95 ms ANI WAN loop as a
+// function of block size and number of parallel streams.
+//
+// Paper shape: small blocks / few streams cannot cover the ~475 MB
+// bandwidth-delay product and run window-limited; with enough outstanding
+// data RFTP reaches ~97% of the raw link.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "metrics/table.hpp"
+#include "scenarios.hpp"
+
+namespace e2e::bench {
+namespace {
+
+const std::uint64_t kBlocks[] = {1ull << 20, 4ull << 20, 16ull << 20,
+                                 64ull << 20};
+const int kStreams[] = {1, 2, 4, 8};
+
+std::map<std::pair<int, std::uint64_t>, WanPoint> g_points;
+
+void BM_WanRftp(benchmark::State& state) {
+  const int streams = kStreams[state.range(0)];
+  const std::uint64_t block = kBlocks[state.range(1)];
+  // Size the dataset so even window-limited points finish quickly.
+  // Long enough that the window-fill ramp and drain tail are noise.
+  const std::uint64_t dataset =
+      std::max<std::uint64_t>(64ull * block * streams, 24ull << 30);
+  WanPoint p;
+  for (auto _ : state) {
+    p = run_wan_point(streams, block, dataset);
+    benchmark::DoNotOptimize(p.gbps);
+  }
+  g_points[{streams, block}] = p;
+  state.counters["Gbps"] = p.gbps;
+  state.counters["utilization"] = p.utilization;
+  state.SetLabel(std::to_string(streams) + " streams/" +
+                 std::to_string(block >> 20) + "MiB");
+}
+BENCHMARK(BM_WanRftp)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace e2e::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace e2e::bench;
+  e2e::metrics::Table t(
+      "Fig. 13 WAN RFTP payload bandwidth (Gbps), RTT 95 ms, 16 credits");
+  t.header({"block", "1 stream", "2 streams", "4 streams", "8 streams"});
+  for (auto block : kBlocks) {
+    std::vector<std::string> row{std::to_string(block >> 20) + " MiB"};
+    for (auto s : kStreams)
+      row.push_back(e2e::metrics::Table::num(g_points[{s, block}].gbps));
+    t.row(row);
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  print_comparison(
+      "Fig. 13 headline",
+      {
+          {"peak utilization of 40G link", 97.0,
+           100.0 * g_points[{8, 16ull << 20}].utilization, "%"},
+          {"window-limited point (1 stream, 1 MiB)", 1.4,
+           g_points[{1, 1ull << 20}].gbps, "Gbps"},
+      });
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig. 14: RFTP CPU utilization on the WAN path — (a) sender, (b)
+// receiver — versus block size and stream count.
+//
+// Paper shape: per-block protocol costs dominate, so CPU falls as the
+// block size grows and rises with stream count; both sides stay far below
+// one core even at line rate.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "metrics/table.hpp"
+#include "scenarios.hpp"
+
+namespace e2e::bench {
+namespace {
+
+const std::uint64_t kBlocks[] = {1ull << 20, 4ull << 20, 16ull << 20};
+const int kStreams[] = {1, 4, 8};
+
+std::map<std::pair<int, std::uint64_t>, WanPoint> g_points;
+
+void BM_WanCpu(benchmark::State& state) {
+  const int streams = kStreams[state.range(0)];
+  const std::uint64_t block = kBlocks[state.range(1)];
+  const std::uint64_t dataset =
+      std::max<std::uint64_t>(64ull * block * streams, 2ull << 30);
+  WanPoint p;
+  for (auto _ : state) {
+    p = run_wan_point(streams, block, dataset);
+    benchmark::DoNotOptimize(p.sender_cpu_pct);
+  }
+  g_points[{streams, block}] = p;
+  state.counters["sender_cpu_pct"] = p.sender_cpu_pct;
+  state.counters["receiver_cpu_pct"] = p.receiver_cpu_pct;
+  state.counters["Gbps"] = p.gbps;
+  state.SetLabel(std::to_string(streams) + " streams/" +
+                 std::to_string(block >> 20) + "MiB");
+}
+BENCHMARK(BM_WanCpu)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace e2e::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace e2e::bench;
+  for (const bool receiver : {false, true}) {
+    e2e::metrics::Table t(receiver
+                              ? "Fig. 14(b) receiver protocol CPU (%)"
+                              : "Fig. 14(a) sender protocol CPU (%)");
+    t.header({"block", "1 stream", "4 streams", "8 streams"});
+    for (auto block : kBlocks) {
+      std::vector<std::string> row{std::to_string(block >> 20) + " MiB"};
+      for (auto s : kStreams) {
+        const auto& p = g_points[{s, block}];
+        row.push_back(e2e::metrics::Table::num(
+            receiver ? p.receiver_cpu_pct : p.sender_cpu_pct));
+      }
+      t.row(row);
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+
+  print_comparison(
+      "Fig. 14 shape: CPU per Gbps falls with block size (4 streams)",
+      {
+          {"sender CPU/Gbps at 1 MiB vs 16 MiB", 0.0,
+           (g_points[{4, 1ull << 20}].sender_cpu_pct /
+            g_points[{4, 1ull << 20}].gbps) /
+               (g_points[{4, 16ull << 20}].sender_cpu_pct /
+                g_points[{4, 16ull << 20}].gbps),
+           "x"},
+      });
+  return 0;
+}

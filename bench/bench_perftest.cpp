@@ -1,0 +1,108 @@
+// Verbs-layer validation: the perftest suite (ib_send_bw / ib_write_bw /
+// ib_read_bw / ib_send_lat analogues) over one 40G RoCE LAN link.
+//
+// Not a paper figure — this is the sanity table every RDMA stack ships,
+// pinning the verbs layer to its analytic targets: large messages reach
+// ~99% of line rate, RDMA Read trails Write by the read-efficiency factor,
+// and small-message tests are message-rate / latency bound.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "apps/perftest.hpp"
+#include "bench_util.hpp"
+#include "exp/exp.hpp"
+#include "metrics/table.hpp"
+
+namespace e2e::bench {
+namespace {
+
+const std::uint64_t kSizes[] = {4096, 65536, 1ull << 20, 4ull << 20};
+
+struct Rig {
+  sim::Engine eng;
+  std::unique_ptr<numa::Host> a, b;
+  std::unique_ptr<rdma::Device> da, db;
+  std::unique_ptr<net::Link> link;
+  std::unique_ptr<numa::Process> pa, pb;
+  std::unique_ptr<rdma::ConnectedPair> pair;
+
+  Rig() {
+    a = std::make_unique<numa::Host>(eng, model::front_end_lan_host("a"));
+    b = std::make_unique<numa::Host>(eng, model::front_end_lan_host("b"));
+    da = std::make_unique<rdma::Device>(*a, a->profile().nics[0]);
+    db = std::make_unique<rdma::Device>(*b, b->profile().nics[0]);
+    link = net::make_roce_lan(eng, "wire");
+    link->bind_endpoints(a.get(), b.get());
+    pa = std::make_unique<numa::Process>(*a, "client",
+                                         numa::NumaBinding::bound(0));
+    pb = std::make_unique<numa::Process>(*b, "server",
+                                         numa::NumaBinding::bound(0));
+    pair = std::make_unique<rdma::ConnectedPair>(*da, *db, *link);
+  }
+};
+
+std::map<std::pair<int, std::uint64_t>, apps::PerftestResult> g_bw;
+apps::PerftestResult g_lat;
+
+void BM_PerftestBw(benchmark::State& state) {
+  const auto op = static_cast<apps::PerftestOp>(state.range(0));
+  const std::uint64_t size = kSizes[state.range(1)];
+  apps::PerftestResult r;
+  for (auto _ : state) {
+    Rig rig;
+    apps::PerftestConfig cfg;
+    cfg.op = op;
+    cfg.msg_bytes = size;
+    cfg.iterations = 2000;
+    r = apps::run_bw(rig.eng, *rig.pair, *rig.pa, *rig.pb, cfg);
+    benchmark::DoNotOptimize(r.gbps);
+  }
+  g_bw[{state.range(0), size}] = r;
+  state.counters["Gbps"] = r.gbps;
+  state.counters["Mmsg_s"] = r.msgs_per_sec / 1e6;
+  static const char* names[] = {"send", "write", "read"};
+  state.SetLabel(std::string(names[state.range(0)]) + "/" +
+                 std::to_string(size) + "B");
+}
+BENCHMARK(BM_PerftestBw)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PerftestLat(benchmark::State& state) {
+  for (auto _ : state) {
+    Rig rig;
+    apps::PerftestConfig cfg;
+    cfg.msg_bytes = 64;
+    cfg.iterations = 500;
+    g_lat = apps::run_lat(rig.eng, *rig.pair, *rig.pa, *rig.pb, cfg);
+    benchmark::DoNotOptimize(g_lat.avg_lat_us);
+  }
+  state.counters["lat_us"] = g_lat.avg_lat_us;
+}
+BENCHMARK(BM_PerftestLat)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace e2e::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace e2e::bench;
+  e2e::metrics::Table t("perftest: single-QP bandwidth (Gbps), 40G RoCE");
+  t.header({"message", "SEND", "RDMA WRITE", "RDMA READ"});
+  for (auto s : kSizes) {
+    t.row({std::to_string(s) + " B",
+           e2e::metrics::Table::num(g_bw[{0, s}].gbps),
+           e2e::metrics::Table::num(g_bw[{1, s}].gbps),
+           e2e::metrics::Table::num(g_bw[{2, s}].gbps)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("\nping-pong latency (64 B): %.1f us (wire RTT/2 = 83 us)\n",
+              e2e::bench::g_lat.avg_lat_us);
+  return 0;
+}

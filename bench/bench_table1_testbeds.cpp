@@ -1,0 +1,94 @@
+// Table 1: testbed host configurations, plus microbenchmarks of the
+// simulation substrate itself (event throughput, coroutine overhead) so
+// regressions in the engine are visible.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "metrics/table.hpp"
+#include "model/host_profile.hpp"
+#include "numa/numa.hpp"
+#include "sim/sim.hpp"
+
+namespace e2e::bench {
+namespace {
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) eng.schedule_at(i, [] {});
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(100000);
+
+void BM_CoroutineChain(benchmark::State& state) {
+  struct Chain {
+    static sim::Task<> hop(sim::Engine& eng, int depth) {
+      if (depth == 0) co_return;
+      co_await sim::Delay{eng, 1};
+      co_await hop(eng, depth - 1);
+    }
+  };
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::co_spawn(Chain::hop(eng, static_cast<int>(state.range(0))));
+    eng.run();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineChain)->Arg(10000);
+
+void BM_ResourceCharges(benchmark::State& state) {
+  sim::Engine eng;
+  sim::Resource r(eng, 1e9, "r");
+  for (auto _ : state) benchmark::DoNotOptimize(r.charge(100.0));
+}
+BENCHMARK(BM_ResourceCharges);
+
+void BM_HostConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    numa::Host host(eng, model::front_end_lan_host("fe"));
+    benchmark::DoNotOptimize(host.core_count());
+  }
+}
+BENCHMARK(BM_HostConstruction);
+
+void print_profile(e2e::metrics::Table& t, const model::HostProfile& h,
+                   const char* role, const char* rtt) {
+  std::string nics;
+  for (const auto& n : h.nics)
+    nics += (nics.empty() ? "" : "+") +
+            std::to_string(static_cast<int>(n.rate_gbps)) + "G";
+  t.row({role, std::to_string(h.total_cores()) + " cores",
+         e2e::metrics::Table::num(h.core_ghz, 2) + " GHz",
+         std::to_string(h.numa_nodes) + " nodes",
+         e2e::metrics::Table::num(h.mem_gbytes, 0) + " GB", nics,
+         std::to_string(h.nics.empty() ? 0 : h.nics[0].mtu), rtt});
+}
+
+}  // namespace
+}  // namespace e2e::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace e2e;
+  metrics::Table t("Table 1: testbed host configurations (as modelled)");
+  t.header({"role", "CPU", "clock", "NUMA", "memory", "NICs", "MTU", "RTT"});
+  e2e::bench::print_profile(t, model::front_end_lan_host("fe"),
+                            "front-end LAN", "0.166 ms");
+  e2e::bench::print_profile(t, model::back_end_lan_host("be"),
+                            "back-end LAN", "0.144 ms");
+  e2e::bench::print_profile(t, model::wan_host("wan"), "front-end WAN",
+                            "95 ms");
+  std::fputs(t.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Output helpers shared by the bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metrics/cpu_usage.hpp"
+#include "metrics/table.hpp"
+
+namespace e2e::bench {
+
+struct PaperRow {
+  std::string label;
+  double paper = 0.0;     // value reported in the paper (0 = not reported)
+  double measured = 0.0;  // value this reproduction measured
+  std::string unit;
+};
+
+/// Prints a paper-vs-measured table with relative deltas.
+inline void print_comparison(const std::string& title,
+                             const std::vector<PaperRow>& rows) {
+  metrics::Table t(title);
+  t.header({"metric", "paper", "measured", "delta", "unit"});
+  for (const auto& r : rows) {
+    std::string delta = "-";
+    if (r.paper != 0.0)
+      delta = metrics::Table::num(100.0 * (r.measured - r.paper) / r.paper, 1) +
+              "%";
+    t.row({r.label,
+           r.paper != 0.0 ? metrics::Table::num(r.paper, 1) : std::string("-"),
+           metrics::Table::num(r.measured, 1), delta, r.unit});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+/// Formats a CPU usage breakdown as one table row set.
+inline void print_cpu_breakdown(const std::string& title,
+                                const metrics::CpuUsage& u,
+                                sim::SimDuration window) {
+  using metrics::CpuCategory;
+  metrics::Table t(title);
+  t.header({"category", "cpu%"});
+  for (auto c : {CpuCategory::kUserProto, CpuCategory::kKernelProto,
+                 CpuCategory::kCopy, CpuCategory::kLoad,
+                 CpuCategory::kOffload, CpuCategory::kOther})
+    t.row({std::string(metrics::to_string(c)),
+           metrics::Table::num(u.percent(c, window), 1)});
+  t.row({"total", metrics::Table::num(u.total_percent(window), 1)});
+  std::fputs(t.to_string().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace e2e::bench

@@ -1,0 +1,56 @@
+// Quickstart: transfer a dataset between two hosts with RFTP.
+//
+// Builds the smallest complete system: two NUMA hosts from the paper's
+// Table 1, one 40 Gbps RoCE link, and one RFTP session moving 8 GiB of
+// memory-resident data. Shows the three things every user of the library
+// touches: a testbed (hosts + devices + links), an RftpSession, and the
+// simulated clock.
+//
+//   $ ./quickstart
+//   transferred 8.0 GiB in 1.73 s  ->  39.6 Gbps (99% of the 40G link)
+#include <cstdio>
+#include <memory>
+
+#include "exp/runner.hpp"
+#include "model/host_profile.hpp"
+#include "net/link.hpp"
+#include "numa/numa.hpp"
+#include "rdma/device.hpp"
+#include "rftp/rftp.hpp"
+
+using namespace e2e;
+
+int main() {
+  // 1. The simulated world: an engine, two hosts, their NICs, one wire.
+  sim::Engine eng;
+  numa::Host sender(eng, model::front_end_lan_host("sender"));
+  numa::Host receiver(eng, model::front_end_lan_host("receiver"));
+  rdma::Device snic(sender, sender.profile().nics[0]);
+  rdma::Device rnic(receiver, receiver.profile().nics[0]);
+  auto link = net::make_roce_lan(eng, "wire");
+  link->bind_endpoints(&sender, &receiver);
+
+  // 2. Processes host the transfer threads; numactl-style binding puts
+  //    them on the NIC's NUMA node.
+  numa::Process client(sender, "rftp-client",
+                       numa::NumaBinding::bound(snic.node()));
+  numa::Process server(receiver, "rftp-server",
+                       numa::NumaBinding::bound(rnic.node()));
+
+  // 3. One RFTP session: a single stream with default 4 MiB blocks.
+  rftp::RftpConfig cfg;
+  cfg.streams = 1;
+  rftp::RftpSession session({&client, {&snic}}, {&server, {&rnic}},
+                            {link.get()}, cfg);
+
+  const std::uint64_t bytes = 8ull << 30;
+  rftp::MemorySource src(bytes, numa::Placement::on(snic.node()));
+  rftp::MemorySink dst;
+
+  // 4. Run to completion and report.
+  const auto result = exp::run_task(eng, session.run(src, dst, bytes));
+  std::printf("transferred %.1f GiB in %.2f s  ->  %.1f Gbps (%.0f%% of the 40G link)\n",
+              static_cast<double>(bytes) / (1ull << 30), result.elapsed_s,
+              result.goodput_gbps, 100.0 * result.goodput_gbps / 40.0);
+  return 0;
+}

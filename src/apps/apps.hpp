@@ -1,0 +1,7 @@
+// Umbrella header for the benchmark applications.
+#pragma once
+
+#include "apps/fio.hpp"
+#include "apps/gridftp.hpp"
+#include "apps/iperf.hpp"
+#include "apps/perftest.hpp"

@@ -1,0 +1,36 @@
+#include "apps/fio.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace e2e::apps {
+
+sim::Task<> fio_worker(numa::Thread& th, blk::BlockDevice& dev,
+                       FioOptions opts, std::uint64_t region_off,
+                       std::uint64_t region_len, numa::Placement iobuf,
+                       FioCounters* counters) {
+  if (opts.block_bytes == 0 || region_len < opts.block_bytes)
+    throw std::invalid_argument("fio region smaller than block size");
+  auto& eng = th.host().engine();
+  const sim::SimTime deadline = eng.now() + opts.duration;
+  std::uint64_t off = region_off;
+  while (eng.now() < deadline) {
+    const std::uint64_t n =
+        std::min(opts.block_bytes, region_off + region_len - off);
+    const bool ok =
+        opts.write
+            ? co_await dev.write(th, off, n, iobuf,
+                                 metrics::CpuCategory::kOffload)
+            : co_await dev.read(th, off, n, iobuf,
+                                metrics::CpuCategory::kLoad);
+    if (!ok) throw std::runtime_error("fio I/O error");
+    if (eng.now() <= deadline) {
+      counters->bytes += n;
+      ++counters->ios;
+    }
+    off += n;
+    if (off >= region_off + region_len) off = region_off;
+  }
+}
+
+}  // namespace e2e::apps

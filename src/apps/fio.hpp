@@ -1,0 +1,37 @@
+// fio-style block I/O driver (Figs. 7/8 workload).
+//
+// Sequential per-thread I/O loops against a block device, as the paper's
+// "multiple I/O threads run simultaneously against each LUN" setup. The
+// experiment assembly (LUN layout, NUMA binding of the target) lives in
+// e2e::exp; this is the load generator.
+#pragma once
+
+#include <cstdint>
+
+#include "blk/block_device.hpp"
+#include "numa/thread.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace e2e::apps {
+
+struct FioOptions {
+  std::uint64_t block_bytes = 1 << 20;
+  bool write = false;
+  sim::SimDuration duration = sim::kSecond;
+};
+
+struct FioCounters {
+  std::uint64_t bytes = 0;
+  std::uint64_t ios = 0;
+};
+
+/// One fio job thread: sequential I/O over [region_off, region_off +
+/// region_len), wrapping around, until the deadline. `iobuf` is the job's
+/// I/O buffer placement (the RDMA-advertised memory for remote devices).
+sim::Task<> fio_worker(numa::Thread& th, blk::BlockDevice& dev,
+                       FioOptions opts, std::uint64_t region_off,
+                       std::uint64_t region_len, numa::Placement iobuf,
+                       FioCounters* counters);
+
+}  // namespace e2e::apps

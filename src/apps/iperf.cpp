@@ -1,0 +1,104 @@
+#include "apps/iperf.hpp"
+
+#include <memory>
+
+#include "metrics/throughput.hpp"
+#include "sim/task.hpp"
+
+namespace e2e::apps {
+
+namespace {
+
+struct StreamCtx {
+  tcp::Connection* conn;
+  numa::Thread* tx;
+  numa::Thread* rx;
+  numa::Placement src;
+  numa::Placement dst;
+  bool cached_src;
+  std::uint64_t* rx_bytes;
+};
+
+sim::Task<> tx_loop(StreamCtx c, std::uint64_t chunk, sim::SimTime deadline) {
+  auto& eng = c.tx->host().engine();
+  while (eng.now() < deadline)
+    co_await c.conn->send(*c.tx, c.src, chunk, c.cached_src);
+}
+
+sim::Task<> rx_loop(StreamCtx c, sim::SimTime deadline) {
+  auto& eng = c.rx->host().engine();
+  while (eng.now() < deadline) {
+    const std::uint64_t n = co_await c.conn->recv(*c.rx, c.dst);
+    if (n == 0) co_return;
+    if (eng.now() <= deadline) *c.rx_bytes += n;
+  }
+}
+
+}  // namespace
+
+IperfReport run_iperf(sim::Engine& eng, numa::Host& a, numa::Host& b,
+                      const std::vector<IperfLink>& links,
+                      const IperfConfig& cfg) {
+  const auto binding = cfg.numa_tuned
+                           ? numa::NumaBinding{numa::SchedPolicy::kBindNode,
+                                               numa::MemPolicy::kBind,
+                                               numa::kAnyNode}
+                           : numa::NumaBinding::os_default();
+  numa::Process proc_a(a, "iperf-a", binding);
+  numa::Process proc_b(b, "iperf-b", binding);
+
+  const metrics::CpuUsage base_a = a.total_usage();
+  const metrics::CpuUsage base_b = b.total_usage();
+  auto fwd_bytes = std::make_unique<std::uint64_t>(0);
+  auto rev_bytes = std::make_unique<std::uint64_t>(0);
+  std::vector<std::unique_ptr<tcp::Connection>> conns;
+
+  const sim::SimTime start = eng.now();
+  const sim::SimTime deadline = start + cfg.duration;
+  const bool cached =
+      static_cast<double>(cfg.sender_buffer_bytes) <=
+      a.profile().llc_mbytes * 1e6;
+
+  auto make_streams = [&](bool reverse) {
+    for (const auto& l : links) {
+      for (int s = 0; s < cfg.streams_per_link; ++s) {
+        conns.push_back(std::make_unique<tcp::Connection>(
+            a, l.node_a, b, l.node_b, *l.link));
+        tcp::Connection* conn = conns.back().get();
+        numa::Process& tx_proc = reverse ? proc_b : proc_a;
+        numa::Process& rx_proc = reverse ? proc_a : proc_b;
+        const numa::NodeId tx_node = reverse ? l.node_b : l.node_a;
+        const numa::NodeId rx_node = reverse ? l.node_a : l.node_b;
+
+        StreamCtx c{};
+        c.conn = conn;
+        c.tx = &tx_proc.spawn_thread(tx_node);
+        c.rx = &rx_proc.spawn_thread(rx_node);
+        // Buffers: bound NIC-local when tuned; first-touch on whatever node
+        // the (arbitrarily scheduled) thread got otherwise.
+        c.src = tx_proc.alloc(cfg.sender_buffer_bytes, c.tx->node());
+        c.dst = rx_proc.alloc(cfg.chunk_bytes, c.rx->node());
+        c.cached_src = cached;
+        c.rx_bytes = reverse ? rev_bytes.get() : fwd_bytes.get();
+        sim::co_spawn(tx_loop(c, cfg.chunk_bytes, deadline));
+        sim::co_spawn(rx_loop(c, deadline));
+      }
+    }
+  };
+
+  make_streams(/*reverse=*/false);
+  if (cfg.bidirectional) make_streams(/*reverse=*/true);
+
+  eng.run_until(deadline);
+
+  IperfReport r;
+  r.window = cfg.duration;
+  r.forward_gbps = metrics::gbps(*fwd_bytes, cfg.duration);
+  r.reverse_gbps = metrics::gbps(*rev_bytes, cfg.duration);
+  r.aggregate_gbps = r.forward_gbps + r.reverse_gbps;
+  r.usage_a = a.total_usage().since(base_a);
+  r.usage_b = b.total_usage().since(base_b);
+  return r;
+}
+
+}  // namespace e2e::apps

@@ -1,0 +1,52 @@
+// iperf-style memory-to-memory TCP benchmark (§2.3 motivating experiment).
+//
+// Streams data over TCP connections for a fixed duration. The sender's
+// user buffer either fits in LLC (iperf's default small buffer — the copy
+// engine never touches DRAM for the source) or exceeds it (the paper
+// enlarges it to defeat the cache and expose real memory traffic).
+// NUMA-tuned mode binds each stream's threads and buffers to the NUMA node
+// of the NIC it uses; untuned mode takes the stock scheduler's placement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "metrics/cpu_usage.hpp"
+#include "net/link.hpp"
+#include "numa/process.hpp"
+#include "tcp/connection.hpp"
+
+namespace e2e::apps {
+
+struct IperfLink {
+  net::Link* link = nullptr;
+  numa::NodeId node_a = 0;  // NIC attachment on host A
+  numa::NodeId node_b = 0;
+};
+
+struct IperfConfig {
+  std::uint64_t chunk_bytes = 128 * 1024;      // bytes per send() call
+  std::uint64_t sender_buffer_bytes = 1 << 20;  // working set of the source
+  int streams_per_link = 2;
+  bool bidirectional = false;
+  bool numa_tuned = false;
+  sim::SimDuration duration = sim::kSecond;
+};
+
+struct IperfReport {
+  double aggregate_gbps = 0.0;      // sum of all directions
+  double forward_gbps = 0.0;
+  double reverse_gbps = 0.0;
+  metrics::CpuUsage usage_a;        // per-host CPU over the run window
+  metrics::CpuUsage usage_b;
+  sim::SimDuration window = 0;
+};
+
+/// Runs iperf between `a` and `b` over `links`, driving `eng` for
+/// cfg.duration. The engine must be otherwise idle.
+IperfReport run_iperf(sim::Engine& eng, numa::Host& a, numa::Host& b,
+                      const std::vector<IperfLink>& links,
+                      const IperfConfig& cfg);
+
+}  // namespace e2e::apps

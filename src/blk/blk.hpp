@@ -1,0 +1,6 @@
+// Umbrella header for the block/filesystem layer.
+#pragma once
+
+#include "blk/block_device.hpp"
+#include "blk/filesystem.hpp"
+#include "blk/page_cache.hpp"

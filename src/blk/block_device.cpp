@@ -1,0 +1,100 @@
+#include "blk/block_device.hpp"
+
+#include <algorithm>
+
+namespace e2e::blk {
+
+namespace {
+
+/// The initiator registers the caller's pages for the duration of the I/O
+/// (fast-registration work requests, as the real open-iscsi/iSER initiator
+/// does), so the target can RDMA directly into/out of application memory.
+sim::Task<> fast_register(numa::Thread& th, std::uint64_t len) {
+  const double pages = static_cast<double>(len) / 4096.0;
+  co_await th.compute(pages * th.host().costs().rdma_mr_register_cycles_per_page,
+                      metrics::CpuCategory::kUserProto);
+}
+
+}  // namespace
+
+sim::Task<bool> RemoteBlockDevice::read(numa::Thread& th, std::uint64_t offset,
+                                        std::uint64_t len,
+                                        const numa::Placement& dst,
+                                        metrics::CpuCategory cat) {
+  (void)cat;  // remote I/O cost is protocol work, not a local memcpy
+  check_aligned(offset, len);
+  if (offset + len > capacity_) co_return false;
+  co_await fast_register(th, len);
+  mem::Buffer io;
+  io.bytes = len;
+  io.placement = dst;
+  io.registered = true;
+  const auto status = co_await init_.submit_read(
+      th, lun_, offset / scsi::Cdb::kBlockSize,
+      static_cast<std::uint32_t>(len / scsi::Cdb::kBlockSize), io);
+  co_return status == scsi::Status::kGood;
+}
+
+sim::Task<bool> RemoteBlockDevice::write(numa::Thread& th,
+                                         std::uint64_t offset,
+                                         std::uint64_t len,
+                                         const numa::Placement& src,
+                                         metrics::CpuCategory cat) {
+  (void)cat;
+  check_aligned(offset, len);
+  if (offset + len > capacity_) co_return false;
+  co_await fast_register(th, len);
+  mem::Buffer io;
+  io.bytes = len;
+  io.placement = src;
+  io.registered = true;
+  const auto status = co_await init_.submit_write(
+      th, lun_, offset / scsi::Cdb::kBlockSize,
+      static_cast<std::uint32_t>(len / scsi::Cdb::kBlockSize), io);
+  co_return status == scsi::Status::kGood;
+}
+
+namespace {
+
+sim::Task<> stripe_subio(BlockDevice* dev, numa::Thread& th,
+                         std::uint64_t dev_off, std::uint64_t len,
+                         numa::Placement mem, metrics::CpuCategory cat,
+                         bool is_read, bool* ok, sim::WaitGroup* wg) {
+  const bool r = is_read ? co_await dev->read(th, dev_off, len, mem, cat)
+                         : co_await dev->write(th, dev_off, len, mem, cat);
+  if (!r) *ok = false;
+  wg->done();
+}
+
+}  // namespace
+
+sim::Task<bool> StripedBlockDevice::striped_io(numa::Thread& th,
+                                               std::uint64_t offset,
+                                               std::uint64_t len,
+                                               const numa::Placement& mem,
+                                               metrics::CpuCategory cat,
+                                               bool is_read) {
+  check_aligned(offset, len);
+  sim::WaitGroup wg(th.host().engine());
+  bool ok = true;
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    const std::uint64_t stripe_idx = pos / stripe_;
+    const std::uint64_t within = pos % stripe_;
+    const std::uint64_t chunk = std::min(remaining, stripe_ - within);
+    const std::size_t member = stripe_idx % devices_.size();
+    // Device-local offset: collapse the stripe rotation.
+    const std::uint64_t dev_off =
+        (stripe_idx / devices_.size()) * stripe_ + within;
+    wg.add();
+    sim::co_spawn(stripe_subio(devices_[member], th, dev_off, chunk, mem, cat,
+                               is_read, &ok, &wg));
+    pos += chunk;
+    remaining -= chunk;
+  }
+  co_await wg.wait();
+  co_return ok;
+}
+
+}  // namespace e2e::blk

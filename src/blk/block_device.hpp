@@ -1,0 +1,148 @@
+// Block device abstractions.
+//
+//  * RamBlockDevice: a tmpfs-backed raw device (the target's LUN backing).
+//  * RemoteBlockDevice: /dev/sdX as seen by the iSER initiator — I/O turns
+//    into SCSI READ(16)/WRITE(16) tasks on an iscsi::Initiator session.
+//  * StripedBlockDevice: RAID-0 style striping across several devices; the
+//    paper splits six LUNs across two InfiniBand links this way.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "iscsi/initiator.hpp"
+#include "mem/buffer.hpp"
+#include "mem/tmpfs.hpp"
+#include "metrics/cpu_usage.hpp"
+#include "numa/thread.hpp"
+#include "scsi/scsi.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace e2e::blk {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  [[nodiscard]] virtual std::uint64_t capacity_bytes() const = 0;
+
+  /// Reads [offset, offset+len) into memory at `dst`. Offsets and lengths
+  /// must be 512-byte aligned. Returns false on I/O error.
+  virtual sim::Task<bool> read(numa::Thread& th, std::uint64_t offset,
+                               std::uint64_t len, const numa::Placement& dst,
+                               metrics::CpuCategory cat) = 0;
+
+  virtual sim::Task<bool> write(numa::Thread& th, std::uint64_t offset,
+                                std::uint64_t len, const numa::Placement& src,
+                                metrics::CpuCategory cat) = 0;
+
+  static void check_aligned(std::uint64_t offset, std::uint64_t len) {
+    if (offset % scsi::Cdb::kBlockSize || len % scsi::Cdb::kBlockSize)
+      throw std::invalid_argument("unaligned block I/O");
+  }
+};
+
+/// Local RAM-backed device (tmpfs file exported as a raw LUN).
+class RamBlockDevice final : public BlockDevice {
+ public:
+  RamBlockDevice(mem::Tmpfs& fs, mem::TmpFile& backing)
+      : fs_(fs), backing_(backing) {}
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const override {
+    return backing_.size;
+  }
+
+  sim::Task<bool> read(numa::Thread& th, std::uint64_t offset,
+                       std::uint64_t len, const numa::Placement& dst,
+                       metrics::CpuCategory cat) override {
+    check_aligned(offset, len);
+    co_await fs_.read(th, backing_, offset, len, dst, cat);
+    co_return true;
+  }
+
+  sim::Task<bool> write(numa::Thread& th, std::uint64_t offset,
+                        std::uint64_t len, const numa::Placement& src,
+                        metrics::CpuCategory cat) override {
+    check_aligned(offset, len);
+    co_await fs_.write(th, backing_, offset, len, src, cat);
+    co_return true;
+  }
+
+ private:
+  mem::Tmpfs& fs_;
+  mem::TmpFile& backing_;
+};
+
+/// Remote LUN over an iSER (or iSCSI/TCP) session.
+///
+/// The caller's memory at `dst`/`src` is the RDMA-advertised buffer: reads
+/// are RDMA-Written into it by the target; writes are RDMA-Read out of it.
+class RemoteBlockDevice final : public BlockDevice {
+ public:
+  RemoteBlockDevice(iscsi::Initiator& init, std::uint32_t lun,
+                    std::uint64_t capacity)
+      : init_(init), lun_(lun), capacity_(capacity) {}
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const override {
+    return capacity_;
+  }
+
+  sim::Task<bool> read(numa::Thread& th, std::uint64_t offset,
+                       std::uint64_t len, const numa::Placement& dst,
+                       metrics::CpuCategory cat) override;
+
+  sim::Task<bool> write(numa::Thread& th, std::uint64_t offset,
+                        std::uint64_t len, const numa::Placement& src,
+                        metrics::CpuCategory cat) override;
+
+ private:
+  iscsi::Initiator& init_;
+  std::uint32_t lun_;
+  std::uint64_t capacity_;
+};
+
+/// RAID-0 striping over equal-capacity devices. Sub-requests to different
+/// stripes proceed in parallel.
+class StripedBlockDevice final : public BlockDevice {
+ public:
+  StripedBlockDevice(std::vector<BlockDevice*> devices,
+                     std::uint64_t stripe_bytes)
+      : devices_(std::move(devices)), stripe_(stripe_bytes) {
+    if (devices_.empty()) throw std::invalid_argument("no stripe members");
+    if (stripe_ % scsi::Cdb::kBlockSize)
+      throw std::invalid_argument("stripe must be block-aligned");
+  }
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const override {
+    return devices_.front()->capacity_bytes() * devices_.size();
+  }
+
+  sim::Task<bool> read(numa::Thread& th, std::uint64_t offset,
+                       std::uint64_t len, const numa::Placement& dst,
+                       metrics::CpuCategory cat) override {
+    return striped_io(th, offset, len, dst, cat, /*is_read=*/true);
+  }
+
+  sim::Task<bool> write(numa::Thread& th, std::uint64_t offset,
+                        std::uint64_t len, const numa::Placement& src,
+                        metrics::CpuCategory cat) override {
+    return striped_io(th, offset, len, src, cat, /*is_read=*/false);
+  }
+
+  [[nodiscard]] std::size_t member_count() const noexcept {
+    return devices_.size();
+  }
+  [[nodiscard]] std::uint64_t stripe_bytes() const noexcept { return stripe_; }
+
+ private:
+  sim::Task<bool> striped_io(numa::Thread& th, std::uint64_t offset,
+                             std::uint64_t len, const numa::Placement& mem,
+                             metrics::CpuCategory cat, bool is_read);
+
+  std::vector<BlockDevice*> devices_;
+  std::uint64_t stripe_;
+};
+
+}  // namespace e2e::blk

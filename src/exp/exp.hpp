@@ -1,0 +1,6 @@
+// Umbrella header for experiment assembly.
+#pragma once
+
+#include "exp/runner.hpp"
+#include "exp/san_section.hpp"
+#include "exp/testbeds.hpp"

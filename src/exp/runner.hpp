@@ -1,0 +1,68 @@
+// Synchronous driver for simulation tasks.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace e2e::exp {
+
+namespace detail {
+template <typename T>
+struct Box {
+  std::optional<T> value;
+  std::exception_ptr error;
+};
+
+template <typename T>
+sim::Task<> wrap(sim::Task<T> t, std::shared_ptr<Box<T>> box) {
+  try {
+    box->value = co_await std::move(t);
+  } catch (...) {
+    box->error = std::current_exception();
+  }
+}
+
+struct VoidBox {
+  bool done = false;
+  std::exception_ptr error;
+};
+
+inline sim::Task<> wrap_void(sim::Task<> t, std::shared_ptr<VoidBox> box) {
+  try {
+    co_await std::move(t);
+    box->done = true;
+  } catch (...) {
+    box->error = std::current_exception();
+  }
+}
+}  // namespace detail
+
+/// Spawns `task` and runs the engine until the event queue drains.
+/// Returns the task's value, rethrows its exception, or throws if the task
+/// never completed (deadlock).
+template <typename T>
+T run_task(sim::Engine& eng, sim::Task<T> task) {
+  auto box = std::make_shared<detail::Box<T>>();
+  sim::co_spawn(detail::wrap<T>(std::move(task), box));
+  eng.run();
+  if (box->error) std::rethrow_exception(box->error);
+  if (!box->value)
+    throw std::runtime_error("run_task: task did not complete (deadlock?)");
+  return std::move(*box->value);
+}
+
+inline void run_task(sim::Engine& eng, sim::Task<> task) {
+  auto box = std::make_shared<detail::VoidBox>();
+  sim::co_spawn(detail::wrap_void(std::move(task), box));
+  eng.run();
+  if (box->error) std::rethrow_exception(box->error);
+  if (!box->done)
+    throw std::runtime_error("run_task: task did not complete (deadlock?)");
+}
+
+}  // namespace e2e::exp

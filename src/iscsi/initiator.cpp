@@ -1,0 +1,112 @@
+#include "iscsi/initiator.hpp"
+
+#include <stdexcept>
+
+namespace e2e::iscsi {
+
+sim::Task<bool> Initiator::login(numa::Thread& th, const LoginParams& params) {
+  Pdu req;
+  req.type = PduType::kLoginRequest;
+  req.login = params;
+  co_await dm_.send_pdu(th, req);
+
+  auto resp = co_await dm_.recv_pdu(th);
+  if (!resp || resp->type != PduType::kLoginResponse) co_return false;
+  negotiated_ = resp->login;
+  logged_in_ = true;
+  co_return true;
+}
+
+void Initiator::start_dispatcher(numa::Thread& th) {
+  if (dispatcher_running_) throw std::logic_error("dispatcher already running");
+  if (!logged_in_) throw std::logic_error("dispatcher before login");
+  dispatcher_running_ = true;
+  sim::co_spawn(dispatch_loop(th));
+}
+
+sim::Task<> Initiator::dispatch_loop(numa::Thread& th) {
+  for (;;) {
+    auto pdu = co_await dm_.recv_pdu(th);
+    if (!pdu) co_return;  // session closed
+    if (pdu->type == PduType::kLogoutResponse) co_return;
+    if (pdu->type != PduType::kScsiResponse) continue;  // NOPs etc.
+    auto it = pending_.find(pdu->itt);
+    if (it == pending_.end()) continue;  // late duplicate after a retry
+    std::shared_ptr<Pending> p = it->second;
+    pending_.erase(it);
+    p->status = pdu->status;
+    ++tasks_completed_;
+    p->wake.send(true);
+  }
+}
+
+sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
+                                             std::uint32_t lun,
+                                             std::uint64_t lba,
+                                             std::uint32_t blocks,
+                                             mem::Buffer& data) {
+  if (!dispatcher_running_)
+    throw std::logic_error("submit before start_dispatcher");
+  const std::uint64_t bytes = std::uint64_t{blocks} * scsi::Cdb::kBlockSize;
+  if (data.bytes < bytes)
+    throw std::length_error("I/O buffer smaller than transfer length");
+
+  Pdu cmd;
+  cmd.type = PduType::kScsiCommand;
+  cmd.itt = next_itt_++;
+  cmd.lun = lun;
+  cmd.cdb = {op, lba, blocks};
+  cmd.data_len = bytes;
+  cmd.rkey = rdma::RemoteKey{&data};
+
+  auto& eng = th.host().engine();
+  auto pending = std::make_shared<Pending>(eng);
+  pending_.emplace(cmd.itt, pending);
+
+  // Initiator-side task bookkeeping (tag allocation, SGL mapping).
+  co_await th.compute(th.host().costs().iser_initiator_cycles,
+                      metrics::CpuCategory::kUserProto);
+
+  for (;;) {
+    co_await dm_.send_pdu(th, cmd);
+    if (command_timeout_ == 0) {
+      (void)co_await pending->wake.recv();
+      break;
+    }
+    // Arm a timeout; the shared_ptr keeps the rendezvous alive even if the
+    // timer outlives this task.
+    eng.schedule_after(command_timeout_,
+                       [pending] { pending->wake.send(false); });
+    const auto woke = co_await pending->wake.recv();
+    if (woke && *woke) break;  // genuine response
+    // Timed out: retransmit the same task tag. The target suppresses
+    // duplicates, so at-most-once execution is preserved.
+    ++command_retries_;
+  }
+  co_return pending->status;
+}
+
+sim::Task<scsi::Status> Initiator::submit_read(numa::Thread& th,
+                                               std::uint32_t lun,
+                                               std::uint64_t lba,
+                                               std::uint32_t blocks,
+                                               mem::Buffer& data) {
+  return submit_io(th, scsi::OpCode::kRead16, lun, lba, blocks, data);
+}
+
+sim::Task<scsi::Status> Initiator::submit_write(numa::Thread& th,
+                                                std::uint32_t lun,
+                                                std::uint64_t lba,
+                                                std::uint32_t blocks,
+                                                mem::Buffer& data) {
+  return submit_io(th, scsi::OpCode::kWrite16, lun, lba, blocks, data);
+}
+
+sim::Task<> Initiator::logout(numa::Thread& th) {
+  Pdu req;
+  req.type = PduType::kLogoutRequest;
+  co_await dm_.send_pdu(th, req);
+  logged_in_ = false;
+}
+
+}  // namespace e2e::iscsi

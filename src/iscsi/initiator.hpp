@@ -1,0 +1,90 @@
+// iSCSI initiator session core (open-iscsi analogue).
+//
+// Drives a login negotiation and then submits SCSI tasks over a Datamover.
+// Tasks run concurrently: submit_* registers the task under a fresh
+// initiator task tag, a dispatcher coroutine demultiplexes ScsiResponse
+// PDUs back to the waiting submitter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "iscsi/datamover.hpp"
+#include "iscsi/pdu.hpp"
+#include "mem/buffer.hpp"
+#include "numa/process.hpp"
+#include "sim/channel.hpp"
+#include "sim/sync.hpp"
+
+namespace e2e::iscsi {
+
+class Initiator {
+ public:
+  /// `command_timeout` (0 = disabled): how long to wait for a SCSI
+  /// response before retransmitting the command (the target suppresses
+  /// duplicates). Bounds recovery from lost control PDUs.
+  Initiator(numa::Process& proc, Datamover& dm,
+            sim::SimDuration command_timeout = 0)
+      : proc_(proc), dm_(dm), command_timeout_(command_timeout) {}
+  Initiator(const Initiator&) = delete;
+  Initiator& operator=(const Initiator&) = delete;
+
+  /// Login phase: proposes `params`, records what the target accepted.
+  /// Must complete before start_dispatcher()/submit_*.
+  sim::Task<bool> login(numa::Thread& th, const LoginParams& params);
+
+  /// Spawns the response dispatcher on `th` (a dedicated session thread).
+  void start_dispatcher(numa::Thread& th);
+
+  /// Submits READ(16): target data lands in `data` via the datamover.
+  sim::Task<scsi::Status> submit_read(numa::Thread& th, std::uint32_t lun,
+                                      std::uint64_t lba, std::uint32_t blocks,
+                                      mem::Buffer& data);
+
+  /// Submits WRITE(16): target pulls from `data`.
+  sim::Task<scsi::Status> submit_write(numa::Thread& th, std::uint32_t lun,
+                                       std::uint64_t lba, std::uint32_t blocks,
+                                       mem::Buffer& data);
+
+  /// Graceful logout (close of the session).
+  sim::Task<> logout(numa::Thread& th);
+
+  [[nodiscard]] const LoginParams& negotiated() const noexcept {
+    return negotiated_;
+  }
+  [[nodiscard]] bool logged_in() const noexcept { return logged_in_; }
+  [[nodiscard]] std::uint64_t tasks_completed() const noexcept {
+    return tasks_completed_;
+  }
+  /// Commands retransmitted after a response timeout.
+  [[nodiscard]] std::uint64_t command_retries() const noexcept {
+    return command_retries_;
+  }
+
+ private:
+  struct Pending {
+    // true = response arrived; false = timeout fired.
+    sim::Channel<bool> wake;
+    scsi::Status status = scsi::Status::kGood;
+    explicit Pending(sim::Engine& eng) : wake(eng) {}
+  };
+
+  sim::Task<scsi::Status> submit_io(numa::Thread& th, scsi::OpCode op,
+                                    std::uint32_t lun, std::uint64_t lba,
+                                    std::uint32_t blocks, mem::Buffer& data);
+  sim::Task<> dispatch_loop(numa::Thread& th);
+
+  numa::Process& proc_;
+  Datamover& dm_;
+  LoginParams negotiated_;
+  bool logged_in_ = false;
+  bool dispatcher_running_ = false;
+  sim::SimDuration command_timeout_ = 0;
+  std::uint64_t next_itt_ = 1;
+  std::uint64_t tasks_completed_ = 0;
+  std::uint64_t command_retries_ = 0;
+  std::map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+};
+
+}  // namespace e2e::iscsi

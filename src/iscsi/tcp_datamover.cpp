@@ -1,0 +1,175 @@
+#include "iscsi/tcp_datamover.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace e2e::iscsi {
+
+TcpDatamover::TcpDatamover(tcp::Connection& conn, numa::Process& proc,
+                           bool is_target)
+    : conn_(conn),
+      proc_(proc),
+      is_target_(is_target),
+      ctrl_(proc.alloc(512)),
+      rx_pdus_(proc.host().engine()) {}
+
+void TcpDatamover::start(numa::Thread& rx, numa::Thread& tx) {
+  if (started_) throw std::logic_error("TCP datamover already started");
+  started_ = true;
+  tx_ = &tx;
+  sim::co_spawn(demux_loop(rx));
+}
+
+sim::Task<> TcpDatamover::send_pdu(numa::Thread& th, const Pdu& pdu) {
+  if (!started_) throw std::logic_error("send_pdu before start()");
+  co_await th.compute(th.host().costs().iscsi_pdu_cycles,
+                      metrics::CpuCategory::kUserProto);
+  auto wire = std::make_shared<Wire>();
+  wire->kind = Wire::Kind::kControl;
+  wire->pdu = pdu;
+  // The initiator remembers each WRITE command's I/O buffer so it can
+  // answer the target's R2T later.
+  if (!is_target_ && pdu.type == PduType::kScsiCommand &&
+      pdu.cdb.op == scsi::OpCode::kWrite16)
+    io_buffers_[pdu.itt] = pdu.rkey.buffer;
+  co_await conn_.send(th, ctrl_,
+                      static_cast<std::uint64_t>(pdu.wire_bytes()),
+                      /*src_in_cache=*/true, std::move(wire));
+}
+
+sim::Task<std::optional<Pdu>> TcpDatamover::recv_pdu(numa::Thread& th) {
+  auto pdu = co_await rx_pdus_.recv();
+  if (!pdu) co_return std::nullopt;
+  co_await th.compute(th.host().costs().iscsi_pdu_cycles,
+                      metrics::CpuCategory::kUserProto);
+  co_return *pdu;
+}
+
+sim::Task<> TcpDatamover::put_data(numa::Thread& th, mem::Buffer& staging,
+                                   std::uint64_t bytes, rdma::RemoteKey rkey,
+                                   std::uint64_t offset) {
+  (void)offset;
+  // Data-In: stream the payload as TCP segments. Each send pays the full
+  // stack cost; the demux at the initiator lands it in the I/O buffer.
+  std::uint64_t sent = 0;
+  while (sent < bytes) {
+    const std::uint64_t chunk = std::min(kDataSegmentBytes, bytes - sent);
+    auto wire = std::make_shared<Wire>();
+    wire->kind = Wire::Kind::kDataIn;
+    wire->bytes = chunk;
+    wire->dest = rkey.buffer;
+    ++data_pdus_;
+    co_await conn_.send(th, staging.placement, chunk, false,
+                        std::move(wire));
+    sent += chunk;
+  }
+}
+
+sim::Task<> TcpDatamover::put_data_nowait(numa::Thread& th,
+                                          mem::Buffer& staging,
+                                          std::uint64_t bytes,
+                                          rdma::RemoteKey rkey,
+                                          std::uint64_t offset,
+                                          std::function<void()> on_complete) {
+  // TCP send() completes once the data sits in the socket buffer, so the
+  // staging buffer is reusable as soon as put_data returns.
+  co_await put_data(th, staging, bytes, rkey, offset);
+  on_complete();
+}
+
+sim::Task<> TcpDatamover::get_data(numa::Thread& th, mem::Buffer& staging,
+                                   std::uint64_t bytes, rdma::RemoteKey rkey,
+                                   std::uint64_t offset) {
+  if (!is_target_)
+    throw std::logic_error("get_data is a target-side operation");
+  // R2T: ask the initiator to push `bytes`; rendezvous on the task tag.
+  static std::uint64_t next_tag = 1;
+  const std::uint64_t tag = next_tag++;
+  PendingDataOut pending(th.host().engine());
+  pending.remaining = bytes;
+  pending_out_.emplace(tag, &pending);
+
+  Pdu r2t;
+  r2t.type = PduType::kR2T;
+  r2t.itt = tag;
+  r2t.data_len = bytes;
+  r2t.buffer_offset = offset;
+  r2t.rkey = rkey;  // names the initiator I/O buffer to pull from
+  auto wire = std::make_shared<Wire>();
+  wire->kind = Wire::Kind::kR2T;
+  wire->pdu = r2t;
+  wire->itt = tag;
+  wire->bytes = bytes;
+  wire->dest = &staging;
+  co_await th.compute(th.host().costs().iscsi_pdu_cycles,
+                      metrics::CpuCategory::kUserProto);
+  co_await conn_.send(th, ctrl_,
+                      static_cast<std::uint64_t>(r2t.wire_bytes()),
+                      /*src_in_cache=*/true, std::move(wire));
+  co_await pending.done.wait();
+  pending_out_.erase(tag);
+}
+
+sim::Task<> TcpDatamover::answer_r2t(std::uint64_t itt, std::uint64_t bytes,
+                                     mem::Buffer* staging, mem::Buffer* io) {
+  // The initiator pushes Data-Out segments from the I/O buffer the R2T
+  // names, to the staging buffer the target reserved for the rendezvous.
+  std::uint64_t sent = 0;
+  while (sent < bytes) {
+    const std::uint64_t chunk = std::min(kDataSegmentBytes, bytes - sent);
+    auto wire = std::make_shared<Wire>();
+    wire->kind = Wire::Kind::kDataOut;
+    wire->itt = itt;
+    wire->bytes = chunk;
+    wire->dest = staging;
+    ++data_pdus_;
+    co_await conn_.send(*tx_,
+                        io != nullptr ? io->placement : ctrl_, chunk, false,
+                        std::move(wire));
+    sent += chunk;
+  }
+}
+
+sim::Task<> TcpDatamover::demux_loop(numa::Thread& th) {
+  for (;;) {
+    auto m = co_await conn_.recv_raw(th);
+    if (!m.payload) {
+      rx_pdus_.close();
+      co_return;
+    }
+    const auto* w = static_cast<const Wire*>(m.payload.get());
+    switch (w->kind) {
+      case Wire::Kind::kControl:
+        // On the initiator, a SCSI response retires the task's buffer.
+        if (!is_target_ && w->pdu.type == PduType::kScsiResponse)
+          io_buffers_.erase(w->pdu.itt);
+        rx_pdus_.send(w->pdu);
+        break;
+      case Wire::Kind::kDataIn:
+        // Land the payload in the I/O buffer: the deferred kernel->user
+        // copy of the TCP receive path.
+        if (w->dest != nullptr)
+          co_await conn_.copy_from_kernel(th, m.bytes, w->dest->placement);
+        break;
+      case Wire::Kind::kR2T:
+        if (is_target_)
+          throw std::logic_error("R2T received by the target");
+        sim::co_spawn(
+            answer_r2t(w->itt, w->bytes, w->dest, w->pdu.rkey.buffer));
+        break;
+      case Wire::Kind::kDataOut: {
+        if (w->dest != nullptr)
+          co_await conn_.copy_from_kernel(th, m.bytes, w->dest->placement);
+        auto it = pending_out_.find(w->itt);
+        if (it != pending_out_.end()) {
+          it->second->remaining -=
+              std::min(it->second->remaining, m.bytes);
+          if (it->second->remaining == 0) it->second->done.set();
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace e2e::iscsi

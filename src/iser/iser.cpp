@@ -1,0 +1,134 @@
+#include "iser/iser.hpp"
+
+#include <stdexcept>
+
+namespace e2e::iser {
+
+namespace {
+constexpr std::uint64_t kCtrlBufBytes = 512;
+}
+
+IserEndpoint::IserEndpoint(rdma::QueuePair& qp, numa::Process& proc,
+                           int ctrl_depth)
+    : qp_(qp),
+      proc_(proc),
+      pd_(proc.host()),
+      ctrl_depth_(ctrl_depth),
+      rx_pdus_(proc.host().engine()) {
+  ctrl_buf_.bytes = kCtrlBufBytes;
+  ctrl_buf_.placement = proc.alloc(kCtrlBufBytes, qp.device().node());
+  recv_buf_.bytes = kCtrlBufBytes;
+  recv_buf_.placement = proc.alloc(kCtrlBufBytes, qp.device().node());
+}
+
+sim::Task<> IserEndpoint::start(numa::Thread& cq_thread) {
+  if (started_) throw std::logic_error("iSER endpoint already started");
+  started_ = true;
+  co_await pd_.register_buffer(cq_thread, ctrl_buf_);
+  co_await pd_.register_buffer(cq_thread, recv_buf_);
+  for (int i = 0; i < ctrl_depth_; ++i)
+    co_await qp_.post_recv(cq_thread, rdma::RecvWr{0, &recv_buf_});
+  sim::co_spawn(send_cq_loop(cq_thread));
+  sim::co_spawn(recv_cq_loop(cq_thread));
+}
+
+sim::Task<> IserEndpoint::send_cq_loop(numa::Thread& th) {
+  for (;;) {
+    auto wc = co_await qp_.send_cq().wait(th);
+    auto it = pending_.find(wc.wr_id);
+    if (it != pending_.end()) {
+      auto on_complete = std::move(it->second);
+      pending_.erase(it);
+      on_complete();
+    }
+    // Control-send completions (wr_id 0) just recycle the shared buffer.
+  }
+}
+
+sim::Task<> IserEndpoint::recv_cq_loop(numa::Thread& th) {
+  for (;;) {
+    auto wc = co_await qp_.recv_cq().wait(th);
+    if (const auto* pdu = wc.as<iscsi::Pdu>()) rx_pdus_.send(*pdu);
+    // Replenish the receive ring.
+    co_await qp_.post_recv(th, rdma::RecvWr{0, &recv_buf_});
+  }
+}
+
+sim::Task<> IserEndpoint::send_pdu(numa::Thread& th, const iscsi::Pdu& pdu) {
+  if (!started_) throw std::logic_error("send_pdu before start()");
+  co_await th.compute(th.host().costs().iscsi_pdu_cycles,
+                      metrics::CpuCategory::kUserProto);
+  rdma::SendWr wr;
+  wr.op = rdma::Opcode::kSend;
+  wr.wr_id = 0;  // control send: fire-and-forget
+  wr.local = &ctrl_buf_;
+  wr.bytes = static_cast<std::uint64_t>(pdu.wire_bytes());
+  wr.payload = std::make_shared<iscsi::Pdu>(pdu);
+  co_await qp_.post_send(th, wr);
+  ++pdus_sent_;
+}
+
+sim::Task<std::optional<iscsi::Pdu>> IserEndpoint::recv_pdu(
+    numa::Thread& th) {
+  auto pdu = co_await rx_pdus_.recv();
+  if (!pdu) co_return std::nullopt;
+  co_await th.compute(th.host().costs().iscsi_pdu_cycles,
+                      metrics::CpuCategory::kUserProto);
+  co_return *pdu;
+}
+
+sim::Task<> IserEndpoint::await_data_op(numa::Thread& th, rdma::SendWr wr) {
+  sim::ManualEvent done(th.host().engine());
+  pending_.emplace(wr.wr_id, [&done] { done.set(); });
+  co_await qp_.post_send(th, wr);
+  co_await done.wait();
+  ++data_ops_;
+}
+
+sim::Task<> IserEndpoint::put_data(numa::Thread& th, mem::Buffer& staging,
+                                   std::uint64_t bytes, rdma::RemoteKey rkey,
+                                   std::uint64_t offset) {
+  (void)offset;  // remote offsets do not change simulated costs
+  rdma::SendWr wr;
+  wr.op = rdma::Opcode::kWrite;
+  wr.wr_id = next_wr_++;
+  wr.local = &staging;
+  wr.bytes = bytes;
+  wr.remote = rkey;
+  co_await await_data_op(th, wr);
+}
+
+sim::Task<> IserEndpoint::put_data_nowait(numa::Thread& th,
+                                          mem::Buffer& staging,
+                                          std::uint64_t bytes,
+                                          rdma::RemoteKey rkey,
+                                          std::uint64_t offset,
+                                          std::function<void()> on_complete) {
+  (void)offset;
+  rdma::SendWr wr;
+  wr.op = rdma::Opcode::kWrite;
+  wr.wr_id = next_wr_++;
+  wr.local = &staging;
+  wr.bytes = bytes;
+  wr.remote = rkey;
+  ++data_ops_;
+  pending_.emplace(wr.wr_id, std::move(on_complete));
+  co_await qp_.post_send(th, wr);
+}
+
+sim::Task<> IserEndpoint::get_data(numa::Thread& th, mem::Buffer& staging,
+                                   std::uint64_t bytes, rdma::RemoteKey rkey,
+                                   std::uint64_t offset) {
+  (void)offset;
+  rdma::SendWr wr;
+  wr.op = rdma::Opcode::kRead;
+  wr.wr_id = next_wr_++;
+  wr.local = &staging;
+  wr.bytes = bytes;
+  wr.remote = rkey;
+  co_await await_data_op(th, wr);
+}
+
+void IserEndpoint::close() { rx_pdus_.close(); }
+
+}  // namespace e2e::iser

@@ -1,0 +1,40 @@
+// Convenience wiring of a full iSER session between two hosts.
+#pragma once
+
+#include "iser/iser.hpp"
+#include "net/link.hpp"
+#include "rdma/cm.hpp"
+
+namespace e2e::iser {
+
+/// One iSER session: a connected QP pair plus the two datamover endpoints.
+/// The initiator side rides pair().a(), the target side pair().b().
+class IserSession {
+ public:
+  IserSession(rdma::Device& init_dev, rdma::Device& tgt_dev, net::Link& link,
+              numa::Process& init_proc, numa::Process& tgt_proc,
+              int ctrl_depth = 64)
+      : pair_(init_dev, tgt_dev, link),
+        initiator_ep_(pair_.a(), init_proc, ctrl_depth),
+        target_ep_(pair_.b(), tgt_proc, ctrl_depth) {}
+
+  /// CM handshake + endpoint bring-up on both sides.
+  sim::Task<> start(numa::Thread& init_th, numa::Thread& tgt_th) {
+    co_await pair_.establish(init_th, tgt_th);
+    co_await initiator_ep_.start(init_th);
+    co_await target_ep_.start(tgt_th);
+  }
+
+  [[nodiscard]] rdma::ConnectedPair& pair() noexcept { return pair_; }
+  [[nodiscard]] IserEndpoint& initiator_ep() noexcept {
+    return initiator_ep_;
+  }
+  [[nodiscard]] IserEndpoint& target_ep() noexcept { return target_ep_; }
+
+ private:
+  rdma::ConnectedPair pair_;
+  IserEndpoint initiator_ep_;
+  IserEndpoint target_ep_;
+};
+
+}  // namespace e2e::iser

@@ -1,0 +1,25 @@
+// Memory buffer descriptors.
+//
+// The simulation moves no real payload bytes; a Buffer records how much
+// memory a staging buffer represents and where it physically lives, which
+// is all the resource model needs to charge channels/interconnect/CPU.
+#pragma once
+
+#include <cstdint>
+
+#include "numa/types.hpp"
+
+namespace e2e::mem {
+
+struct Buffer {
+  std::uint64_t bytes = 0;
+  numa::Placement placement;
+  bool registered = false;  // pinned as an RDMA memory region
+  std::uint64_t id = 0;     // pool-unique identifier
+
+  [[nodiscard]] numa::NodeId home_node() const noexcept {
+    return placement.extents.empty() ? 0 : placement.extents.front().node;
+  }
+};
+
+}  // namespace e2e::mem

@@ -1,0 +1,6 @@
+// Umbrella header for memory management.
+#pragma once
+
+#include "mem/buffer.hpp"
+#include "mem/buffer_pool.hpp"
+#include "mem/tmpfs.hpp"

@@ -1,0 +1,7 @@
+// Umbrella header for measurement utilities.
+#pragma once
+
+#include "metrics/cpu_usage.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+#include "metrics/throughput.hpp"

@@ -1,0 +1,77 @@
+// Throughput measurement: total averages and binned time series.
+//
+// Used to regenerate the paper's throughput-over-time figures (Figs. 9/11)
+// and all headline Gbps numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace e2e::metrics {
+
+/// Converts bytes over a window to Gbps (decimal gigabits, as the paper).
+constexpr double gbps(std::uint64_t bytes, sim::SimDuration window) noexcept {
+  if (window == 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / static_cast<double>(window);
+  // bytes*8 bits over window ns == bits/ns == Gbit/s.
+}
+
+class ThroughputMeter {
+ public:
+  ThroughputMeter(sim::Engine& eng, sim::SimDuration bin_width,
+                  std::string name = {})
+      : eng_(eng), bin_width_(bin_width ? bin_width : sim::kSecond),
+        name_(std::move(name)) {}
+
+  /// Records `bytes` delivered at the current simulated time.
+  void record(std::uint64_t bytes) {
+    const std::size_t bin =
+        static_cast<std::size_t>(eng_.now() / bin_width_);
+    if (bins_.size() <= bin) bins_.resize(bin + 1, 0);
+    bins_[bin] += bytes;
+    total_ += bytes;
+    if (first_ == sim::kTimeInfinity) first_ = eng_.now();
+    last_ = eng_.now();
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_; }
+
+  /// Mean throughput over the full engine time.
+  [[nodiscard]] double mean_gbps() const noexcept {
+    return gbps(total_, eng_.now());
+  }
+
+  /// Mean throughput between first and last recorded byte.
+  [[nodiscard]] double active_gbps() const noexcept {
+    if (first_ == sim::kTimeInfinity || last_ <= first_) return 0.0;
+    return gbps(total_, last_ - first_);
+  }
+
+  /// Per-bin throughput series in Gbps.
+  [[nodiscard]] std::vector<double> series_gbps() const {
+    std::vector<double> out;
+    out.reserve(bins_.size());
+    for (auto b : bins_) out.push_back(gbps(b, bin_width_));
+    return out;
+  }
+
+  [[nodiscard]] sim::SimDuration bin_width() const noexcept {
+    return bin_width_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  sim::Engine& eng_;
+  sim::SimDuration bin_width_;
+  std::string name_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+  sim::SimTime first_ = sim::kTimeInfinity;
+  sim::SimTime last_ = 0;
+};
+
+}  // namespace e2e::metrics

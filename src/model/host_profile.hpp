@@ -1,0 +1,117 @@
+// Hardware profiles for the paper's testbed hosts (Table 1).
+//
+// A HostProfile parameterises the NUMA host model; a NicProfile describes
+// one network adapter and its PCIe attachment. The three factory functions
+// reproduce Table 1 of the paper exactly; additional profiles can be built
+// for what-if studies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/cost_model.hpp"
+#include "model/units.hpp"
+#include "sim/time.hpp"
+
+namespace e2e::model {
+
+enum class LinkType { kRoCE, kInfiniBand, kEthernetTcp };
+
+struct NicProfile {
+  std::string name;
+  LinkType type = LinkType::kRoCE;
+  double rate_gbps = 40.0;     // signalling rate
+  std::uint32_t mtu = 9000;    // RoCE jumbo / IB 65520
+  int numa_node = 0;           // PCIe slot attachment
+  double pcie_gbps = 63.0;     // PCIe 3.0 x8 usable
+};
+
+struct HostProfile {
+  std::string name;
+  int numa_nodes = 2;
+  int cores_per_node = 8;
+  double core_ghz = 2.2;
+  double mem_gbytes = 128;
+  // Per-node sustainable memory bandwidth (STREAM-like). The paper measured
+  // 50 GB/s Triad across two nodes on the front-end hosts -> 25 GB/s/node.
+  double mem_gBps_per_node = 25.0;
+  // Socket interconnect (QPI), per direction per link.
+  double interconnect_gBps = 12.8;
+  // Remote access latency multiplier relative to local.
+  double numa_remote_latency_factor = 1.5;
+  double llc_mbytes = 20.0;  // last-level cache (cache-effect threshold)
+  std::vector<NicProfile> nics;
+  CostModel costs = CostModel::defaults();
+
+  [[nodiscard]] int total_cores() const noexcept {
+    return numa_nodes * cores_per_node;
+  }
+  [[nodiscard]] double cycles_per_second() const noexcept {
+    return ghz_to_cycles_per_s(core_ghz);
+  }
+  [[nodiscard]] double total_mem_gBps() const noexcept {
+    return mem_gBps_per_node * numa_nodes;
+  }
+};
+
+/// Table 1, column "Front-end LAN": IBM X3650 M4, 2x E5-2660 (16 cores,
+/// 2.2 GHz), 128 GB, three 40 Gbps RoCE QDR adapters, MTU 9000.
+inline HostProfile front_end_lan_host(const std::string& name) {
+  HostProfile h;
+  h.name = name;
+  h.numa_nodes = 2;
+  h.cores_per_node = 8;
+  h.core_ghz = 2.2;
+  h.mem_gbytes = 128;
+  h.mem_gBps_per_node = 25.0;
+  // Two adapters on node 0, one on node 1 (three PCIe 3.0 x8 slots).
+  h.nics = {
+      {"roce0", LinkType::kRoCE, 40.0, 9000, 0, 63.0},
+      {"roce1", LinkType::kRoCE, 40.0, 9000, 1, 63.0},
+      {"roce2", LinkType::kRoCE, 40.0, 9000, 0, 63.0},
+  };
+  return h;
+}
+
+/// Table 1, column "Back-end LAN": 2x E5-2650 (16 cores, 2.0 GHz), 384 GB,
+/// two 56 Gbps InfiniBand FDR adapters, MTU 65520.
+inline HostProfile back_end_lan_host(const std::string& name) {
+  HostProfile h;
+  h.name = name;
+  h.numa_nodes = 2;
+  h.cores_per_node = 8;
+  h.core_ghz = 2.0;
+  h.mem_gbytes = 384;
+  // The storage hosts carry the 768 GB DIMM loadout (all channels
+  // populated); they sustain more bandwidth than the front-end hosts.
+  h.mem_gBps_per_node = 32.0;
+  h.nics = {
+      {"ib0", LinkType::kInfiniBand, 56.0, 65520, 0, 63.0},
+      {"ib1", LinkType::kInfiniBand, 56.0, 65520, 1, 63.0},
+  };
+  return h;
+}
+
+/// Table 1, column "Front-end WAN" (ANI testbed): 2x E5-2670 (reported as
+/// 12 usable cores, 2.9 GHz), 64 GB, one 40 Gbps RoCE QDR adapter.
+inline HostProfile wan_host(const std::string& name) {
+  HostProfile h;
+  h.name = name;
+  h.numa_nodes = 2;
+  h.cores_per_node = 6;
+  h.core_ghz = 2.9;
+  h.mem_gbytes = 64;
+  h.mem_gBps_per_node = 25.0;
+  h.nics = {
+      {"roce0", LinkType::kRoCE, 40.0, 9000, 0, 63.0},
+  };
+  return h;
+}
+
+/// Link round-trip times from Table 1.
+inline constexpr sim::SimDuration kLanRoceRtt = 166 * sim::kMicrosecond;
+inline constexpr sim::SimDuration kLanIbRtt = 144 * sim::kMicrosecond;
+inline constexpr sim::SimDuration kWanRtt = 95 * sim::kMillisecond;
+
+}  // namespace e2e::model

@@ -1,0 +1,28 @@
+// Size and rate units.
+#pragma once
+
+#include <cstdint>
+
+namespace e2e::model {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/// Decimal gigabit/s -> bytes/s (the paper quotes decimal Gbps throughout).
+constexpr double gbps_to_bytes_per_s(double gbps) noexcept {
+  return gbps * 1e9 / 8.0;
+}
+
+constexpr double bytes_per_s_to_gbps(double bps) noexcept {
+  return bps * 8.0 / 1e9;
+}
+
+/// GB/s (decimal) -> bytes/s.
+constexpr double gBps_to_bytes_per_s(double gBps) noexcept {
+  return gBps * 1e9;
+}
+
+constexpr double ghz_to_cycles_per_s(double ghz) noexcept { return ghz * 1e9; }
+
+}  // namespace e2e::model

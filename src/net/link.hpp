@@ -1,0 +1,117 @@
+// Point-to-point duplex link model.
+//
+// A Link is the wire between two adapters (through a non-blocking switch or
+// a long-haul circuit): per-direction serialization at the signalling rate,
+// a fixed one-way propagation delay, and an MTU that determines per-packet
+// header overhead. RoCE LAN, InfiniBand LAN and the 95 ms ANI WAN loop of
+// the paper are all instances with different parameters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "model/host_profile.hpp"
+#include "model/units.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace e2e::net {
+
+class Link {
+ public:
+  Link(sim::Engine& eng, std::string name, double rate_gbps,
+       sim::SimDuration one_way_latency, std::uint32_t mtu)
+      : eng_(eng),
+        name_(std::move(name)),
+        latency_(one_way_latency),
+        mtu_(mtu),
+        rate_gbps_(rate_gbps) {
+    for (int d = 0; d < 2; ++d)
+      dir_[d] = std::make_unique<sim::Resource>(
+          eng, model::gbps_to_bytes_per_s(rate_gbps),
+          name_ + (d ? "/ba" : "/ab"));
+  }
+
+  /// Serialization resource for one direction (0: a->b, 1: b->a).
+  [[nodiscard]] sim::Resource& dir(int d) { return *dir_[d]; }
+
+  /// Declares which physical endpoints sit on the link's two sides, so
+  /// connections attached later transmit on the correct direction
+  /// regardless of which side initiates. Endpoints are identified by any
+  /// stable address (this library uses numa::Host pointers).
+  void bind_endpoints(const void* side_a, const void* side_b) noexcept {
+    ep_[0] = side_a;
+    ep_[1] = side_b;
+  }
+  [[nodiscard]] bool bound() const noexcept { return ep_[0] != nullptr; }
+
+  /// Direction index for transmissions originating at `from`.
+  [[nodiscard]] int dir_from(const void* from) const {
+    if (from == ep_[0]) return 0;
+    if (from == ep_[1]) return 1;
+    throw std::logic_error("endpoint not bound to link " + name_);
+  }
+
+  /// Failure injection: the next `count` messages transmitted in direction
+  /// `d` are corrupted in flight (delivered as failed completions). Used
+  /// by tests and fault-tolerance benches; deterministic.
+  void inject_failures(int d, int count) noexcept { inject_[d] += count; }
+
+  /// Consumes one pending injected failure for direction `d`.
+  [[nodiscard]] bool take_failure(int d) noexcept {
+    if (inject_[d] <= 0) return false;
+    --inject_[d];
+    return true;
+  }
+
+  [[nodiscard]] sim::SimDuration latency() const noexcept { return latency_; }
+  [[nodiscard]] sim::SimDuration rtt() const noexcept { return 2 * latency_; }
+  [[nodiscard]] std::uint32_t mtu() const noexcept { return mtu_; }
+  [[nodiscard]] double rate_gbps() const noexcept { return rate_gbps_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
+
+  /// Wire bytes for `payload` given per-MTU transport headers.
+  [[nodiscard]] double wire_bytes(double payload,
+                                  double header_per_mtu) const noexcept {
+    const double per_pkt = static_cast<double>(mtu_);
+    return payload * (1.0 + header_per_mtu / per_pkt);
+  }
+
+  /// Number of MTU-sized packets for `payload` bytes.
+  [[nodiscard]] double packets(double payload) const noexcept {
+    return payload / static_cast<double>(mtu_);
+  }
+
+ private:
+  sim::Engine& eng_;
+  std::string name_;
+  sim::SimDuration latency_;
+  std::uint32_t mtu_;
+  double rate_gbps_;
+  std::unique_ptr<sim::Resource> dir_[2];
+  const void* ep_[2] = {nullptr, nullptr};
+  int inject_[2] = {0, 0};
+};
+
+/// LAN RoCE link per Table 1 (40 Gbps QDR, MTU 9000, RTT 166 us).
+inline std::unique_ptr<Link> make_roce_lan(sim::Engine& eng,
+                                           const std::string& name) {
+  return std::make_unique<Link>(eng, name, 40.0, model::kLanRoceRtt / 2, 9000);
+}
+
+/// LAN InfiniBand FDR link per Table 1 (56 Gbps, MTU 65520, RTT 144 us).
+inline std::unique_ptr<Link> make_ib_lan(sim::Engine& eng,
+                                         const std::string& name) {
+  return std::make_unique<Link>(eng, name, 56.0, model::kLanIbRtt / 2, 65520);
+}
+
+/// ANI WAN loop per Table 1 / Fig. 6 (40 Gbps RoCE, RTT 95 ms).
+inline std::unique_ptr<Link> make_ani_wan(sim::Engine& eng,
+                                          const std::string& name) {
+  return std::make_unique<Link>(eng, name, 40.0, model::kWanRtt / 2, 9000);
+}
+
+}  // namespace e2e::net

@@ -1,0 +1,8 @@
+// Umbrella header for the NUMA host model.
+#pragma once
+
+#include "numa/host.hpp"
+#include "numa/process.hpp"
+#include "numa/stream.hpp"
+#include "numa/thread.hpp"
+#include "numa/types.hpp"

@@ -1,0 +1,59 @@
+#include "numa/stream.hpp"
+
+#include <memory>
+
+#include "metrics/cpu_usage.hpp"
+#include "numa/process.hpp"
+#include "sim/task.hpp"
+
+namespace e2e::numa {
+
+namespace {
+
+sim::Task<> triad_worker(Thread& th, const StreamOptions& opts,
+                         sim::SimTime deadline, std::uint64_t* bytes_moved) {
+  auto& eng = th.host().engine();
+  const Placement local = opts.numa_local
+                              ? Placement::on(th.node())
+                              : Placement::interleaved(th.host().node_count());
+  while (eng.now() < deadline) {
+    // Triad moves 3 streams per element: reads b and c, writes a.
+    co_await th.mem_read(2 * opts.chunk_bytes, local,
+                         metrics::CpuCategory::kOther);
+    co_await th.mem_write(opts.chunk_bytes, local,
+                          metrics::CpuCategory::kOther);
+    *bytes_moved += 3 * opts.chunk_bytes;
+  }
+}
+
+}  // namespace
+
+StreamReport run_stream_triad(sim::Engine& eng, Host& host,
+                              const StreamOptions& opts) {
+  Process proc(host, "stream",
+               opts.numa_local ? NumaBinding{SchedPolicy::kBindNode,
+                                             MemPolicy::kFirstTouch, kAnyNode}
+                               : NumaBinding::os_default());
+  auto bytes_moved = std::make_unique<std::uint64_t>(0);
+  const sim::SimTime start = eng.now();
+  const sim::SimTime deadline = start + opts.duration;
+
+  for (NodeId n = 0; n < host.node_count(); ++n)
+    for (int t = 0; t < opts.threads_per_node; ++t) {
+      Thread& th = proc.spawn_thread(n);
+      sim::co_spawn(triad_worker(th, opts, deadline, bytes_moved.get()));
+    }
+
+  eng.run_until(deadline);
+  // Let in-flight chunks complete so the byte count is consistent.
+  eng.run();
+
+  StreamReport r;
+  r.bytes_moved = *bytes_moved;
+  const double secs = sim::to_seconds(eng.now() - start);
+  if (secs > 0) r.triad_gBps = static_cast<double>(r.bytes_moved) / secs / 1e9;
+  r.triad_gbps = r.triad_gBps * 8.0;
+  return r;
+}
+
+}  // namespace e2e::numa

@@ -1,0 +1,39 @@
+// STREAM-style memory bandwidth workload (McCalpin Triad).
+//
+// Reproduces the §2.3 measurement: multi-threaded Triad (a[i] = b[i] +
+// s*c[i], i.e. 2 streamed reads + 1 streamed write per element) across all
+// cores. With NUMA-local arrays the two-node hosts of Table 1 sustain
+// ~50 GB/s (400 Gbps); interleaved/remote placement degrades this through
+// the interconnect and the remote-touch penalty.
+#pragma once
+
+#include <cstdint>
+
+#include "numa/host.hpp"
+#include "numa/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace e2e::numa {
+
+struct StreamOptions {
+  int threads_per_node = 8;
+  std::uint64_t chunk_bytes = 1 << 20;  // work quantum per loop iteration
+  sim::SimDuration duration = sim::kSecond;
+  /// true: arrays first-touch local to each thread (the tuned case);
+  /// false: arrays interleaved across nodes (untuned).
+  bool numa_local = true;
+};
+
+struct StreamReport {
+  std::uint64_t bytes_moved = 0;  // total reads+writes
+  double triad_gBps = 0.0;        // decimal GB/s
+  double triad_gbps = 0.0;        // decimal Gbit/s
+};
+
+/// Runs the Triad workload on `host` for `opts.duration`, driving `eng`.
+/// The engine must be otherwise idle; the call consumes simulated time.
+StreamReport run_stream_triad(sim::Engine& eng, Host& host,
+                              const StreamOptions& opts);
+
+}  // namespace e2e::numa

@@ -1,0 +1,138 @@
+#include "numa/thread.hpp"
+
+#include <algorithm>
+
+#include "numa/process.hpp"
+#include "sim/sync.hpp"
+
+namespace e2e::numa {
+
+Thread::Thread(Host& host, Process* proc, SchedPolicy policy, NodeId preferred)
+    : host_(host), proc_(proc), core_(host.pick_core(policy, preferred)) {}
+
+Thread::Thread(Host& host, Process* proc, CoreId pinned)
+    : host_(host), proc_(proc), core_(pinned) {}
+
+double Thread::locality_penalty(const Placement& p) const noexcept {
+  const double remote = p.remote_fraction(node());
+  const double pen = host_.costs().numa_remote_penalty;
+  return 1.0 + remote * (pen - 1.0);
+}
+
+void Thread::account(metrics::CpuCategory cat, sim::SimDuration ns) {
+  host_.core(core_).usage.add(cat, ns);
+  if (proc_) proc_->usage().add(cat, ns);
+}
+
+sim::SimTime Thread::book(double cycles, std::uint64_t read_bytes,
+                          const Placement* src, std::uint64_t write_bytes,
+                          const Placement* dst, metrics::CpuCategory cat,
+                          Coherence dst_coherence) {
+  auto& eng = host_.engine();
+  auto& core = host_.core(core_);
+  sim::SimTime done = eng.now();
+
+  if (cycles > 0.0) {
+    done = std::max(done, core.cycles->charge(cycles));
+    account(cat, core.cycles->service_time(cycles));
+  }
+
+  const NodeId me = node();
+  auto book_traffic = [&](const Placement& p, std::uint64_t bytes,
+                          bool write) {
+    for (const auto& e : p.extents) {
+      const double share = static_cast<double>(bytes) * e.fraction;
+      if (share <= 0.0) continue;
+      const bool remote = e.node != me;
+      const double channel_share =
+          remote ? share * host_.costs().numa_remote_channel_factor : share;
+      done = std::max(done, host_.channel(e.node).charge(channel_share));
+      if (remote) {
+        // Data crosses the socket interconnect: reads pull toward the
+        // thread's node, writes push away from it.
+        auto& qpi = write ? host_.interconnect(me, e.node)
+                          : host_.interconnect(e.node, me);
+        done = std::max(done, qpi.charge(share));
+      }
+    }
+  };
+
+  if (src && read_bytes) book_traffic(*src, read_bytes, /*write=*/false);
+  if (dst && write_bytes) {
+    book_traffic(*dst, write_bytes, /*write=*/true);
+    if (dst_coherence == Coherence::kSharedRemote) {
+      // Write-invalidate: every written line round-trips ownership over the
+      // interconnect. Model as extra interconnect traffic (both directions
+      // relative to the remote extents) — the stall cycles were added by
+      // the caller via the coherence cycle constant.
+      const double factor = host_.costs().coherence_interconnect_bytes_factor;
+      for (const auto& e : dst->extents) {
+        if (e.node == me) continue;
+        const double share =
+            static_cast<double>(write_bytes) * e.fraction * factor;
+        if (share <= 0.0) continue;
+        done = std::max(done, host_.interconnect(e.node, me).charge(share));
+      }
+    }
+  }
+  return done;
+}
+
+sim::Task<> Thread::compute(double cycles, metrics::CpuCategory cat) {
+  const sim::SimTime done =
+      book(cycles, 0, nullptr, 0, nullptr, cat, Coherence::kPrivate);
+  co_await sim::until(host_.engine(), done);
+}
+
+sim::Task<> Thread::copy(std::uint64_t bytes, const Placement& src,
+                         const Placement& dst, metrics::CpuCategory cat,
+                         Coherence dst_coherence, bool src_in_cache) {
+  const auto& cm = host_.costs();
+  const double penalty =
+      src_in_cache ? locality_penalty(dst)
+                   : std::max(locality_penalty(src), locality_penalty(dst));
+  double cycles =
+      static_cast<double>(bytes) * cm.memcpy_cycles_per_byte * penalty;
+  if (dst_coherence == Coherence::kSharedRemote)
+    cycles += static_cast<double>(bytes) * cm.coherence_write_cycles_per_byte *
+              dst.remote_fraction(node());
+  const sim::SimTime done =
+      book(cycles, src_in_cache ? 0 : bytes, &src, bytes, &dst, cat,
+           dst_coherence);
+  co_await sim::until(host_.engine(), done);
+}
+
+sim::Task<> Thread::mem_read(std::uint64_t bytes, const Placement& src,
+                             metrics::CpuCategory cat) {
+  const auto& cm = host_.costs();
+  const double cycles = static_cast<double>(bytes) *
+                        cm.mem_touch_cycles_per_byte * locality_penalty(src);
+  const sim::SimTime done =
+      book(cycles, bytes, &src, 0, nullptr, cat, Coherence::kPrivate);
+  co_await sim::until(host_.engine(), done);
+}
+
+sim::Task<> Thread::mem_write(std::uint64_t bytes, const Placement& dst,
+                              metrics::CpuCategory cat, Coherence coherence) {
+  const auto& cm = host_.costs();
+  double cycles = static_cast<double>(bytes) * cm.mem_touch_cycles_per_byte *
+                  locality_penalty(dst);
+  if (coherence == Coherence::kSharedRemote)
+    cycles += static_cast<double>(bytes) * cm.coherence_write_cycles_per_byte *
+              dst.remote_fraction(node());
+  const sim::SimTime done =
+      book(cycles, 0, nullptr, bytes, &dst, cat, coherence);
+  co_await sim::until(host_.engine(), done);
+}
+
+sim::Task<> Thread::zero_fill(std::uint64_t bytes, const Placement& dst,
+                              metrics::CpuCategory cat) {
+  const auto& cm = host_.costs();
+  const double cycles = static_cast<double>(bytes) *
+                        cm.zero_fill_cycles_per_byte * locality_penalty(dst);
+  const sim::SimTime done =
+      book(cycles, 0, nullptr, bytes, &dst, cat, Coherence::kPrivate);
+  co_await sim::until(host_.engine(), done);
+}
+
+}  // namespace e2e::numa

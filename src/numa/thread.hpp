@@ -1,0 +1,90 @@
+// Simulated thread: the execution context protocol code runs in.
+//
+// A Thread is bound to one core (chosen by its Process's scheduling policy
+// or pinned explicitly) and exposes awaitable operations that charge the
+// host's resources with NUMA-correct costs:
+//
+//   compute()   - pure CPU work
+//   copy()      - memcpy between two placements (CPU + both channels +
+//                 interconnect for remote extents + optional coherence
+//                 penalty on the destination)
+//   mem_read()  - streaming touch/read of data
+//   mem_write() - streaming write, with optional coherence penalty
+//   zero_fill() - /dev/zero-style page clearing
+//
+// All CPU time is tagged with a metrics::CpuCategory and accounted on the
+// core and on the owning Process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "metrics/cpu_usage.hpp"
+#include "numa/host.hpp"
+#include "numa/types.hpp"
+#include "sim/task.hpp"
+
+namespace e2e::numa {
+
+class Process;
+
+class Thread {
+ public:
+  /// Binds to a core chosen by `policy` (see Host::pick_core).
+  Thread(Host& host, Process* proc, SchedPolicy policy, NodeId preferred);
+  /// Pins to an explicit core.
+  Thread(Host& host, Process* proc, CoreId pinned);
+
+  [[nodiscard]] Host& host() noexcept { return host_; }
+  [[nodiscard]] CoreId core_id() const noexcept { return core_; }
+  [[nodiscard]] NodeId node() const noexcept {
+    return host_.core(core_).node;
+  }
+  [[nodiscard]] Process* process() noexcept { return proc_; }
+
+  /// Burns `cycles` of CPU in category `cat`.
+  sim::Task<> compute(double cycles, metrics::CpuCategory cat);
+
+  /// memcpy of `bytes` from `src` to `dst`. `dst_coherence` is
+  /// kSharedRemote when the destination pages are cached by other nodes
+  /// (write-invalidate traffic + stall cycles). `src_in_cache` skips the
+  /// source's memory-channel traffic (data served from LLC — the iperf
+  /// small-buffer cache effect of §2.3).
+  sim::Task<> copy(std::uint64_t bytes, const Placement& src,
+                   const Placement& dst, metrics::CpuCategory cat,
+                   Coherence dst_coherence = Coherence::kPrivate,
+                   bool src_in_cache = false);
+
+  /// Streaming read (touch) of `bytes` from `src`.
+  sim::Task<> mem_read(std::uint64_t bytes, const Placement& src,
+                       metrics::CpuCategory cat);
+
+  /// Streaming write of `bytes` to `dst`.
+  sim::Task<> mem_write(std::uint64_t bytes, const Placement& dst,
+                        metrics::CpuCategory cat,
+                        Coherence coherence = Coherence::kPrivate);
+
+  /// Kernel zero-fill of `bytes` into `dst` (reading /dev/zero).
+  sim::Task<> zero_fill(std::uint64_t bytes, const Placement& dst,
+                        metrics::CpuCategory cat);
+
+ private:
+  friend class Process;
+
+  /// CPU penalty multiplier for touching `p` from this thread's node.
+  [[nodiscard]] double locality_penalty(const Placement& p) const noexcept;
+
+  /// Books CPU cycles and memory traffic; returns overall completion time.
+  sim::SimTime book(double cycles, std::uint64_t read_bytes,
+                    const Placement* src, std::uint64_t write_bytes,
+                    const Placement* dst, metrics::CpuCategory cat,
+                    Coherence dst_coherence);
+
+  void account(metrics::CpuCategory cat, sim::SimDuration ns);
+
+  Host& host_;
+  Process* proc_;
+  CoreId core_;
+};
+
+}  // namespace e2e::numa

@@ -1,0 +1,75 @@
+// Core NUMA vocabulary: node/core ids, scheduling and memory policies,
+// and memory Placement descriptors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace e2e::numa {
+
+using NodeId = int;
+using CoreId = int;
+
+inline constexpr NodeId kAnyNode = -1;
+
+/// Thread scheduling policy.
+///
+/// kOsDefault models the stock Linux scheduler the paper compares against:
+/// threads are placed without regard for NUMA locality (deterministic
+/// round-robin over all cores in the model). kBindNode models `numactl
+/// --cpunodebind`; kPinCore models explicit per-thread pinning.
+enum class SchedPolicy : std::uint8_t { kOsDefault, kBindNode, kPinCore };
+
+/// Memory allocation policy.
+///
+/// kFirstTouch is the Linux default (pages land on the toucher's node).
+/// kBind models `numactl --membind` / tmpfs `mpol=bind`. kInterleave models
+/// `mpol=interleave`, spreading pages round-robin over nodes.
+enum class MemPolicy : std::uint8_t { kFirstTouch, kBind, kInterleave };
+
+/// Cache-coherence situation of a memory write, decided by the owner of the
+/// data (e.g. the tmpfs layer knows whether a file's pages are shared by
+/// threads on other nodes).
+enum class Coherence : std::uint8_t {
+  kPrivate,       // pages only touched from the writing node
+  kSharedRemote,  // pages cached/shared by other nodes: writes invalidate
+};
+
+/// Where a block of memory physically lives, as fractions per NUMA node.
+/// An interleaved 1 MiB buffer on a 2-node host is {{0,0.5},{1,0.5}}.
+struct Placement {
+  struct Extent {
+    NodeId node = 0;
+    double fraction = 1.0;
+  };
+  std::vector<Extent> extents;
+
+  static Placement on(NodeId node) { return Placement{{{node, 1.0}}}; }
+
+  static Placement interleaved(int nodes) {
+    Placement p;
+    p.extents.reserve(static_cast<std::size_t>(nodes));
+    for (NodeId n = 0; n < nodes; ++n)
+      p.extents.push_back({n, 1.0 / nodes});
+    return p;
+  }
+
+  /// Fraction of the memory that is NOT on `node`.
+  [[nodiscard]] double remote_fraction(NodeId node) const noexcept {
+    double f = 0.0;
+    for (const auto& e : extents)
+      if (e.node != node) f += e.fraction;
+    return f;
+  }
+
+  [[nodiscard]] bool valid() const noexcept {
+    double sum = 0.0;
+    for (const auto& e : extents) {
+      if (e.fraction < 0.0) return false;
+      sum += e.fraction;
+    }
+    return !extents.empty() && sum > 0.999 && sum < 1.001;
+  }
+};
+
+}  // namespace e2e::numa

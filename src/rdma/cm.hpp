@@ -1,0 +1,50 @@
+// Connection management conveniences (rdma_cm analogue).
+//
+// Owns the CQs and QPs of one connected pair; establish() performs the
+// CM-style handshake, charging setup CPU on both sides and one RTT on the
+// wire.
+#pragma once
+
+#include <memory>
+
+#include "net/link.hpp"
+#include "rdma/qp.hpp"
+#include "rdma/verbs.hpp"
+
+namespace e2e::rdma {
+
+class ConnectedPair {
+ public:
+  ConnectedPair(Device& dev_a, Device& dev_b, net::Link& link)
+      : a_scq_(dev_a.host().engine()),
+        a_rcq_(dev_a.host().engine()),
+        b_scq_(dev_b.host().engine()),
+        b_rcq_(dev_b.host().engine()),
+        a_(dev_a, a_scq_, a_rcq_),
+        b_(dev_b, b_scq_, b_rcq_),
+        link_(link) {
+    QueuePair::connect(a_, b_, link);
+  }
+
+  /// CM handshake: QP bring-up CPU on both sides plus one round trip.
+  sim::Task<> establish(numa::Thread& th_a, numa::Thread& th_b) {
+    const auto& cm_a = a_.device().host().costs();
+    const auto& cm_b = b_.device().host().costs();
+    co_await th_a.compute(cm_a.rdma_setup_cycles,
+                          metrics::CpuCategory::kUserProto);
+    co_await th_b.compute(cm_b.rdma_setup_cycles,
+                          metrics::CpuCategory::kUserProto);
+    co_await sim::Delay{a_.device().host().engine(), link_.rtt()};
+  }
+
+  [[nodiscard]] QueuePair& a() noexcept { return a_; }
+  [[nodiscard]] QueuePair& b() noexcept { return b_; }
+  [[nodiscard]] net::Link& link() noexcept { return link_; }
+
+ private:
+  CompletionQueue a_scq_, a_rcq_, b_scq_, b_rcq_;
+  QueuePair a_, b_;
+  net::Link& link_;
+};
+
+}  // namespace e2e::rdma

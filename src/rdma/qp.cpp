@@ -1,0 +1,175 @@
+#include "rdma/qp.hpp"
+
+#include <stdexcept>
+
+#include "sim/sync.hpp"
+
+namespace e2e::rdma {
+
+QueuePair::QueuePair(Device& dev, CompletionQueue& send_cq,
+                     CompletionQueue& recv_cq)
+    : dev_(dev),
+      scq_(send_cq),
+      rcq_(recv_cq),
+      send_q_(dev.host().engine()),
+      inbound_(dev.host().engine()),
+      recv_q_(dev.host().engine()) {}
+
+void QueuePair::connect(QueuePair& a, QueuePair& b, net::Link& link) {
+  if (a.connected() || b.connected())
+    throw std::logic_error("queue pair already connected");
+  a.peer_ = &b;
+  b.peer_ = &a;
+  a.link_ = &link;
+  b.link_ = &link;
+  // When the link knows its physical sides, transmit on the direction
+  // matching each endpoint's host; otherwise `a` takes direction 0.
+  a.dir_ = link.bound() ? link.dir_from(&a.device().host()) : 0;
+  b.dir_ = 1 - a.dir_;
+  sim::co_spawn(a.sender_loop());
+  sim::co_spawn(a.receiver_loop());
+  sim::co_spawn(b.sender_loop());
+  sim::co_spawn(b.receiver_loop());
+}
+
+sim::Task<> QueuePair::post_send(numa::Thread& th, const SendWr& wr) {
+  if (!connected()) throw std::logic_error("post_send on unconnected QP");
+  if (wr.local == nullptr && wr.bytes > 0)
+    throw std::invalid_argument("send WR without a local buffer");
+  if (wr.local) ProtectionDomain::require_registered(*wr.local);
+  if ((wr.op == Opcode::kWrite || wr.op == Opcode::kWriteImm ||
+       wr.op == Opcode::kRead) &&
+      wr.remote.buffer == nullptr)
+    throw std::invalid_argument("one-sided WR without a remote key");
+  co_await th.compute(th.host().costs().rdma_post_wr_cycles,
+                      metrics::CpuCategory::kUserProto);
+  send_q_.send(wr);
+}
+
+sim::Task<> QueuePair::post_recv(numa::Thread& th, RecvWr wr) {
+  if (wr.buf == nullptr) throw std::invalid_argument("recv WR without buffer");
+  ProtectionDomain::require_registered(*wr.buf);
+  co_await th.compute(th.host().costs().rdma_post_wr_cycles,
+                      metrics::CpuCategory::kUserProto);
+  recv_q_.send(wr);
+}
+
+void QueuePair::deliver_after_latency(Delivery d) {
+  QueuePair* peer = peer_;
+  dev_.host().engine().schedule_after(link_->latency(),
+                                      [peer, d] { peer->inbound_.send(d); });
+}
+
+sim::Task<> QueuePair::sender_loop() {
+  auto& eng = dev_.host().engine();
+  for (;;) {
+    auto wr = co_await send_q_.recv();
+    if (!wr) co_return;
+
+    if (wr->op == Opcode::kRead) {
+      // Reads proceed concurrently: the responder's read engine streams
+      // each request independently of the send queue.
+      sim::co_spawn(serve_read(*wr));
+      continue;
+    }
+
+    // Transmit path: the DMA engine and the wire pipeline — the WR
+    // completes when both the memory fetch and the serialization finish,
+    // but the next WR's DMA is not held behind this WR's wire time.
+    if (wr->bytes > 0) {
+      const sim::SimTime dma_done =
+          dev_.charge_dma(wr->local->placement, wr->bytes, /*to_wire=*/true);
+      co_await link_->dir(dir_).acquire(
+          link_->wire_bytes(static_cast<double>(wr->bytes), header_per_mtu()));
+      co_await sim::until(eng, dma_done);
+    }
+    // Injected wire faults surface as failed completions; the payload
+    // never reaches the peer (the app-level protocol must retransmit).
+    if (link_->take_failure(dir_)) {
+      scq_.push({wr->op, wr->wr_id, wr->bytes, 0, false, nullptr});
+      continue;
+    }
+    bytes_sent_ += wr->bytes;
+    scq_.push({wr->op, wr->wr_id, wr->bytes, 0, true, nullptr});
+    deliver_after_latency(
+        {wr->op, wr->bytes, wr->remote.buffer, wr->imm,
+         std::move(wr->payload)});
+  }
+}
+
+sim::Task<> QueuePair::receiver_loop() {
+  auto& eng = dev_.host().engine();
+  for (;;) {
+    auto d = co_await inbound_.recv();
+    if (!d) co_return;
+
+    switch (d->op) {
+      case Opcode::kSend: {
+        // Consume a posted receive; wait (receiver-not-ready) when none.
+        auto rwr = co_await recv_q_.recv();
+        if (!rwr) co_return;
+        if (rwr->buf->bytes < d->bytes)
+          throw std::length_error("posted receive smaller than inbound send");
+        const sim::SimTime done =
+            dev_.charge_dma(rwr->buf->placement, d->bytes, /*to_wire=*/false);
+        co_await sim::until(eng, done);
+        bytes_delivered_ += d->bytes;
+        rcq_.push({Opcode::kSend, rwr->wr_id, d->bytes, d->imm, true,
+                   std::move(d->payload)});
+        break;
+      }
+      case Opcode::kWriteImm: {
+        auto rwr = co_await recv_q_.recv();
+        if (!rwr) co_return;
+        const sim::SimTime done =
+            dev_.charge_dma(d->target->placement, d->bytes, /*to_wire=*/false);
+        co_await sim::until(eng, done);
+        bytes_delivered_ += d->bytes;
+        rcq_.push({Opcode::kWriteImm, rwr->wr_id, d->bytes, d->imm, true,
+                   std::move(d->payload)});
+        break;
+      }
+      case Opcode::kWrite: {
+        const sim::SimTime done =
+            dev_.charge_dma(d->target->placement, d->bytes, /*to_wire=*/false);
+        co_await sim::until(eng, done);
+        bytes_delivered_ += d->bytes;
+        break;  // silent at the responder
+      }
+      case Opcode::kRead:
+        throw std::logic_error("read delivered to receiver loop");
+    }
+  }
+}
+
+sim::Task<> QueuePair::serve_read(SendWr wr) {
+  auto& eng = dev_.host().engine();
+  const auto& cm = dev_.host().costs();
+
+  // Read request travels to the responder...
+  co_await link_->dir(dir_).acquire(64.0);
+  co_await sim::Delay{eng, link_->latency()};
+
+  // ...whose NIC fetches the remote region with zero remote CPU and streams
+  // the response. RDMA Read sustains only `rdma_read_efficiency` of the
+  // line rate (request/response turnaround), per the paper's observation.
+  const sim::SimTime fetch_done = peer_->dev_.charge_dma(
+      wr.remote.buffer->placement, wr.bytes, /*to_wire=*/true);
+  co_await link_->dir(1 - dir_).acquire(
+      link_->wire_bytes(static_cast<double>(wr.bytes), header_per_mtu()) /
+      cm.rdma_read_efficiency);
+  co_await sim::until(eng, fetch_done);
+  co_await sim::Delay{eng, link_->latency()};
+
+  if (link_->take_failure(1 - dir_)) {
+    scq_.push({Opcode::kRead, wr.wr_id, wr.bytes, 0, false, nullptr});
+    co_return;
+  }
+  const sim::SimTime land_done =
+      dev_.charge_dma(wr.local->placement, wr.bytes, /*to_wire=*/false);
+  co_await sim::until(eng, land_done);
+  bytes_sent_ += wr.bytes;  // counted at the requester, as verbs does
+  scq_.push({Opcode::kRead, wr.wr_id, wr.bytes, 0, true, nullptr});
+}
+
+}  // namespace e2e::rdma

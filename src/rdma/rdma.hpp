@@ -1,0 +1,7 @@
+// Umbrella header for the RDMA verbs layer.
+#pragma once
+
+#include "rdma/cm.hpp"
+#include "rdma/device.hpp"
+#include "rdma/qp.hpp"
+#include "rdma/verbs.hpp"

@@ -1,0 +1,33 @@
+// RFTP configuration knobs.
+#pragma once
+
+#include <cstdint>
+
+namespace e2e::rftp {
+
+struct RftpConfig {
+  /// Data block size: unit of pipelining, credits and RDMA Writes.
+  std::uint64_t block_bytes = 4ull << 20;
+  /// Parallel data streams (QPs), assigned round-robin over the NIC pairs.
+  int streams = 3;
+  /// Receiver-side registered buffers (= credit tokens) per stream. The
+  /// product streams * credits * block_bytes bounds the data in flight and
+  /// must exceed the bandwidth-delay product to fill a long fat pipe.
+  int credits_per_stream = 16;
+  /// Storage pipeline threads per stream on each side.
+  int fillers_per_stream = 4;
+  int drainers_per_stream = 8;
+  /// NUMA awareness: pin each stream's threads to its NIC's node and
+  /// allocate its buffer pools NIC-locally. Off = stock scheduler +
+  /// first-touch, the paper's untuned baseline.
+  bool numa_aware = true;
+};
+
+struct TransferResult {
+  std::uint64_t bytes = 0;
+  std::uint64_t blocks = 0;
+  double elapsed_s = 0.0;
+  double goodput_gbps = 0.0;
+};
+
+}  // namespace e2e::rftp

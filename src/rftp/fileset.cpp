@@ -1,0 +1,62 @@
+#include "rftp/fileset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace e2e::rftp {
+
+std::vector<FileSet::Piece> FileSet::map(std::uint64_t offset,
+                                         std::uint64_t len) const {
+  std::vector<Piece> out;
+  if (entries_.empty() || offset >= total_) return out;
+  len = std::min(len, total_ - offset);
+
+  // Binary search for the first file containing `offset`.
+  std::size_t lo = 0, hi = entries_.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (entries_[mid].base <= offset)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  for (std::size_t i = lo; i < entries_.size() && len > 0; ++i) {
+    const Entry& e = entries_[i];
+    const std::uint64_t within = offset - e.base;
+    if (within >= e.len) continue;
+    const std::uint64_t take = std::min(len, e.len - within);
+    out.push_back({e.file, within, take});
+    offset += take;
+    len -= take;
+  }
+  return out;
+}
+
+sim::Task<std::uint64_t> FileSetSource::fill(numa::Thread& th,
+                                             mem::Buffer& buf,
+                                             std::uint64_t offset,
+                                             std::uint64_t len) {
+  const auto pieces = set_.map(offset, len);
+  std::uint64_t got = 0;
+  for (const auto& p : pieces) {
+    got += co_await set_.fs().read(th, *p.file, p.file_offset, p.len,
+                                   buf.placement, /*direct=*/true,
+                                   metrics::CpuCategory::kLoad);
+  }
+  co_return got;
+}
+
+sim::Task<> FileSetSink::drain(numa::Thread& th, mem::Buffer& buf,
+                               std::uint64_t offset, std::uint64_t len) {
+  const auto pieces = set_.map(offset, len);
+  std::uint64_t written = 0;
+  for (const auto& p : pieces) {
+    written += co_await set_.fs().write(th, *p.file, p.file_offset, p.len,
+                                        buf.placement, /*direct=*/true,
+                                        metrics::CpuCategory::kOffload);
+  }
+  if (written < len)
+    throw std::length_error("file set too small for the transfer");
+}
+
+}  // namespace e2e::rftp

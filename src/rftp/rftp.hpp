@@ -1,0 +1,7 @@
+// Umbrella header for RFTP, the paper's core contribution.
+#pragma once
+
+#include "rftp/config.hpp"
+#include "rftp/fileset.hpp"
+#include "rftp/session.hpp"
+#include "rftp/source_sink.hpp"

@@ -1,0 +1,360 @@
+#include "rftp/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace e2e::rftp {
+
+namespace {
+constexpr std::uint64_t kTinyBufBytes = 256;
+}
+
+namespace {
+sim::Engine& engine_of(const EndpointConfig& e) {
+  if (e.proc == nullptr)
+    throw std::invalid_argument("RFTP endpoints need processes");
+  return e.proc->host().engine();
+}
+}  // namespace
+
+RftpSession::RftpSession(EndpointConfig sender, EndpointConfig receiver,
+                         std::vector<net::Link*> links, RftpConfig cfg)
+    : sender_(sender),
+      receiver_(receiver),
+      links_(std::move(links)),
+      cfg_(cfg),
+      eng_(engine_of(sender)) {
+  if (receiver_.proc == nullptr)
+    throw std::invalid_argument("RFTP endpoints need processes");
+  if (sender_.nics.empty() || receiver_.nics.empty() || links_.empty())
+    throw std::invalid_argument("RFTP endpoints need NICs and links");
+  if (cfg_.streams < 1 || cfg_.credits_per_stream < 1)
+    throw std::invalid_argument("RFTP needs >=1 stream and credit");
+
+  for (int i = 0; i < cfg_.streams; ++i) {
+    auto s = std::make_unique<Stream>();
+    s->id = i;
+    rdma::Device& snic = *sender_.nics[i % sender_.nics.size()];
+    rdma::Device& rnic = *receiver_.nics[i % receiver_.nics.size()];
+    net::Link& link = *links_[i % links_.size()];
+    s->pair = std::make_unique<rdma::ConnectedPair>(snic, rnic, link);
+
+    const auto pool_policy = cfg_.numa_aware ? numa::MemPolicy::kBind
+                                             : numa::MemPolicy::kInterleave;
+    s->send_pool = std::make_unique<mem::BufferPool>(
+        sender_.proc->host(), "rftp-send-" + std::to_string(i),
+        static_cast<std::size_t>(cfg_.credits_per_stream) +
+            static_cast<std::size_t>(cfg_.fillers_per_stream),
+        cfg_.block_bytes, pool_policy, snic.node());
+    s->recv_pool = std::make_unique<mem::BufferPool>(
+        receiver_.proc->host(), "rftp-recv-" + std::to_string(i),
+        static_cast<std::size_t>(cfg_.credits_per_stream), cfg_.block_bytes,
+        pool_policy, rnic.node());
+
+    s->credits = std::make_unique<sim::Channel<Credit>>(eng_);
+    s->sendq = std::make_unique<sim::Channel<FilledBlock>>(eng_);
+    s->drainq = std::make_unique<sim::Channel<Arrival>>(eng_);
+
+    s->tiny_tx.bytes = kTinyBufBytes;
+    s->tiny_tx.placement =
+        sender_.proc->host().alloc(kTinyBufBytes, pool_policy, snic.node(),
+                                   snic.node());
+    s->tiny_rx.bytes = kTinyBufBytes;
+    s->tiny_rx.placement =
+        receiver_.proc->host().alloc(kTinyBufBytes, pool_policy, rnic.node(),
+                                     rnic.node());
+    streams_.push_back(std::move(s));
+  }
+}
+
+RftpSession::~RftpSession() = default;
+
+numa::Thread& RftpSession::spawn(numa::Process& proc,
+                                 const rdma::Device& nic) {
+  if (cfg_.numa_aware) {
+    // Pin to a core on the NIC's node regardless of the process policy.
+    const numa::CoreId core =
+        proc.host().pick_core(numa::SchedPolicy::kBindNode, nic.node());
+    return proc.spawn_pinned_thread(core);
+  }
+  return proc.spawn_thread();
+}
+
+sim::Task<> RftpSession::setup_stream(Stream& s) {
+  numa::Thread& sth = spawn(*sender_.proc, s.pair->a().device());
+  numa::Thread& rth = spawn(*receiver_.proc, s.pair->b().device());
+
+  co_await s.pair->establish(sth, rth);
+
+  // Register staging memory (ibv_reg_mr cost, amortized over the session).
+  auto charge_registration = [](numa::Thread& th, std::uint64_t bytes) {
+    const double pages = static_cast<double>(bytes) / 4096.0;
+    return th.compute(pages * th.host().costs().rdma_mr_register_cycles_per_page,
+                      metrics::CpuCategory::kUserProto);
+  };
+  co_await charge_registration(
+      sth, s.send_pool->capacity() * s.send_pool->buffer_bytes());
+  co_await charge_registration(
+      rth, s.recv_pool->capacity() * s.recv_pool->buffer_bytes());
+  s.send_pool->mark_registered();
+  s.recv_pool->mark_registered();
+  s.tiny_tx.registered = true;
+  s.tiny_rx.registered = true;
+
+  // Receiver advertises its staging buffers as credit tokens.
+  s.token_buffers.clear();
+  while (mem::Buffer* b = s.recv_pool->try_acquire())
+    s.token_buffers.push_back(b);
+
+  // Pre-post receives: the sender catches GRANT messages, the receiver
+  // catches WRITE-with-immediate arrivals.
+  for (int i = 0; i < cfg_.credits_per_stream + 4; ++i) {
+    co_await s.pair->a().post_recv(sth, rdma::RecvWr{0, &s.tiny_tx});
+    co_await s.pair->b().post_recv(rth, rdma::RecvWr{0, &s.tiny_rx});
+  }
+
+  // Initial credit grants flow as real control messages.
+  for (std::uint32_t t = 0; t < s.token_buffers.size(); ++t) {
+    rdma::SendWr wr;
+    wr.op = rdma::Opcode::kSend;
+    wr.local = &s.tiny_rx;
+    wr.bytes = static_cast<std::uint64_t>(
+        rth.host().costs().rftp_control_msg_bytes);
+    wr.payload = std::make_shared<GrantMsg>(GrantMsg{t});
+    co_await s.pair->b().post_send(rth, wr);
+  }
+}
+
+sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
+                                           std::uint64_t total_bytes,
+                                           metrics::ThroughputMeter* meter) {
+  if (running_) throw std::logic_error("RFTP session already running");
+  running_ = true;
+  total_bytes_ = total_bytes;
+  total_blocks_ = (total_bytes + cfg_.block_bytes - 1) / cfg_.block_bytes;
+  build_block_plan(src);
+  blocks_done_ = 0;
+  done_ = std::make_unique<sim::WaitGroup>(eng_);
+  done_->add(static_cast<std::int64_t>(total_blocks_));
+
+  for (auto& s : streams_) co_await setup_stream(*s);
+  const sim::SimTime t0 = eng_.now();
+
+  for (auto& s : streams_) {
+    rdma::Device& snic = s->pair->a().device();
+    rdma::Device& rnic = s->pair->b().device();
+    s->active_fillers = cfg_.fillers_per_stream;
+    for (int i = 0; i < cfg_.fillers_per_stream; ++i)
+      sim::co_spawn(filler(*s, spawn(*sender_.proc, snic), src));
+    sim::co_spawn(wire_sender(*s, spawn(*sender_.proc, snic)));
+    sim::co_spawn(send_reaper(*s, spawn(*sender_.proc, snic)));
+    sim::co_spawn(grant_receiver(*s, spawn(*sender_.proc, snic)));
+    sim::co_spawn(arrival_handler(*s, spawn(*receiver_.proc, rnic)));
+    for (int i = 0; i < cfg_.drainers_per_stream; ++i)
+      sim::co_spawn(drainer(*s, spawn(*receiver_.proc, rnic), dst, meter));
+  }
+
+  co_await done_->wait();
+
+  TransferResult r;
+  r.bytes = total_bytes_;
+  r.blocks = total_blocks_;
+  r.elapsed_s = sim::to_seconds(eng_.now() - t0);
+  r.goodput_gbps =
+      r.elapsed_s > 0
+          ? static_cast<double>(total_bytes_) * 8.0 / r.elapsed_s / 1e9
+          : 0.0;
+  running_ = false;
+  co_return r;
+}
+
+void RftpSession::build_block_plan(DataSource& src) {
+  const int nodes = sender_.proc->host().node_count();
+  block_queues_.assign(static_cast<std::size_t>(nodes) + 1, {});
+  streams_on_node_.assign(static_cast<std::size_t>(nodes), 0);
+  for (const auto& s : streams_)
+    ++streams_on_node_[static_cast<std::size_t>(s->pair->a().device().node())];
+  for (std::uint64_t idx = 0; idx < total_blocks_; ++idx) {
+    numa::NodeId home = numa::kAnyNode;
+    if (cfg_.numa_aware)
+      home = src.home_node(idx * cfg_.block_bytes, cfg_.block_bytes);
+    const std::size_t bucket = (home >= 0 && home < nodes)
+                                   ? static_cast<std::size_t>(home)
+                                   : static_cast<std::size_t>(nodes);
+    block_queues_[bucket].push_back(idx);
+  }
+}
+
+std::optional<std::uint64_t> RftpSession::claim_block(numa::NodeId node) {
+  // Locality-preferring, load-balancing claim: serve the local queue, but
+  // when another node's backlog has grown well past ours (its links or
+  // storage path are the slower side), help drain it — continuous work
+  // stealing keeps every queue finishing together without giving up
+  // locality for the bulk of the data.
+  auto& own = block_queues_[static_cast<std::size_t>(node)];
+  std::size_t victim = block_queues_.size();
+  std::size_t victim_size = own.size() + 4;
+  for (std::size_t n = 0; n + 1 < block_queues_.size(); ++n) {
+    if (n == static_cast<std::size_t>(node)) continue;
+    if (block_queues_[n].size() > victim_size) {
+      victim = n;
+      victim_size = block_queues_[n].size();
+    }
+  }
+  if (victim < block_queues_.size()) {
+    ++stolen_claims;
+    const std::uint64_t idx = block_queues_[victim].back();
+    block_queues_[victim].pop_back();
+    return idx;
+  }
+  if (!own.empty()) {
+    ++local_claims;
+    const std::uint64_t idx = own.front();
+    own.pop_front();
+    return idx;
+  }
+  auto& shared = block_queues_.back();
+  if (!shared.empty()) {
+    const std::uint64_t idx = shared.front();
+    shared.pop_front();
+    return idx;
+  }
+  // Drain whatever remains anywhere.
+  for (auto& q : block_queues_)
+    if (!q.empty()) {
+      const std::uint64_t idx = q.back();
+      q.pop_back();
+      return idx;
+    }
+  return std::nullopt;
+}
+
+sim::Task<> RftpSession::filler(Stream& s, numa::Thread& th,
+                                DataSource& src) {
+  for (;;) {
+    const auto claimed = claim_block(th.node());
+    if (!claimed) break;
+    const std::uint64_t idx = *claimed;
+    mem::Buffer* buf = co_await s.send_pool->acquire();
+    const std::uint64_t offset = idx * cfg_.block_bytes;
+    const std::uint64_t want =
+        std::min<std::uint64_t>(cfg_.block_bytes, total_bytes_ - offset);
+    const std::uint64_t got = co_await src.fill(th, *buf, offset, want);
+    if (got == 0) {  // premature EOF: surface as a truncated transfer
+      s.send_pool->release(buf);
+      break;
+    }
+    s.sendq->send(FilledBlock{buf, idx, got});
+  }
+  if (--s.active_fillers == 0) s.sendq->close();
+}
+
+sim::Task<> RftpSession::wire_sender(Stream& s, numa::Thread& th) {
+  const auto& cm = th.host().costs();
+  for (;;) {
+    auto blk = co_await s.sendq->recv();
+    if (!blk) co_return;
+    auto credit = co_await s.credits->recv();
+    if (!credit) co_return;
+    co_await th.compute(cm.rftp_block_user_cycles,
+                        metrics::CpuCategory::kUserProto);
+    rdma::SendWr wr;
+    wr.op = rdma::Opcode::kWriteImm;
+    wr.wr_id = s.next_wr++;
+    wr.local = blk->buf;
+    wr.bytes = blk->bytes;
+    wr.remote = rdma::RemoteKey{credit->remote};
+    wr.imm = credit->token;
+    wr.payload = std::make_shared<DataHeader>(
+        DataHeader{credit->token, blk->block_idx, blk->bytes});
+    s.inflight.emplace(wr.wr_id,
+                       Stream::InflightBlock{blk->buf, blk->block_idx,
+                                             blk->bytes, *credit});
+    co_await s.pair->a().post_send(th, wr);
+  }
+}
+
+sim::Task<> RftpSession::send_reaper(Stream& s, numa::Thread& th) {
+  const auto& cm = th.host().costs();
+  for (;;) {
+    auto wc = co_await s.pair->a().send_cq().wait(th);
+    auto it = s.inflight.find(wc.wr_id);
+    if (it == s.inflight.end()) continue;
+    const Stream::InflightBlock blk = it->second;
+    s.inflight.erase(it);
+    if (wc.success) {
+      s.send_pool->release(blk.buf);
+      continue;
+    }
+    // Wire fault: the block never reached the peer and the credit token is
+    // still ours — repost the same block to the same remote buffer.
+    ++retransmissions;
+    co_await th.compute(cm.rftp_block_user_cycles,
+                        metrics::CpuCategory::kUserProto);
+    rdma::SendWr wr;
+    wr.op = rdma::Opcode::kWriteImm;
+    wr.wr_id = s.next_wr++;
+    wr.local = blk.buf;
+    wr.bytes = blk.bytes;
+    wr.remote = rdma::RemoteKey{blk.credit.remote};
+    wr.imm = blk.credit.token;
+    wr.payload = std::make_shared<DataHeader>(
+        DataHeader{blk.credit.token, blk.block_idx, blk.bytes});
+    s.inflight.emplace(wr.wr_id, blk);
+    co_await s.pair->a().post_send(th, wr);
+  }
+}
+
+sim::Task<> RftpSession::grant_receiver(Stream& s, numa::Thread& th) {
+  const auto& cm = th.host().costs();
+  for (;;) {
+    auto wc = co_await s.pair->a().recv_cq().wait(th);
+    const auto* g = wc.as<GrantMsg>();
+    if (g == nullptr) continue;
+    co_await th.compute(cm.rftp_control_msg_cycles,
+                        metrics::CpuCategory::kUserProto);
+    ++control_msgs_;
+    s.credits->send(Credit{g->token, s.token_buffers.at(g->token)});
+    co_await s.pair->a().post_recv(th, rdma::RecvWr{0, &s.tiny_tx});
+  }
+}
+
+sim::Task<> RftpSession::arrival_handler(Stream& s, numa::Thread& th) {
+  const auto& cm = th.host().costs();
+  for (;;) {
+    auto wc = co_await s.pair->b().recv_cq().wait(th);
+    const auto* h = wc.as<DataHeader>();
+    if (h == nullptr) continue;
+    co_await th.compute(cm.rftp_block_user_cycles,
+                        metrics::CpuCategory::kUserProto);
+    s.drainq->send(Arrival{h->token, h->block_idx, h->bytes});
+    co_await s.pair->b().post_recv(th, rdma::RecvWr{0, &s.tiny_rx});
+  }
+}
+
+sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
+                                 metrics::ThroughputMeter* meter) {
+  const auto& cm = th.host().costs();
+  for (;;) {
+    auto a = co_await s.drainq->recv();
+    if (!a) co_return;
+    mem::Buffer* buf = s.token_buffers.at(a->token);
+    co_await dst.drain(th, *buf, a->block_idx * cfg_.block_bytes, a->bytes);
+    if (meter != nullptr) meter->record(a->bytes);
+
+    // Proactive feedback: re-grant the token immediately after draining.
+    co_await th.compute(cm.rftp_control_msg_cycles,
+                        metrics::CpuCategory::kUserProto);
+    rdma::SendWr grant;
+    grant.op = rdma::Opcode::kSend;
+    grant.local = &s.tiny_rx;
+    grant.bytes = static_cast<std::uint64_t>(cm.rftp_control_msg_bytes);
+    grant.payload = std::make_shared<GrantMsg>(GrantMsg{a->token});
+    co_await s.pair->b().post_send(th, grant);
+
+    ++blocks_done_;
+    done_->done();
+  }
+}
+
+}  // namespace e2e::rftp

@@ -1,0 +1,169 @@
+// RFTP: RDMA-based file transfer protocol — the paper's core contribution.
+//
+// One RftpSession owns a transfer between a sender and a receiver host
+// over one or more RDMA links. Per stream (paper §3.2: "pipelining and
+// parallel operations"):
+//
+//   sender                                       receiver
+//   ------                                       --------
+//   filler tasks: claim next block, read         drainer tasks: write landed
+//     from the DataSource into a local             blocks to the DataSink,
+//     staging buffer (direct I/O)                  then return the buffer as
+//   wire task: match a filled block with           a credit GRANT message
+//     a credit token (a registered receiver     arrival task: parse the
+//     buffer), RDMA Write w/ immediate,           block header, queue for
+//     proactive completion handling               draining, repost receives
+//
+// Credits bound the data in flight (streams * credits * block_bytes); the
+// receiver re-grants a token as soon as a buffer drains ("proactive
+// feedbacks and asynchronous control message exchanges" of the paper).
+//
+// NUMA awareness (the paper's tuning): each stream is pinned to the NUMA
+// node of the NIC it uses and its buffer pools are allocated NIC-locally.
+// With numa_aware=false, threads take the stock scheduler's placement and
+// pools are first-touch — the untuned baseline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mem/buffer_pool.hpp"
+#include "metrics/throughput.hpp"
+#include "net/link.hpp"
+#include "numa/process.hpp"
+#include "rdma/cm.hpp"
+#include "rftp/config.hpp"
+#include "rftp/source_sink.hpp"
+#include "sim/channel.hpp"
+#include "sim/sync.hpp"
+
+namespace e2e::rftp {
+
+/// One side's attachment: host, process context, and the NICs to use.
+struct EndpointConfig {
+  numa::Process* proc = nullptr;
+  std::vector<rdma::Device*> nics;
+};
+
+class RftpSession {
+ public:
+  /// `links[i]` connects sender NIC (i % nics) to receiver NIC (i % nics);
+  /// stream i uses links[i % links.size()].
+  RftpSession(EndpointConfig sender, EndpointConfig receiver,
+              std::vector<net::Link*> links, RftpConfig cfg);
+  RftpSession(const RftpSession&) = delete;
+  RftpSession& operator=(const RftpSession&) = delete;
+  ~RftpSession();
+
+  /// Transfers `total_bytes` from `src` to `dst`. Completes when the last
+  /// block has drained at the receiver. `meter` (optional) records bytes
+  /// at drain time.
+  sim::Task<TransferResult> run(DataSource& src, DataSink& dst,
+                                std::uint64_t total_bytes,
+                                metrics::ThroughputMeter* meter = nullptr);
+
+  [[nodiscard]] const RftpConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint64_t blocks_delivered() const noexcept {
+    return blocks_done_;
+  }
+  /// Control messages exchanged (credit grants).
+  [[nodiscard]] std::uint64_t control_messages() const noexcept {
+    return control_msgs_;
+  }
+
+ private:
+  struct Credit {
+    std::uint32_t token = 0;
+    mem::Buffer* remote = nullptr;
+  };
+  struct FilledBlock {
+    mem::Buffer* buf = nullptr;
+    std::uint64_t block_idx = 0;
+    std::uint64_t bytes = 0;
+  };
+  struct DataHeader {
+    std::uint32_t token = 0;
+    std::uint64_t block_idx = 0;
+    std::uint64_t bytes = 0;
+  };
+  struct GrantMsg {
+    std::uint32_t token = 0;
+  };
+  struct Arrival {
+    std::uint32_t token = 0;
+    std::uint64_t block_idx = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  struct Stream {
+    int id = 0;
+    std::unique_ptr<rdma::ConnectedPair> pair;  // a = sender, b = receiver
+    std::unique_ptr<mem::BufferPool> send_pool;
+    std::unique_ptr<mem::BufferPool> recv_pool;
+    std::unique_ptr<sim::Channel<Credit>> credits;      // sender side
+    std::unique_ptr<sim::Channel<FilledBlock>> sendq;   // filler -> wire
+    std::unique_ptr<sim::Channel<Arrival>> drainq;      // arrival -> drainer
+    struct InflightBlock {
+      mem::Buffer* buf = nullptr;
+      std::uint64_t block_idx = 0;
+      std::uint64_t bytes = 0;
+      Credit credit;
+    };
+    std::map<std::uint64_t, InflightBlock> inflight;  // wr_id -> block
+    std::vector<mem::Buffer*> token_buffers;            // receiver side
+    mem::Buffer tiny_tx;   // sender's posted-receive target for grants
+    mem::Buffer tiny_rx;   // receiver's posted-receive target for data imm
+    int active_fillers = 0;
+    std::uint64_t next_wr = 1;
+  };
+
+  // Pipeline tasks (one coroutine per thread).
+  sim::Task<> filler(Stream& s, numa::Thread& th, DataSource& src);
+  sim::Task<> wire_sender(Stream& s, numa::Thread& th);
+  sim::Task<> send_reaper(Stream& s, numa::Thread& th);
+  sim::Task<> grant_receiver(Stream& s, numa::Thread& th);
+  sim::Task<> arrival_handler(Stream& s, numa::Thread& th);
+  sim::Task<> drainer(Stream& s, numa::Thread& th, DataSink& dst,
+                      metrics::ThroughputMeter* meter);
+  sim::Task<> setup_stream(Stream& s);
+
+  numa::Thread& spawn(numa::Process& proc, const rdma::Device& nic);
+
+  EndpointConfig sender_;
+  EndpointConfig receiver_;
+  std::vector<net::Link*> links_;
+  RftpConfig cfg_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  sim::Engine& eng_;
+
+  /// Claims the next block for a filler on `node`: same-node blocks first,
+  /// then unclassified ones, then stealing from other nodes' queues.
+  std::optional<std::uint64_t> claim_block(numa::NodeId node);
+  void build_block_plan(DataSource& src);
+
+  // Transfer state.
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_blocks_ = 0;
+  // block_queues_[node] holds blocks homed on that node; the last entry
+  // holds blocks with no known home.
+  std::vector<std::deque<std::uint64_t>> block_queues_;
+  std::vector<int> streams_on_node_;
+
+ public:
+  std::uint64_t stolen_claims = 0;
+  std::uint64_t local_claims = 0;
+  /// Blocks retransmitted after failed wire completions.
+  std::uint64_t retransmissions = 0;
+
+ private:
+  std::uint64_t blocks_done_ = 0;
+  std::uint64_t control_msgs_ = 0;
+  std::unique_ptr<sim::WaitGroup> done_;
+  bool running_ = false;
+};
+
+}  // namespace e2e::rftp

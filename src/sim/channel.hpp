@@ -1,0 +1,103 @@
+// Message channel between simulation actors.
+//
+// Unbounded MPMC queue with suspending recv(). Receivers wake in FIFO order,
+// scheduled through the engine at the current instant (deterministic).
+// Backpressure, where the modelled protocol needs it, is expressed with
+// explicit credits (sim::Semaphore) as in the real RDMA applications.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace e2e::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& eng) : eng_(eng) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues a value. Never blocks. Returns false (dropping the value) if
+  /// the channel is closed.
+  bool send(T v) {
+    if (closed_) return false;
+    if (!waiters_.empty()) {
+      Waiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->result.emplace(std::move(v));
+      detail::resume_via_engine(eng_, w->handle);
+      return true;
+    }
+    items_.push_back(std::move(v));
+    return true;
+  }
+
+  /// Closes the channel: pending recv() calls (beyond queued items) complete
+  /// with std::nullopt.
+  void close() {
+    closed_ = true;
+    while (!waiters_.empty()) {
+      Waiter* w = waiters_.front();
+      waiters_.pop_front();
+      detail::resume_via_engine(eng_, w->handle);
+    }
+  }
+
+  /// Receives the next value, suspending while the channel is empty.
+  /// Completes with std::nullopt once the channel is closed and drained.
+  auto recv() { return RecvAwaiter{*this}; }
+
+  /// Non-suspending receive.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T> result;
+  };
+
+  struct RecvAwaiter {
+    Channel& ch;
+    Waiter self{};
+
+    bool await_ready() noexcept {
+      return !ch.items_.empty() || ch.closed_;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      self.handle = h;
+      ch.waiters_.push_back(&self);
+    }
+    std::optional<T> await_resume() {
+      if (self.result.has_value()) return std::move(self.result);
+      if (!ch.items_.empty()) {
+        T v = std::move(ch.items_.front());
+        ch.items_.pop_front();
+        return v;
+      }
+      return std::nullopt;  // closed and drained
+    }
+  };
+
+  Engine& eng_;
+  std::deque<T> items_;
+  std::deque<Waiter*> waiters_;
+  bool closed_ = false;
+};
+
+}  // namespace e2e::sim

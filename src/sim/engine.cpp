@@ -1,0 +1,38 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace e2e::sim {
+
+void Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::dispatch_one() {
+  // Move the callback out before popping: fn may schedule new events, and
+  // priority_queue::top() is const (fn is mutable for exactly this move).
+  auto fn = std::move(queue_.top().fn);
+  now_ = queue_.top().t;
+  queue_.pop();
+  ++events_processed_;
+  fn();
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) dispatch_one();
+}
+
+std::uint64_t Engine::run_until(SimTime t) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stopped_ && queue_.top().t <= t) {
+    dispatch_one();
+    ++n;
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace e2e::sim

@@ -1,0 +1,92 @@
+// Discrete-event simulation engine.
+//
+// The Engine owns a time-ordered event heap. Events are arbitrary callbacks;
+// higher layers almost never post callbacks directly — they await the
+// awaitables in awaitables.hpp from coroutine Tasks instead.
+//
+// Determinism: events scheduled for the same instant fire in scheduling
+// order (a monotonically increasing sequence number breaks ties), so a given
+// program produces an identical event trace on every run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace e2e::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute simulated time `t` (>= now()).
+  /// Events in the past are clamped to now().
+  void schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` nanoseconds from now.
+  void schedule_after(SimDuration delay, std::function<void()> fn) {
+    schedule_at(saturating_add(now_, delay), std::move(fn));
+  }
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+
+  /// Runs all events with timestamp <= `t`, then advances the clock to `t`
+  /// (even if the queue drained earlier). Returns the number of events run.
+  std::uint64_t run_until(SimTime t);
+
+  /// Runs events for `d` more nanoseconds of simulated time.
+  std::uint64_t run_for(SimDuration d) {
+    return run_until(saturating_add(now_, d));
+  }
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  /// Total number of events dispatched since construction.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+
+  /// True when no events are pending.
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+  /// Timestamp of the next pending event, or kTimeInfinity when idle.
+  [[nodiscard]] SimTime next_event_time() const noexcept {
+    return queue_.empty() ? kTimeInfinity : queue_.top().t;
+  }
+
+  static SimTime saturating_add(SimTime a, SimDuration b) noexcept {
+    const SimTime s = a + b;
+    return s < a ? kTimeInfinity : s;
+  }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    // std::function is stored out of line so Event moves cheaply in the heap.
+    mutable std::function<void()> fn;
+    bool operator>(const Event& o) const noexcept {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  void dispatch_one();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace e2e::sim

@@ -1,0 +1,45 @@
+// Deterministic random number generation for workloads.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so that runs
+// are reproducible; nothing in the library reads global entropy.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace e2e::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+  }
+
+  /// Bernoulli with probability p.
+  bool chance(double p) { return std::bernoulli_distribution(p)(gen_); }
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_u64(0, n - 1));
+  }
+
+  std::mt19937_64& engine() noexcept { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace e2e::sim

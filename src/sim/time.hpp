@@ -1,0 +1,52 @@
+// Simulated-time primitives.
+//
+// All simulated clocks in the library are 64-bit nanosecond counts starting
+// at 0 when an Engine is constructed. Helpers convert to/from seconds for
+// reporting and rate arithmetic.
+#pragma once
+
+#include <cstdint>
+
+namespace e2e::sim {
+
+/// Simulated time in nanoseconds since engine start.
+using SimTime = std::uint64_t;
+
+/// Simulated duration in nanoseconds.
+using SimDuration = std::uint64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000ULL;
+inline constexpr SimDuration kMillisecond = 1'000'000ULL;
+inline constexpr SimDuration kSecond = 1'000'000'000ULL;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+
+/// Largest representable time; used as "never".
+inline constexpr SimTime kTimeInfinity = ~SimTime{0};
+
+/// Converts a simulated time/duration to (double) seconds.
+constexpr double to_seconds(SimDuration t) noexcept {
+  return static_cast<double>(t) / 1e9;
+}
+
+/// Converts (double) seconds to a simulated duration, saturating at 0.
+constexpr SimDuration from_seconds(double seconds) noexcept {
+  if (seconds <= 0.0) return 0;
+  return static_cast<SimDuration>(seconds * 1e9);
+}
+
+namespace literals {
+constexpr SimDuration operator""_ns(unsigned long long v) { return v; }
+constexpr SimDuration operator""_us(unsigned long long v) {
+  return v * kMicrosecond;
+}
+constexpr SimDuration operator""_ms(unsigned long long v) {
+  return v * kMillisecond;
+}
+constexpr SimDuration operator""_s(unsigned long long v) { return v * kSecond; }
+constexpr SimDuration operator""_min(unsigned long long v) {
+  return v * kMinute;
+}
+}  // namespace literals
+
+}  // namespace e2e::sim

@@ -1,0 +1,180 @@
+#include "tcp/connection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace e2e::tcp {
+
+Connection::Connection(numa::Host& host_a, numa::NodeId node_a,
+                       numa::Host& host_b, numa::NodeId node_b,
+                       net::Link& link, ConnectionOptions opts)
+    : link_(link), opts_(opts) {
+  auto init = [&](Endpoint& ep, numa::Host& h, numa::NodeId n) {
+    ep.host = &h;
+    ep.nic_node = n;
+    ep.skb = numa::Placement::on(n);
+    ep.inbound = std::make_unique<sim::Channel<Message>>(h.engine());
+    if (opts_.flow_controlled) {
+      ep.cubic = std::make_unique<Cubic>(static_cast<double>(link.mtu()),
+                                         opts_.max_window_bytes);
+      // Window bookkeeping lives in the wait loop; the semaphore slot is
+      // repurposed as a wake-up signal holder (see apply_window).
+    }
+  };
+  init(ep_[0], host_a, node_a);
+  init(ep_[1], host_b, node_b);
+}
+
+int Connection::endpoint_of(const numa::Host& host) const {
+  if (ep_[0].host == &host) return 0;
+  if (ep_[1].host == &host) return 1;
+  throw std::invalid_argument("thread's host is not a connection endpoint");
+}
+
+sim::Task<> Connection::connect(numa::Thread& client) {
+  co_await client.compute(client.host().costs().tcp_connect_cycles,
+                          metrics::CpuCategory::kKernelProto);
+  co_await sim::Delay{client.host().engine(), link_.rtt()};
+}
+
+sim::Task<> Connection::apply_window(Endpoint& ep, std::uint64_t bytes) {
+  if (!opts_.flow_controlled) co_return;
+  if (!ep.window)
+    ep.window = std::make_unique<sim::Semaphore>(ep.host->engine(), 0);
+  auto& eng = ep.host->engine();
+
+  // Wait for window space; a chunk larger than the whole window is
+  // admitted alone once the pipe drains (the kernel would segment it).
+  while (ep.in_flight > 0.0 &&
+         ep.in_flight + static_cast<double>(bytes) > ep.cubic->cwnd_bytes())
+    co_await ep.window->acquire();
+  ep.in_flight += static_cast<double>(bytes);
+
+  // Synthetic loss process (deterministic spacing), if configured.
+  if (opts_.loss_rate > 0.0) {
+    ep.loss_accum += static_cast<double>(bytes) * opts_.loss_rate;
+    if (ep.loss_accum >= 1.0) {
+      ep.loss_accum -= 1.0;
+      ep.cubic->on_loss();
+      ep.last_loss_time = eng.now();
+    }
+  }
+
+  // ACK clock: one RTT after the data hits the wire the window re-opens.
+  Endpoint* pep = &ep;
+  const std::uint64_t acked = bytes;
+  eng.schedule_after(link_.rtt(), [pep, acked] {
+    pep->in_flight -= static_cast<double>(acked);
+    if (pep->in_flight < 0) pep->in_flight = 0;
+    const sim::SimTime since =
+        pep->host->engine().now() - pep->last_loss_time;
+    pep->cubic->on_ack(static_cast<double>(acked), since);
+    pep->window->release();
+  });
+}
+
+sim::Task<> Connection::send(numa::Thread& th, const numa::Placement& user_src,
+                             std::uint64_t bytes, bool src_in_cache,
+                             std::shared_ptr<const void> payload) {
+  Endpoint& ep = ep_[endpoint_of(th.host())];
+  Endpoint& peer = ep_[1 - endpoint_of(th.host())];
+  const auto& cm = th.host().costs();
+  const int dir = link_.bound() ? link_.dir_from(ep.host)
+                                : (&ep == &ep_[0] ? 0 : 1);
+
+  // Syscall entry + user->kernel copy into NIC-local socket buffers.
+  co_await th.compute(cm.tcp_syscall_cycles,
+                      metrics::CpuCategory::kKernelProto);
+  co_await th.copy(bytes, user_src, ep.skb, metrics::CpuCategory::kCopy,
+                   numa::Coherence::kPrivate, src_in_cache);
+
+  // Kernel protocol processing (segmentation, checksums, qdisc). Running
+  // the stack on a core remote from the NIC's node costs extra: skb
+  // metadata and descriptor rings live NIC-local.
+  const double pkts = std::ceil(link_.packets(static_cast<double>(bytes)));
+  const double kern_penalty =
+      th.node() == ep.nic_node ? 1.0 : kRemoteStackPenalty;
+  co_await th.compute(pkts * cm.tcp_kernel_cycles_per_packet * kern_penalty,
+                      metrics::CpuCategory::kKernelProto);
+
+  co_await apply_window(ep, bytes);
+
+  // Hand off to the NIC: send() returns once the data sits in the socket
+  // buffer; DMA and wire serialization proceed asynchronously. Block only
+  // while the device backlog exceeds the socket buffer (sndbuf pressure).
+  auto& eng = th.host().engine();
+  auto& wire = link_.dir(dir);
+  const sim::SimDuration sndbuf_time = wire.service_time(kSndbufBytes);
+  while (wire.backlog_delay() > sndbuf_time)
+    co_await sim::Delay{eng, wire.backlog_delay() - sndbuf_time};
+  th.host().charge_dma(ep.skb, bytes, ep.nic_node, /*to_device=*/true);
+  const sim::SimTime tx_done = wire.charge(
+      link_.wire_bytes(static_cast<double>(bytes), kTcpHeaderBytes));
+
+  ep.bytes_sent += bytes;
+  ep.last_tx_done = tx_done;
+  sim::Channel<Message>* dst = peer.inbound.get();
+  eng.schedule_at(
+      sim::Engine::saturating_add(tx_done, link_.latency()),
+      [dst, bytes, payload = std::move(payload)]() mutable {
+        dst->send(Message{bytes, std::move(payload)});
+      });
+}
+
+sim::Task<std::uint64_t> Connection::recv(numa::Thread& th,
+                                          const numa::Placement& user_dst) {
+  const Message m = co_await recv_msg(th, user_dst);
+  co_return m.bytes;
+}
+
+sim::Task<Connection::Message> Connection::recv_msg(
+    numa::Thread& th, const numa::Placement& user_dst) {
+  Message m = co_await recv_raw(th);
+  if (m.bytes > 0) co_await copy_from_kernel(th, m.bytes, user_dst);
+  co_return m;
+}
+
+sim::Task<Connection::Message> Connection::recv_raw(numa::Thread& th) {
+  Endpoint& ep = ep_[endpoint_of(th.host())];
+  const auto& cm = th.host().costs();
+
+  auto chunk = co_await ep.inbound->recv();
+  if (!chunk) co_return Message{};  // connection closed
+  const std::uint64_t bytes = chunk->bytes;
+
+  // NIC DMA into socket buffers happened on arrival; charge it now along
+  // with softirq protocol processing.
+  const sim::SimTime dma_done =
+      th.host().charge_dma(ep.skb, bytes, ep.nic_node, /*to_device=*/false);
+  co_await sim::until(th.host().engine(), dma_done);
+  const double pkts = std::ceil(link_.packets(static_cast<double>(bytes)));
+  const double kern_penalty =
+      th.node() == ep.nic_node ? 1.0 : kRemoteStackPenalty;
+  co_await th.compute(cm.tcp_syscall_cycles +
+                          pkts * cm.tcp_kernel_cycles_per_packet *
+                              kern_penalty,
+                      metrics::CpuCategory::kKernelProto);
+  ep.bytes_received += bytes;
+  co_return Message{bytes, std::move(chunk->payload)};
+}
+
+sim::Task<> Connection::copy_from_kernel(numa::Thread& th,
+                                         std::uint64_t bytes,
+                                         const numa::Placement& user_dst) {
+  Endpoint& ep = ep_[endpoint_of(th.host())];
+  co_await th.copy(bytes, ep.skb, user_dst, metrics::CpuCategory::kCopy);
+}
+
+void Connection::shutdown(numa::Thread& th) {
+  Endpoint& ep = ep_[endpoint_of(th.host())];
+  Endpoint& peer = ep_[1 - endpoint_of(th.host())];
+  sim::Channel<Message>* dst = peer.inbound.get();
+  auto& eng = th.host().engine();
+  // The FIN queues behind any data still leaving the socket buffer.
+  const sim::SimTime after =
+      ep.last_tx_done > eng.now() ? ep.last_tx_done : eng.now();
+  eng.schedule_at(sim::Engine::saturating_add(after, link_.latency()),
+                  [dst] { dst->close(); });
+}
+
+}  // namespace e2e::tcp

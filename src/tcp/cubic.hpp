@@ -1,0 +1,69 @@
+// CUBIC congestion-window model (Table 1: all hosts run cubic).
+//
+// Window-evolution model, not a packet-level simulator: the window grows
+// along the cubic curve between loss events and collapses multiplicatively
+// on loss. The paper's WAN evaluation is RDMA-only; this model exists so
+// the TCP baseline behaves plausibly on high-BDP paths in our extension
+// experiments and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace e2e::tcp {
+
+class Cubic {
+ public:
+  Cubic(double mss_bytes, double max_window_bytes)
+      : mss_(mss_bytes),
+        max_window_(max_window_bytes),
+        cwnd_(10.0 * mss_bytes),  // RFC 6928 initial window
+        ssthresh_(max_window_bytes) {}
+
+  /// Bytes allowed in flight right now.
+  [[nodiscard]] double cwnd_bytes() const noexcept {
+    return std::min(cwnd_, max_window_);
+  }
+
+  /// Called when `bytes` are cumulatively acknowledged.
+  void on_ack(double bytes, sim::SimDuration since_last_loss) {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ = std::min(cwnd_ + bytes, max_window_);  // slow start
+      return;
+    }
+    // W(t) = C*(t-K)^3 + Wmax, K = cbrt(Wmax*beta/C); t in seconds.
+    const double t = sim::to_seconds(since_last_loss);
+    const double wmax_seg = w_max_ / mss_;
+    const double k = std::cbrt(wmax_seg * kBeta / kC);
+    const double target_seg = kC * std::pow(t - k, 3.0) + wmax_seg;
+    const double target = std::max(target_seg * mss_, cwnd_ + bytes * 0.05);
+    cwnd_ = std::min(std::max(cwnd_, std::min(target, cwnd_ * 1.5)),
+                     max_window_);
+  }
+
+  /// Called on a loss event (triple-dupack analogue).
+  void on_loss() {
+    w_max_ = cwnd_;
+    cwnd_ = std::max(cwnd_ * (1.0 - kBeta), 2.0 * mss_);
+    ssthresh_ = cwnd_;
+  }
+
+  [[nodiscard]] bool in_slow_start() const noexcept {
+    return cwnd_ < ssthresh_;
+  }
+
+ private:
+  static constexpr double kC = 0.4;     // cubic scaling constant
+  static constexpr double kBeta = 0.3;  // multiplicative decrease
+
+  double mss_;
+  double max_window_;
+  double cwnd_;
+  double ssthresh_;
+  double w_max_ = 0.0;
+};
+
+}  // namespace e2e::tcp

@@ -1,0 +1,5 @@
+// Umbrella header for the TCP stack model.
+#pragma once
+
+#include "tcp/connection.hpp"
+#include "tcp/cubic.hpp"

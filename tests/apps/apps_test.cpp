@@ -1,0 +1,199 @@
+#include "apps/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/exp.hpp"
+#include "testutil.hpp"
+
+namespace e2e::apps {
+namespace {
+
+TEST(Iperf, UnidirectionalStaysUnderLineRate) {
+  exp::FrontEndPair pair;
+  IperfConfig cfg;
+  cfg.duration = sim::kSecond / 2;
+  cfg.streams_per_link = 2;
+  auto r = run_iperf(pair.eng, *pair.a, *pair.b, pair.iperf_links(), cfg);
+  EXPECT_GT(r.forward_gbps, 10.0);
+  EXPECT_LE(r.forward_gbps, 120.0);
+  EXPECT_EQ(r.reverse_gbps, 0.0);
+}
+
+TEST(Iperf, BidirectionalAddsReverseTraffic) {
+  exp::FrontEndPair pair;
+  IperfConfig cfg;
+  cfg.duration = sim::kSecond / 2;
+  cfg.bidirectional = true;
+  auto r = run_iperf(pair.eng, *pair.a, *pair.b, pair.iperf_links(), cfg);
+  EXPECT_GT(r.reverse_gbps, 0.0);
+  EXPECT_NEAR(r.forward_gbps, r.reverse_gbps, r.forward_gbps * 0.2);
+}
+
+TEST(Iperf, NumaTuningImprovesThroughput) {
+  exp::FrontEndPair p1, p2;
+  IperfConfig cfg;
+  cfg.bidirectional = true;
+  cfg.sender_buffer_bytes = 256ull << 20;
+  cfg.duration = sim::kSecond;
+  cfg.numa_tuned = false;
+  const auto def = run_iperf(p1.eng, *p1.a, *p1.b, p1.iperf_links(), cfg);
+  cfg.numa_tuned = true;
+  const auto tuned = run_iperf(p2.eng, *p2.a, *p2.b, p2.iperf_links(), cfg);
+  EXPECT_GT(tuned.aggregate_gbps, def.aggregate_gbps * 1.02);
+}
+
+TEST(Iperf, SmallBufferCacheEffectReducesMemoryTraffic) {
+  exp::FrontEndPair p1, p2;
+  IperfConfig cfg;
+  cfg.duration = sim::kSecond / 2;
+  cfg.sender_buffer_bytes = 1 << 20;  // fits LLC
+  run_iperf(p1.eng, *p1.a, *p1.b, p1.iperf_links(), cfg);
+  const double cached_traffic =
+      p1.a->channel(0).units_served() + p1.a->channel(1).units_served();
+  cfg.sender_buffer_bytes = 256ull << 20;  // defeats LLC
+  run_iperf(p2.eng, *p2.a, *p2.b, p2.iperf_links(), cfg);
+  const double uncached_traffic =
+      p2.a->channel(0).units_served() + p2.a->channel(1).units_served();
+  EXPECT_LT(cached_traffic, uncached_traffic);
+}
+
+TEST(Iperf, CpuUsageIsReported) {
+  exp::FrontEndPair pair;
+  IperfConfig cfg;
+  cfg.duration = sim::kSecond / 2;
+  auto r = run_iperf(pair.eng, *pair.a, *pair.b, pair.iperf_links(), cfg);
+  using metrics::CpuCategory;
+  EXPECT_GT(r.usage_a.get(CpuCategory::kKernelProto), 0u);
+  EXPECT_GT(r.usage_a.get(CpuCategory::kCopy), 0u);
+  EXPECT_GT(r.usage_b.get(CpuCategory::kKernelProto), 0u);
+}
+
+TEST(Fio, WorkerCountsBytesAndIos) {
+  e2e::test::TinyRig rig;
+  mem::Tmpfs fs(*rig.a);
+  auto& backing = fs.create("d", 16 << 20, numa::MemPolicy::kBind, 0);
+  blk::RamBlockDevice dev(fs, backing);
+  FioOptions opts;
+  opts.block_bytes = 1 << 20;
+  opts.duration = sim::kSecond / 10;
+  auto counters = std::make_unique<FioCounters>();
+  numa::Thread& th = rig.proc_a->spawn_thread();
+  sim::co_spawn(fio_worker(th, dev, opts, 0, 16 << 20,
+                           numa::Placement::on(0), counters.get()));
+  rig.eng.run();
+  EXPECT_GT(counters->ios, 0u);
+  EXPECT_EQ(counters->bytes, counters->ios * opts.block_bytes);
+}
+
+TEST(Fio, RejectsRegionSmallerThanBlock) {
+  e2e::test::TinyRig rig;
+  mem::Tmpfs fs(*rig.a);
+  auto& backing = fs.create("d", 16 << 20, numa::MemPolicy::kBind, 0);
+  blk::RamBlockDevice dev(fs, backing);
+  FioOptions opts;
+  opts.block_bytes = 1 << 20;
+  auto counters = std::make_unique<FioCounters>();
+  numa::Thread& th = rig.proc_a->spawn_thread();
+  EXPECT_THROW(exp::run_task(rig.eng,
+                             fio_worker(th, dev, opts, 0, 1024,
+                                        numa::Placement::on(0),
+                                        counters.get())),
+               std::invalid_argument);
+}
+
+TEST(Fio, WritesGoToOffloadCategory) {
+  e2e::test::TinyRig rig;
+  mem::Tmpfs fs(*rig.a);
+  auto& backing = fs.create("d", 16 << 20, numa::MemPolicy::kBind, 0);
+  blk::RamBlockDevice dev(fs, backing);
+  FioOptions opts;
+  opts.block_bytes = 1 << 20;
+  opts.write = true;
+  opts.duration = sim::kSecond / 20;
+  auto counters = std::make_unique<FioCounters>();
+  numa::Thread& th = rig.proc_a->spawn_thread();
+  sim::co_spawn(fio_worker(th, dev, opts, 0, 16 << 20,
+                           numa::Placement::on(0), counters.get()));
+  rig.eng.run();
+  EXPECT_GT(rig.proc_a->usage().get(metrics::CpuCategory::kOffload), 0u);
+  // Counters exclude the I/O straddling the deadline; the device does not.
+  EXPECT_GE(backing.bytes_written, counters->bytes);
+  EXPECT_LE(backing.bytes_written, counters->bytes + opts.block_bytes);
+}
+
+struct GridFtpRig : ::testing::Test {
+  e2e::test::TinyRig rig;
+  mem::Tmpfs src_store{*rig.a};
+  mem::Tmpfs dst_store{*rig.b};
+  std::unique_ptr<blk::RamBlockDevice> src_dev;
+  std::unique_ptr<blk::RamBlockDevice> dst_dev;
+  std::unique_ptr<blk::XfsSim> src_fs;
+  std::unique_ptr<blk::XfsSim> dst_fs;
+  blk::File* src_file = nullptr;
+  blk::File* dst_file = nullptr;
+
+  void SetUp() override {
+    auto& sb = src_store.create("s", 64 << 20, numa::MemPolicy::kBind, 0);
+    auto& db = dst_store.create("d", 64 << 20, numa::MemPolicy::kBind, 0);
+    src_dev = std::make_unique<blk::RamBlockDevice>(src_store, sb);
+    dst_dev = std::make_unique<blk::RamBlockDevice>(dst_store, db);
+    src_fs = std::make_unique<blk::XfsSim>(*rig.a, *src_dev, nullptr,
+                                           std::vector<numa::Thread*>{});
+    dst_fs = std::make_unique<blk::XfsSim>(*rig.b, *dst_dev, nullptr,
+                                           std::vector<numa::Thread*>{});
+    src_file = &src_fs->create("data", 32 << 20);
+    src_file->size = src_file->allocated = 32 << 20;
+    dst_file = &dst_fs->create("copy", 32 << 20);
+  }
+
+  rftp::TransferResult transfer(GridFtpConfig cfg,
+                                metrics::ThroughputMeter* meter = nullptr) {
+    cfg.direct_io = true;  // no page cache attached in this small rig
+    std::vector<GridFtpLink> links{{rig.link.get(), 0, 0}};
+    return exp::run_task(
+        rig.eng,
+        gridftp_transfer({rig.a.get(), src_fs.get(), src_file},
+                         {rig.b.get(), dst_fs.get(), dst_file}, links,
+                         32 << 20, cfg, meter));
+  }
+};
+
+TEST_F(GridFtpRig, TransfersAllBytes) {
+  metrics::ThroughputMeter meter(rig.eng, sim::kMillisecond);
+  const auto r = transfer(GridFtpConfig{}, &meter);
+  EXPECT_EQ(r.bytes, 32u << 20);
+  EXPECT_EQ(meter.total_bytes(), 32u << 20);
+  EXPECT_EQ(dst_file->size, 32u << 20);
+}
+
+TEST_F(GridFtpRig, SingleProcessIsSlowerThanFour) {
+  GridFtpConfig one;
+  one.processes = 1;
+  const auto r1 = transfer(one);
+
+  // Fresh destination for the second run.
+  dst_file = &dst_fs->create("copy2", 32 << 20);
+  GridFtpConfig four;
+  four.processes = 4;
+  const auto r4 = transfer(four);
+  EXPECT_GT(r4.goodput_gbps, r1.goodput_gbps * 1.5);
+}
+
+TEST_F(GridFtpRig, StaysWellUnderRftpEfficiency) {
+  // The single-threaded read->send alternation leaves the wire idle.
+  GridFtpConfig cfg;
+  cfg.processes = 1;
+  const auto r = transfer(cfg);
+  EXPECT_LT(r.goodput_gbps, 0.8 * rig.link->rate_gbps());
+}
+
+TEST_F(GridFtpRig, UsesKernelHeavyCpuProfile) {
+  transfer(GridFtpConfig{});
+  using metrics::CpuCategory;
+  const auto a_usage = rig.a->total_usage();
+  EXPECT_GT(a_usage.get(CpuCategory::kKernelProto),
+            a_usage.get(CpuCategory::kUserProto));
+}
+
+}  // namespace
+}  // namespace e2e::apps

@@ -1,0 +1,73 @@
+#include "apps/perftest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "testutil.hpp"
+
+namespace e2e::apps {
+namespace {
+
+using e2e::test::TinyRig;
+
+struct PerftestRig : ::testing::Test {
+  TinyRig rig;
+  std::unique_ptr<rdma::ConnectedPair> pair;
+
+  void SetUp() override {
+    pair = std::make_unique<rdma::ConnectedPair>(*rig.dev_a, *rig.dev_b,
+                                                 *rig.link);
+  }
+
+  PerftestResult bw(PerftestOp op, std::uint64_t bytes, int iters = 500) {
+    PerftestConfig cfg;
+    cfg.op = op;
+    cfg.msg_bytes = bytes;
+    cfg.iterations = iters;
+    return run_bw(rig.eng, *pair, *rig.proc_a, *rig.proc_b, cfg);
+  }
+};
+
+TEST_F(PerftestRig, LargeWritesReachLineRate) {
+  const auto r = bw(PerftestOp::kWrite, 4 << 20, 200);
+  EXPECT_GT(r.gbps, 38.0);
+  EXPECT_LE(r.gbps, 40.0);
+}
+
+TEST_F(PerftestRig, LargeSendsReachLineRate) {
+  const auto r = bw(PerftestOp::kSend, 1 << 20, 500);
+  EXPECT_GT(r.gbps, 37.0);
+}
+
+TEST_F(PerftestRig, ReadsTrailWritesByEfficiencyFactor) {
+  const auto w = bw(PerftestOp::kWrite, 4 << 20, 200);
+  const auto r = bw(PerftestOp::kRead, 4 << 20, 200);
+  const double eff = rig.a->costs().rdma_read_efficiency;
+  EXPECT_NEAR(r.gbps / w.gbps, eff, 0.05);
+}
+
+TEST_F(PerftestRig, SmallMessagesAreRateNotBandwidthBound) {
+  const auto r = bw(PerftestOp::kWrite, 4096, 2000);
+  EXPECT_LT(r.gbps, 38.0);
+  EXPECT_GT(r.msgs_per_sec, 1e5);
+}
+
+TEST_F(PerftestRig, PingPongLatencyTracksWireRtt) {
+  PerftestConfig cfg;
+  cfg.msg_bytes = 64;
+  cfg.iterations = 100;
+  const auto r = run_lat(rig.eng, *pair, *rig.proc_a, *rig.proc_b, cfg);
+  const double half_rtt_us = sim::to_seconds(rig.link->latency()) * 1e6;
+  EXPECT_GT(r.avg_lat_us, half_rtt_us);          // cannot beat the wire
+  EXPECT_LT(r.avg_lat_us, half_rtt_us + 30.0);   // small software overhead
+}
+
+TEST_F(PerftestRig, MessageRateScalesDownWithSize) {
+  const auto small = bw(PerftestOp::kWrite, 4096, 1000);
+  const auto big = bw(PerftestOp::kWrite, 1 << 20, 200);
+  EXPECT_GT(small.msgs_per_sec, big.msgs_per_sec);
+}
+
+}  // namespace
+}  // namespace e2e::apps

@@ -1,0 +1,172 @@
+#include "blk/block_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+#include "numa/process.hpp"
+#include "testutil.hpp"
+
+namespace e2e::blk {
+namespace {
+
+using metrics::CpuCategory;
+
+struct RamDevRig : ::testing::Test {
+  sim::Engine eng;
+  numa::Host host{eng, e2e::test::tiny_host("h")};
+  mem::Tmpfs fs{host};
+  numa::Process proc{host, "p", numa::NumaBinding::bound(0)};
+};
+
+TEST_F(RamDevRig, CapacityAndIo) {
+  auto& f = fs.create("d", 1 << 20, numa::MemPolicy::kBind, 0);
+  RamBlockDevice dev(fs, f);
+  EXPECT_EQ(dev.capacity_bytes(), 1u << 20);
+  numa::Thread& th = proc.spawn_thread();
+  EXPECT_TRUE(exp::run_task(
+      eng, dev.read(th, 0, 4096, numa::Placement::on(0), CpuCategory::kLoad)));
+  EXPECT_TRUE(exp::run_task(eng, dev.write(th, 4096, 4096,
+                                           numa::Placement::on(0),
+                                           CpuCategory::kOffload)));
+  EXPECT_EQ(f.bytes_read, 4096u);
+  EXPECT_EQ(f.bytes_written, 4096u);
+}
+
+TEST_F(RamDevRig, UnalignedIoThrows) {
+  auto& f = fs.create("d", 1 << 20, numa::MemPolicy::kBind, 0);
+  RamBlockDevice dev(fs, f);
+  numa::Thread& th = proc.spawn_thread();
+  EXPECT_THROW(exp::run_task(eng, dev.read(th, 100, 512,
+                                           numa::Placement::on(0),
+                                           CpuCategory::kLoad)),
+               std::invalid_argument);
+  EXPECT_THROW(exp::run_task(eng, dev.write(th, 0, 100,
+                                            numa::Placement::on(0),
+                                            CpuCategory::kOffload)),
+               std::invalid_argument);
+}
+
+struct FakeDevice final : BlockDevice {
+  std::uint64_t cap;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> reads;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> writes;
+  sim::Engine& eng;
+  sim::SimDuration latency;
+
+  FakeDevice(sim::Engine& e, std::uint64_t c, sim::SimDuration lat = 0)
+      : cap(c), eng(e), latency(lat) {}
+
+  std::uint64_t capacity_bytes() const override { return cap; }
+
+  sim::Task<bool> read(numa::Thread&, std::uint64_t off, std::uint64_t len,
+                       const numa::Placement&, metrics::CpuCategory) override {
+    check_aligned(off, len);
+    reads.emplace_back(off, len);
+    if (latency) co_await sim::Delay{eng, latency};
+    co_return true;
+  }
+  sim::Task<bool> write(numa::Thread&, std::uint64_t off, std::uint64_t len,
+                        const numa::Placement&,
+                        metrics::CpuCategory) override {
+    check_aligned(off, len);
+    writes.emplace_back(off, len);
+    if (latency) co_await sim::Delay{eng, latency};
+    co_return true;
+  }
+};
+
+struct StripeRig : RamDevRig {};
+
+TEST_F(StripeRig, SplitsAcrossMembersOnStripeBoundaries) {
+  FakeDevice d0(eng, 1 << 30), d1(eng, 1 << 30), d2(eng, 1 << 30);
+  StripedBlockDevice dev({&d0, &d1, &d2}, 4096);
+  numa::Thread& th = proc.spawn_thread();
+  // 12 KiB starting at 0: one 4 KiB chunk to each member.
+  EXPECT_TRUE(exp::run_task(eng, dev.read(th, 0, 3 * 4096,
+                                          numa::Placement::on(0),
+                                          CpuCategory::kLoad)));
+  EXPECT_EQ(d0.reads.size(), 1u);
+  EXPECT_EQ(d1.reads.size(), 1u);
+  EXPECT_EQ(d2.reads.size(), 1u);
+  EXPECT_EQ(d0.reads[0], (std::pair<std::uint64_t, std::uint64_t>(0, 4096)));
+  EXPECT_EQ(d1.reads[0], (std::pair<std::uint64_t, std::uint64_t>(0, 4096)));
+}
+
+TEST_F(StripeRig, RotationWrapsToSecondRow) {
+  FakeDevice d0(eng, 1 << 30), d1(eng, 1 << 30);
+  StripedBlockDevice dev({&d0, &d1}, 4096);
+  numa::Thread& th = proc.spawn_thread();
+  // Stripe 2 maps back to member 0, device offset 4096.
+  EXPECT_TRUE(exp::run_task(eng, dev.write(th, 2 * 4096, 4096,
+                                           numa::Placement::on(0),
+                                           CpuCategory::kOffload)));
+  ASSERT_EQ(d0.writes.size(), 1u);
+  EXPECT_EQ(d0.writes[0],
+            (std::pair<std::uint64_t, std::uint64_t>(4096, 4096)));
+}
+
+TEST_F(StripeRig, PartialAndStraddlingRequests) {
+  FakeDevice d0(eng, 1 << 30), d1(eng, 1 << 30);
+  StripedBlockDevice dev({&d0, &d1}, 4096);
+  numa::Thread& th = proc.spawn_thread();
+  // 2 KiB at offset 3 KiB straddles the stripe boundary: 1 KiB on each.
+  EXPECT_TRUE(exp::run_task(eng, dev.read(th, 3 * 1024, 2 * 1024,
+                                          numa::Placement::on(0),
+                                          CpuCategory::kLoad)));
+  ASSERT_EQ(d0.reads.size(), 1u);
+  ASSERT_EQ(d1.reads.size(), 1u);
+  EXPECT_EQ(d0.reads[0].second + d1.reads[0].second, 2u * 1024);
+}
+
+TEST_F(StripeRig, SubRequestsProceedInParallel) {
+  FakeDevice d0(eng, 1 << 30, sim::kMillisecond);
+  FakeDevice d1(eng, 1 << 30, sim::kMillisecond);
+  StripedBlockDevice dev({&d0, &d1}, 4096);
+  numa::Thread& th = proc.spawn_thread();
+  const auto t0 = eng.now();
+  EXPECT_TRUE(exp::run_task(eng, dev.read(th, 0, 2 * 4096,
+                                          numa::Placement::on(0),
+                                          CpuCategory::kLoad)));
+  // Two members hit concurrently: total time is one device latency.
+  EXPECT_EQ(eng.now() - t0, sim::kMillisecond);
+}
+
+TEST_F(StripeRig, CapacityIsSumOfMembers) {
+  FakeDevice d0(eng, 1 << 20), d1(eng, 1 << 20);
+  StripedBlockDevice dev({&d0, &d1}, 4096);
+  EXPECT_EQ(dev.capacity_bytes(), 2u << 20);
+  EXPECT_EQ(dev.member_count(), 2u);
+  EXPECT_EQ(dev.stripe_bytes(), 4096u);
+}
+
+TEST_F(StripeRig, RejectsBadConfig) {
+  EXPECT_THROW(StripedBlockDevice({}, 4096), std::invalid_argument);
+  FakeDevice d0(eng, 1 << 20);
+  EXPECT_THROW(StripedBlockDevice({&d0}, 100), std::invalid_argument);
+}
+
+TEST_F(StripeRig, FailureOfOneMemberFailsRequest) {
+  struct FailingDevice final : BlockDevice {
+    std::uint64_t capacity_bytes() const override { return 1 << 30; }
+    sim::Task<bool> read(numa::Thread&, std::uint64_t, std::uint64_t,
+                         const numa::Placement&,
+                         metrics::CpuCategory) override {
+      co_return false;
+    }
+    sim::Task<bool> write(numa::Thread&, std::uint64_t, std::uint64_t,
+                          const numa::Placement&,
+                          metrics::CpuCategory) override {
+      co_return false;
+    }
+  };
+  FakeDevice ok(eng, 1 << 30);
+  FailingDevice bad;
+  StripedBlockDevice dev({&ok, &bad}, 4096);
+  numa::Thread& th = proc.spawn_thread();
+  EXPECT_FALSE(exp::run_task(eng, dev.read(th, 0, 4 * 4096,
+                                           numa::Placement::on(0),
+                                           CpuCategory::kLoad)));
+}
+
+}  // namespace
+}  // namespace e2e::blk

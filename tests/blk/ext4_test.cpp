@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blk/filesystem.hpp"
+#include "exp/runner.hpp"
+#include "numa/process.hpp"
+#include "testutil.hpp"
+
+namespace e2e::blk {
+namespace {
+
+using metrics::CpuCategory;
+
+struct Ext4Rig : ::testing::Test {
+  sim::Engine eng;
+  numa::Host host{eng, e2e::test::tiny_host("h")};
+  mem::Tmpfs tmpfs{host};
+  mem::TmpFile* backing = nullptr;
+  std::unique_ptr<RamBlockDevice> dev;
+  numa::Process app{host, "app", numa::NumaBinding::bound(0)};
+
+  void SetUp() override {
+    backing = &tmpfs.create("disk", 64 << 20, numa::MemPolicy::kBind, 0);
+    dev = std::make_unique<RamBlockDevice>(tmpfs, *backing);
+  }
+};
+
+TEST_F(Ext4Rig, BasicReadWriteRoundTrip) {
+  Ext4Sim fs(host, *dev, nullptr, {});
+  File& f = fs.create("a", 4 << 20);
+  numa::Thread& th = app.spawn_thread();
+  EXPECT_EQ(exp::run_task(eng, fs.write(th, f, 0, 1 << 20,
+                                        numa::Placement::on(0), true,
+                                        CpuCategory::kOffload)),
+            1u << 20);
+  EXPECT_EQ(exp::run_task(eng, fs.read(th, f, 0, 1 << 20,
+                                       numa::Placement::on(0), true,
+                                       CpuCategory::kLoad)),
+            1u << 20);
+}
+
+TEST_F(Ext4Rig, JournalCommitsCostMoreThanXfsAllocation) {
+  Ext4Sim ext4(host, *dev, nullptr, {}, /*extent=*/1 << 20);
+  mem::TmpFile& b2 = tmpfs.create("disk2", 64 << 20, numa::MemPolicy::kBind, 0);
+  RamBlockDevice dev2(tmpfs, b2);
+  XfsSim xfs(host, dev2, nullptr, {}, 8, /*extent=*/1 << 20);
+  numa::Thread& th = app.spawn_thread();
+
+  File& fe = ext4.create("e", 8 << 20);
+  const auto t0 = eng.now();
+  exp::run_task(eng, ext4.write(th, fe, 0, 8 << 20, numa::Placement::on(0),
+                                true, CpuCategory::kOffload));
+  const auto ext4_time = eng.now() - t0;
+
+  File& fx = xfs.create("x", 8 << 20);
+  const auto t1 = eng.now();
+  exp::run_task(eng, xfs.write(th, fx, 0, 8 << 20, numa::Placement::on(0),
+                               true, CpuCategory::kOffload));
+  const auto xfs_time = eng.now() - t1;
+  // 8 extents, each paying a journal commit on ext4.
+  EXPECT_GT(ext4_time, xfs_time);
+}
+
+TEST_F(Ext4Rig, ExtentCountMatchesConfiguredGranularity) {
+  Ext4Sim fs(host, *dev, nullptr, {}, /*extent=*/1 << 20);
+  File& f = fs.create("a", 8 << 20);
+  numa::Thread& th = app.spawn_thread();
+  exp::run_task(eng, fs.write(th, f, 0, 8 << 20, numa::Placement::on(0),
+                              true, CpuCategory::kOffload));
+  EXPECT_EQ(f.extent_count, 8u);
+}
+
+}  // namespace
+}  // namespace e2e::blk

@@ -1,0 +1,109 @@
+#include "blk/page_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+#include "testutil.hpp"
+
+namespace e2e::blk {
+namespace {
+
+struct CacheRig : ::testing::Test {
+  sim::Engine eng;
+  numa::Host host{eng, e2e::test::tiny_host("h")};
+};
+
+TEST_F(CacheRig, InsertTracksResidency) {
+  PageCache pc(host, 1 << 20, 1 << 20);
+  int f1 = 0, f2 = 0;
+  EXPECT_EQ(pc.insert(&f1, 1000), 0u);
+  EXPECT_EQ(pc.insert(&f2, 2000), 0u);
+  EXPECT_EQ(pc.total_resident(), 3000u);
+  EXPECT_EQ(pc.state(&f1).resident, 1000u);
+}
+
+TEST_F(CacheRig, EvictsWhenOverCapacity) {
+  PageCache pc(host, 10'000, 1 << 20);
+  int f1 = 0, f2 = 0;
+  pc.insert(&f1, 8000);
+  const auto evicted = pc.insert(&f2, 5000);
+  EXPECT_EQ(evicted, 3000u);
+  EXPECT_EQ(pc.total_resident(), 10'000u);
+}
+
+TEST_F(CacheRig, DirtyPagesAreNotEvicted) {
+  PageCache pc(host, 10'000, 1 << 20);
+  int f1 = 0;
+  pc.insert(&f1, 8000);
+  exp::run_task(eng, pc.mark_dirty(&f1, 8000));
+  int f2 = 0;
+  pc.insert(&f2, 6000);
+  // Only f2's own clean pages could be evicted; f1 stays fully resident.
+  EXPECT_EQ(pc.state(&f1).resident, 8000u);
+}
+
+TEST_F(CacheRig, MarkDirtyThrottlesAtLimit) {
+  PageCache pc(host, 1 << 20, 4096);
+  int f = 0;
+  exp::run_task(eng, pc.mark_dirty(&f, 4096));
+  bool second_done = false;
+  sim::co_spawn([](PageCache& cache, int* file, bool* done) -> sim::Task<> {
+    co_await cache.mark_dirty(file, 4096);
+    *done = true;
+  }(pc, &f, &second_done));
+  eng.run();
+  EXPECT_FALSE(second_done);  // throttled: over the dirty limit
+  pc.complete_writeback(&f, 4096);
+  eng.run();
+  EXPECT_TRUE(second_done);
+}
+
+TEST_F(CacheRig, CompleteWritebackClampsToDirty) {
+  PageCache pc(host, 1 << 20, 1 << 20);
+  int f = 0;
+  exp::run_task(eng, pc.mark_dirty(&f, 1000));
+  pc.complete_writeback(&f, 5000);  // over-complete is clamped
+  EXPECT_EQ(pc.total_dirty(), 0u);
+  EXPECT_EQ(pc.state(&f).dirty, 0u);
+}
+
+TEST_F(CacheRig, WaitCleanBlocksUntilWritebackDone) {
+  PageCache pc(host, 1 << 20, 1 << 20);
+  int f = 0;
+  exp::run_task(eng, pc.mark_dirty(&f, 2048));
+  bool clean = false;
+  sim::co_spawn([](PageCache& cache, int* file, bool* done) -> sim::Task<> {
+    co_await cache.wait_clean(file);
+    *done = true;
+  }(pc, &f, &clean));
+  eng.run();
+  EXPECT_FALSE(clean);
+  pc.complete_writeback(&f, 1024);
+  eng.run();
+  EXPECT_FALSE(clean);  // still half dirty
+  pc.complete_writeback(&f, 1024);
+  eng.run();
+  EXPECT_TRUE(clean);
+}
+
+TEST_F(CacheRig, WaitCleanOnCleanFileIsImmediate) {
+  PageCache pc(host, 1 << 20, 1 << 20);
+  int f = 0;
+  bool clean = false;
+  sim::co_spawn([](PageCache& cache, int* file, bool* done) -> sim::Task<> {
+    co_await cache.wait_clean(file);
+    *done = true;
+  }(pc, &f, &clean));
+  EXPECT_TRUE(clean);
+}
+
+TEST_F(CacheRig, PagePlacementIsThreadLocalNode) {
+  PageCache pc(host, 1 << 20, 1 << 20);
+  numa::Process p(host, "k", numa::NumaBinding::bound(1));
+  numa::Thread& th = p.spawn_thread();
+  const auto placement = pc.page_placement(th);
+  EXPECT_EQ(placement.extents[0].node, 1);
+}
+
+}  // namespace
+}  // namespace e2e::blk

@@ -1,0 +1,61 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/sim.hpp"
+
+namespace e2e::exp {
+namespace {
+
+sim::Task<int> value_after(sim::Engine& eng, sim::SimDuration d, int v) {
+  co_await sim::Delay{eng, d};
+  co_return v;
+}
+
+TEST(Runner, ReturnsTaskValue) {
+  sim::Engine eng;
+  EXPECT_EQ(run_task(eng, value_after(eng, 100, 42)), 42);
+  EXPECT_EQ(eng.now(), 100u);
+}
+
+sim::Task<> throws_runtime(sim::Engine& eng) {
+  co_await sim::Delay{eng, 10};
+  throw std::runtime_error("boom");
+}
+
+TEST(Runner, PropagatesExceptions) {
+  sim::Engine eng;
+  EXPECT_THROW(run_task(eng, throws_runtime(eng)), std::runtime_error);
+}
+
+sim::Task<int> throws_with_value(sim::Engine& eng) {
+  co_await sim::Delay{eng, 10};
+  throw std::logic_error("boom");
+  co_return 1;
+}
+
+TEST(Runner, PropagatesExceptionsFromValueTasks) {
+  sim::Engine eng;
+  EXPECT_THROW(run_task(eng, throws_with_value(eng)), std::logic_error);
+}
+
+sim::Task<> waits_forever(sim::ManualEvent& ev) { co_await ev.wait(); }
+
+TEST(Runner, DetectsDeadlock) {
+  sim::Engine eng;
+  sim::ManualEvent never(eng);
+  EXPECT_THROW(run_task(eng, waits_forever(never)), std::runtime_error);
+}
+
+TEST(Runner, NestedRunTasksCompose) {
+  sim::Engine eng;
+  const int v = run_task(eng, value_after(eng, 5, 1));
+  const int w = run_task(eng, value_after(eng, 5, 2));
+  EXPECT_EQ(v + w, 3);
+  EXPECT_EQ(eng.now(), 10u);
+}
+
+}  // namespace
+}  // namespace e2e::exp

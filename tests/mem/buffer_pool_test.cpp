@@ -1,0 +1,84 @@
+#include "mem/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exp/runner.hpp"
+#include "testutil.hpp"
+
+namespace e2e::mem {
+namespace {
+
+struct PoolRig : ::testing::Test {
+  sim::Engine eng;
+  numa::Host host{eng, e2e::test::tiny_host("h")};
+};
+
+TEST_F(PoolRig, AllocatesOnRequestedNode) {
+  BufferPool pool(host, "p", 4, 1 << 20, numa::MemPolicy::kBind, 1);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.available(), 4u);
+  EXPECT_EQ(pool.buffer_bytes(), 1u << 20);
+  EXPECT_EQ(host.used_bytes(1), 4u << 20);
+  Buffer* b = pool.try_acquire();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->home_node(), 1);
+}
+
+TEST_F(PoolRig, InterleavedPoolSplitsNodes) {
+  BufferPool pool(host, "p", 2, 1 << 20, numa::MemPolicy::kInterleave, 0);
+  Buffer* b = pool.try_acquire();
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(b->placement.remote_fraction(0), 0.5);
+}
+
+TEST_F(PoolRig, TryAcquireExhausts) {
+  BufferPool pool(host, "p", 2, 4096, numa::MemPolicy::kBind, 0);
+  EXPECT_NE(pool.try_acquire(), nullptr);
+  EXPECT_NE(pool.try_acquire(), nullptr);
+  EXPECT_EQ(pool.try_acquire(), nullptr);
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST_F(PoolRig, ReleaseRecycles) {
+  BufferPool pool(host, "p", 1, 4096, numa::MemPolicy::kBind, 0);
+  Buffer* b = pool.try_acquire();
+  pool.release(b);
+  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_EQ(pool.try_acquire(), b);
+}
+
+TEST_F(PoolRig, AcquireSuspendsUntilRelease) {
+  BufferPool pool(host, "p", 1, 4096, numa::MemPolicy::kBind, 0);
+  Buffer* first = pool.try_acquire();
+  Buffer* second = nullptr;
+  sim::co_spawn([](BufferPool& p, Buffer** out) -> sim::Task<> {
+    *out = co_await p.acquire();
+  }(pool, &second));
+  EXPECT_EQ(second, nullptr);
+  pool.release(first);
+  eng.run();
+  EXPECT_EQ(second, first);
+}
+
+TEST_F(PoolRig, DistinctBufferIds) {
+  BufferPool pool(host, "p", 8, 4096, numa::MemPolicy::kBind, 0);
+  std::set<std::uint64_t> ids;
+  while (Buffer* b = pool.try_acquire()) ids.insert(b->id);
+  EXPECT_EQ(ids.size(), 8u);
+}
+
+TEST_F(PoolRig, MarkRegisteredFlagsAll) {
+  BufferPool pool(host, "p", 3, 4096, numa::MemPolicy::kBind, 0);
+  pool.mark_registered();
+  while (Buffer* b = pool.try_acquire()) EXPECT_TRUE(b->registered);
+}
+
+TEST_F(PoolRig, ReleaseNullThrows) {
+  BufferPool pool(host, "p", 1, 4096, numa::MemPolicy::kBind, 0);
+  EXPECT_THROW(pool.release(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace e2e::mem

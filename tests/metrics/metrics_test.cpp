@@ -1,0 +1,142 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace e2e::metrics {
+namespace {
+
+using sim::kSecond;
+
+TEST(CpuUsage, AccumulatesPerCategory) {
+  CpuUsage u;
+  u.add(CpuCategory::kCopy, 100);
+  u.add(CpuCategory::kCopy, 50);
+  u.add(CpuCategory::kLoad, 25);
+  EXPECT_EQ(u.get(CpuCategory::kCopy), 150u);
+  EXPECT_EQ(u.get(CpuCategory::kLoad), 25u);
+  EXPECT_EQ(u.total(), 175u);
+}
+
+TEST(CpuUsage, PercentIsAbsoluteCpuConvention) {
+  CpuUsage u;
+  // 1.22 cores busy over a 1-second window == 122%.
+  u.add(CpuCategory::kUserProto, static_cast<sim::SimDuration>(1.22 * 1e9));
+  EXPECT_NEAR(u.total_percent(kSecond), 122.0, 0.01);
+}
+
+TEST(CpuUsage, MergeAndSince) {
+  CpuUsage a, b;
+  a.add(CpuCategory::kCopy, 100);
+  b.add(CpuCategory::kCopy, 30);
+  b.add(CpuCategory::kOffload, 5);
+  a.merge(b);
+  EXPECT_EQ(a.get(CpuCategory::kCopy), 130u);
+  CpuUsage d = a.since(b);
+  EXPECT_EQ(d.get(CpuCategory::kCopy), 100u);
+  EXPECT_EQ(d.get(CpuCategory::kOffload), 0u);
+}
+
+TEST(CpuUsage, ZeroWindowGivesZeroPercent) {
+  CpuUsage u;
+  u.add(CpuCategory::kCopy, 100);
+  EXPECT_EQ(u.percent(CpuCategory::kCopy, 0), 0.0);
+}
+
+TEST(CpuCategory, NamesAreDistinct) {
+  EXPECT_EQ(to_string(CpuCategory::kUserProto), "user-proto");
+  EXPECT_EQ(to_string(CpuCategory::kKernelProto), "kernel-proto");
+  EXPECT_EQ(to_string(CpuCategory::kCopy), "copy");
+  EXPECT_EQ(to_string(CpuCategory::kLoad), "load");
+  EXPECT_EQ(to_string(CpuCategory::kOffload), "offload");
+  EXPECT_EQ(to_string(CpuCategory::kOther), "other");
+}
+
+TEST(Gbps, Conversion) {
+  // 1.25 GB over 1 s = 10 Gbit/s.
+  EXPECT_NEAR(gbps(1'250'000'000ull, kSecond), 10.0, 1e-9);
+  EXPECT_EQ(gbps(100, 0), 0.0);
+}
+
+TEST(ThroughputMeter, TotalsAndMean) {
+  sim::Engine eng;
+  ThroughputMeter m(eng, kSecond, "t");
+  m.record(1'250'000'000ull);
+  eng.run_until(kSecond);
+  EXPECT_EQ(m.total_bytes(), 1'250'000'000ull);
+  EXPECT_NEAR(m.mean_gbps(), 10.0, 1e-9);
+}
+
+TEST(ThroughputMeter, SeriesBinsByTime) {
+  sim::Engine eng;
+  ThroughputMeter m(eng, kSecond);
+  m.record(125'000'000);  // t=0, bin 0
+  eng.run_until(kSecond + 1);
+  m.record(250'000'000);  // bin 1
+  eng.run_until(3 * kSecond + 1);
+  m.record(375'000'000);  // bin 3
+  auto s = m.series_gbps();
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_NEAR(s[0], 1.0, 1e-9);
+  EXPECT_NEAR(s[1], 2.0, 1e-9);
+  EXPECT_NEAR(s[2], 0.0, 1e-9);
+  EXPECT_NEAR(s[3], 3.0, 1e-9);
+}
+
+TEST(ThroughputMeter, ActiveWindowExcludesIdleLead) {
+  sim::Engine eng;
+  eng.run_until(5 * kSecond);
+  ThroughputMeter m(eng, kSecond);
+  m.record(625'000'000);
+  eng.run_until(6 * kSecond);
+  m.record(625'000'000);
+  // 1.25 GB over the 1s active span = 10 Gbps.
+  EXPECT_NEAR(m.active_gbps(), 10.0, 1e-9);
+}
+
+TEST(StatAccumulator, Moments) {
+  StatAccumulator s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StatAccumulator, EmptyIsZero) {
+  StatAccumulator s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Table, AsciiRendering) {
+  Table t("demo");
+  t.header({"name", "gbps"});
+  t.row({"rftp", Table::num(91.0)});
+  t.row({"gridftp", Table::num(29.0)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("rftp"), std::string::npos);
+  EXPECT_NE(s.find("91.0"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvRendering) {
+  Table t;
+  t.header({"a", "b"});
+  t.row({"1", "2,3"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2;3\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(10, 0), "10");
+}
+
+}  // namespace
+}  // namespace e2e::metrics

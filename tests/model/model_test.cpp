@@ -1,0 +1,96 @@
+#include "model/host_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/cost_model.hpp"
+#include "model/units.hpp"
+
+namespace e2e::model {
+namespace {
+
+TEST(Units, GbpsRoundTrip) {
+  EXPECT_DOUBLE_EQ(gbps_to_bytes_per_s(40.0), 5e9);
+  EXPECT_DOUBLE_EQ(bytes_per_s_to_gbps(5e9), 40.0);
+  EXPECT_DOUBLE_EQ(gBps_to_bytes_per_s(25.0), 25e9);
+  EXPECT_DOUBLE_EQ(ghz_to_cycles_per_s(2.2), 2.2e9);
+  EXPECT_EQ(MiB, 1024ull * 1024);
+  EXPECT_EQ(GiB, 1024ull * MiB);
+}
+
+// Table 1 of the paper, column by column.
+
+TEST(HostProfile, FrontEndLanMatchesTable1) {
+  const auto h = front_end_lan_host("fe");
+  EXPECT_EQ(h.numa_nodes, 2);
+  EXPECT_EQ(h.total_cores(), 16);           // 2x E5-2660
+  EXPECT_DOUBLE_EQ(h.core_ghz, 2.2);
+  EXPECT_DOUBLE_EQ(h.mem_gbytes, 128);
+  ASSERT_EQ(h.nics.size(), 3u);             // three 40G RoCE adapters
+  for (const auto& nic : h.nics) {
+    EXPECT_EQ(nic.type, LinkType::kRoCE);
+    EXPECT_DOUBLE_EQ(nic.rate_gbps, 40.0);
+    EXPECT_EQ(nic.mtu, 9000u);
+  }
+  // STREAM triad: 50 GB/s across both nodes (400 Gbps).
+  EXPECT_DOUBLE_EQ(h.total_mem_gBps(), 50.0);
+}
+
+TEST(HostProfile, BackEndLanMatchesTable1) {
+  const auto h = back_end_lan_host("be");
+  EXPECT_EQ(h.total_cores(), 16);  // 2x E5-2650
+  EXPECT_DOUBLE_EQ(h.core_ghz, 2.0);
+  EXPECT_DOUBLE_EQ(h.mem_gbytes, 384);
+  ASSERT_EQ(h.nics.size(), 2u);  // two IB FDR adapters
+  for (const auto& nic : h.nics) {
+    EXPECT_EQ(nic.type, LinkType::kInfiniBand);
+    EXPECT_DOUBLE_EQ(nic.rate_gbps, 56.0);
+    EXPECT_EQ(nic.mtu, 65520u);
+  }
+  // One adapter per NUMA node.
+  EXPECT_NE(h.nics[0].numa_node, h.nics[1].numa_node);
+}
+
+TEST(HostProfile, WanHostMatchesTable1) {
+  const auto h = wan_host("wan");
+  EXPECT_EQ(h.total_cores(), 12);  // E5-2670 setup
+  EXPECT_DOUBLE_EQ(h.core_ghz, 2.9);
+  EXPECT_DOUBLE_EQ(h.mem_gbytes, 64);
+  ASSERT_EQ(h.nics.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.nics[0].rate_gbps, 40.0);
+}
+
+TEST(HostProfile, Rtts) {
+  EXPECT_EQ(kLanRoceRtt, 166 * sim::kMicrosecond);
+  EXPECT_EQ(kLanIbRtt, 144 * sim::kMicrosecond);
+  EXPECT_EQ(kWanRtt, 95 * sim::kMillisecond);
+}
+
+TEST(CostModel, DefaultsAreCalibrationSane) {
+  const auto& cm = CostModel::defaults();
+  // One core moves ~3.5-5 GB/s at 2.2 GHz.
+  const double copy_gBps = 2.2 / cm.memcpy_cycles_per_byte;
+  EXPECT_GT(copy_gBps, 3.0);
+  EXPECT_LT(copy_gBps, 6.0);
+  // Touch is cheaper than copy; zero-fill cheaper than copy.
+  EXPECT_LT(cm.mem_touch_cycles_per_byte, cm.memcpy_cycles_per_byte);
+  EXPECT_LT(cm.zero_fill_cycles_per_byte, cm.memcpy_cycles_per_byte);
+  // Remote access penalties are > 1.
+  EXPECT_GT(cm.numa_remote_penalty, 1.0);
+  EXPECT_GT(cm.numa_remote_channel_factor, 1.0);
+  // RDMA posting is orders of magnitude cheaper than TCP per-packet work
+  // at jumbo-frame packet counts for a 1 MiB message.
+  const double tcp_1mib = (1 << 20) / 9000.0 * cm.tcp_kernel_cycles_per_packet;
+  EXPECT_GT(tcp_1mib, 20 * cm.rdma_post_wr_cycles);
+  // RDMA Read is less efficient than RDMA Write, but not pathological.
+  EXPECT_GT(cm.rdma_read_efficiency, 0.8);
+  EXPECT_LT(cm.rdma_read_efficiency, 1.0);
+}
+
+TEST(CostModel, PerHostOverridesAreIndependent) {
+  auto h = front_end_lan_host("fe");
+  h.costs.memcpy_cycles_per_byte = 99.0;
+  EXPECT_NE(CostModel::defaults().memcpy_cycles_per_byte, 99.0);
+}
+
+}  // namespace
+}  // namespace e2e::model

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+
+namespace e2e::net {
+namespace {
+
+TEST(LinkBinding, DirFromResolvesBothSides) {
+  sim::Engine eng;
+  Link l(eng, "l", 40.0, 100, 9000);
+  int a = 0, b = 0;
+  EXPECT_FALSE(l.bound());
+  l.bind_endpoints(&a, &b);
+  EXPECT_TRUE(l.bound());
+  EXPECT_EQ(l.dir_from(&a), 0);
+  EXPECT_EQ(l.dir_from(&b), 1);
+}
+
+TEST(LinkBinding, UnknownEndpointThrows) {
+  sim::Engine eng;
+  Link l(eng, "l", 40.0, 100, 9000);
+  int a = 0, b = 0, c = 0;
+  l.bind_endpoints(&a, &b);
+  EXPECT_THROW((void)l.dir_from(&c), std::logic_error);
+}
+
+TEST(LinkFailures, InjectionIsPerDirectionAndConsumed) {
+  sim::Engine eng;
+  Link l(eng, "l", 40.0, 100, 9000);
+  l.inject_failures(0, 2);
+  EXPECT_TRUE(l.take_failure(0));
+  EXPECT_FALSE(l.take_failure(1));  // other direction untouched
+  EXPECT_TRUE(l.take_failure(0));
+  EXPECT_FALSE(l.take_failure(0));  // consumed
+}
+
+TEST(LinkFailures, InjectionsAccumulate) {
+  sim::Engine eng;
+  Link l(eng, "l", 40.0, 100, 9000);
+  l.inject_failures(1, 1);
+  l.inject_failures(1, 1);
+  EXPECT_TRUE(l.take_failure(1));
+  EXPECT_TRUE(l.take_failure(1));
+  EXPECT_FALSE(l.take_failure(1));
+}
+
+}  // namespace
+}  // namespace e2e::net

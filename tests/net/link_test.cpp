@@ -1,0 +1,62 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace e2e::net {
+namespace {
+
+TEST(Link, FactoriesMatchTable1) {
+  sim::Engine eng;
+  auto roce = make_roce_lan(eng, "r");
+  EXPECT_DOUBLE_EQ(roce->rate_gbps(), 40.0);
+  EXPECT_EQ(roce->mtu(), 9000u);
+  EXPECT_EQ(roce->rtt(), model::kLanRoceRtt);
+
+  auto ib = make_ib_lan(eng, "i");
+  EXPECT_DOUBLE_EQ(ib->rate_gbps(), 56.0);
+  EXPECT_EQ(ib->mtu(), 65520u);
+  EXPECT_EQ(ib->rtt(), model::kLanIbRtt);
+
+  auto wan = make_ani_wan(eng, "w");
+  EXPECT_DOUBLE_EQ(wan->rate_gbps(), 40.0);
+  EXPECT_EQ(wan->rtt(), model::kWanRtt);
+}
+
+TEST(Link, DirectionsAreIndependent) {
+  sim::Engine eng;
+  Link l(eng, "l", 40.0, 1000, 9000);
+  l.dir(0).charge(1e6);
+  EXPECT_GT(l.dir(0).busy_until(), 0u);
+  EXPECT_EQ(l.dir(1).busy_until(), 0u);
+}
+
+TEST(Link, SerializationRateMatches) {
+  sim::Engine eng;
+  Link l(eng, "l", 40.0, 0, 9000);
+  // 5 GB at 5 GB/s = 1 second.
+  EXPECT_EQ(l.dir(0).service_time(5e9), sim::kSecond);
+}
+
+TEST(Link, WireBytesAddsHeaderPerMtu) {
+  sim::Engine eng;
+  Link l(eng, "l", 40.0, 0, 9000);
+  // 58 header bytes per 9000-byte MTU.
+  EXPECT_NEAR(l.wire_bytes(9000.0, 58.0), 9058.0, 1e-9);
+  EXPECT_NEAR(l.wire_bytes(18000.0, 58.0), 18116.0, 1e-9);
+}
+
+TEST(Link, PacketsCount) {
+  sim::Engine eng;
+  Link l(eng, "l", 40.0, 0, 9000);
+  EXPECT_NEAR(l.packets(90000.0), 10.0, 1e-9);
+}
+
+TEST(Link, LatencyIsHalfRtt) {
+  sim::Engine eng;
+  Link l(eng, "l", 10.0, 250, 1500);
+  EXPECT_EQ(l.latency(), 250u);
+  EXPECT_EQ(l.rtt(), 500u);
+}
+
+}  // namespace
+}  // namespace e2e::net

@@ -1,0 +1,89 @@
+#include "numa/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace e2e::numa {
+namespace {
+
+TEST(Process, BoundProcessSpawnsOnItsNode) {
+  sim::Engine eng;
+  Host h(eng, test::tiny_host("h"));
+  Process p(h, "tgtd0", NumaBinding::bound(1));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(p.spawn_thread().node(), 1);
+}
+
+TEST(Process, OsDefaultSpreadsOverAllCores) {
+  sim::Engine eng;
+  Host h(eng, test::tiny_host("h"));
+  Process p(h, "app", NumaBinding::os_default());
+  bool saw_node1 = false;
+  for (int i = 0; i < 4; ++i) saw_node1 |= p.spawn_thread().node() == 1;
+  EXPECT_TRUE(saw_node1);
+}
+
+TEST(Process, PreferredNodeOverridesBindingTarget) {
+  sim::Engine eng;
+  Host h(eng, test::tiny_host("h"));
+  Process p(h, "tgtd", NumaBinding::bound(0));
+  EXPECT_EQ(p.spawn_thread(1).node(), 1);
+}
+
+TEST(Process, BoundAllocGoesToBindingNode) {
+  sim::Engine eng;
+  Host h(eng, test::tiny_host("h"));
+  Process p(h, "tgtd", NumaBinding::bound(1));
+  const auto placement = p.alloc(4096);
+  ASSERT_EQ(placement.extents.size(), 1u);
+  EXPECT_EQ(placement.extents[0].node, 1);
+}
+
+TEST(Process, BindWithoutNodeUsesToucher) {
+  sim::Engine eng;
+  Host h(eng, test::tiny_host("h"));
+  Process p(h, "app",
+            NumaBinding{SchedPolicy::kBindNode, MemPolicy::kBind, kAnyNode});
+  const auto placement = p.alloc(4096, /*toucher=*/1);
+  EXPECT_EQ(placement.extents[0].node, 1);
+}
+
+TEST(Process, FirstTouchAllocFollowsToucher) {
+  sim::Engine eng;
+  Host h(eng, test::tiny_host("h"));
+  Process p(h, "app", NumaBinding::os_default());
+  EXPECT_EQ(p.alloc(64, 1).extents[0].node, 1);
+  EXPECT_EQ(p.alloc(64, 0).extents[0].node, 0);
+}
+
+TEST(Process, PinnedThreadUsesExactCore) {
+  sim::Engine eng;
+  Host h(eng, test::tiny_host("h"));
+  Process p(h, "app");
+  Thread& th = p.spawn_pinned_thread(3);
+  EXPECT_EQ(th.core_id(), 3);
+  EXPECT_EQ(th.node(), 1);
+}
+
+TEST(Process, ThreadCountTracksSpawns) {
+  sim::Engine eng;
+  Host h(eng, test::tiny_host("h"));
+  Process p(h, "app");
+  EXPECT_EQ(p.thread_count(), 0u);
+  p.spawn_thread();
+  p.spawn_pinned_thread(0);
+  EXPECT_EQ(p.thread_count(), 2u);
+}
+
+TEST(NumaBinding, Factories) {
+  const auto b = NumaBinding::bound(1);
+  EXPECT_EQ(b.sched, SchedPolicy::kBindNode);
+  EXPECT_EQ(b.mem, MemPolicy::kBind);
+  EXPECT_EQ(b.node, 1);
+  const auto d = NumaBinding::os_default();
+  EXPECT_EQ(d.sched, SchedPolicy::kOsDefault);
+  EXPECT_EQ(d.mem, MemPolicy::kFirstTouch);
+}
+
+}  // namespace
+}  // namespace e2e::numa

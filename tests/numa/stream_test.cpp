@@ -1,0 +1,66 @@
+#include "numa/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/host_profile.hpp"
+#include "numa/host.hpp"
+
+namespace e2e::numa {
+namespace {
+
+TEST(Stream, LocalTriadReachesPaperPeak) {
+  sim::Engine eng;
+  Host host(eng, model::front_end_lan_host("fe"));
+  StreamOptions opts;
+  const auto r = run_stream_triad(eng, host, opts);
+  // §2.3: Triad peak across two NUMA nodes is 50 GB/s (400 Gbps).
+  EXPECT_NEAR(r.triad_gBps, 50.0, 2.0);
+  EXPECT_NEAR(r.triad_gbps, 400.0, 16.0);
+}
+
+TEST(Stream, InterleavedPlacementLosesBandwidth) {
+  sim::Engine eng1, eng2;
+  Host h1(eng1, model::front_end_lan_host("a"));
+  Host h2(eng2, model::front_end_lan_host("b"));
+  StreamOptions local, inter;
+  inter.numa_local = false;
+  const auto rl = run_stream_triad(eng1, h1, local);
+  const auto ri = run_stream_triad(eng2, h2, inter);
+  EXPECT_LT(ri.triad_gBps, 0.95 * rl.triad_gBps);
+  EXPECT_GT(ri.triad_gBps, 0.5 * rl.triad_gBps);
+}
+
+class StreamThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamThreadSweep, BandwidthSaturatesWithThreads) {
+  sim::Engine eng;
+  Host host(eng, model::front_end_lan_host("fe"));
+  StreamOptions opts;
+  opts.threads_per_node = GetParam();
+  const auto r = run_stream_triad(eng, host, opts);
+  // One core cannot saturate a channel; many cores cap at channel rate.
+  const double per_core_gBps =
+      host.profile().core_ghz / host.costs().mem_touch_cycles_per_byte;
+  const double expected =
+      std::min(50.0, 2 * GetParam() * per_core_gBps);
+  EXPECT_NEAR(r.triad_gBps, expected, expected * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, StreamThreadSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Stream, BytesMovedAreConsistent) {
+  sim::Engine eng;
+  Host host(eng, model::front_end_lan_host("fe"));
+  StreamOptions opts;
+  opts.duration = sim::kSecond / 4;
+  const auto r = run_stream_triad(eng, host, opts);
+  EXPECT_GT(r.bytes_moved, 0u);
+  // bytes = rate * time within a chunk of slack.
+  EXPECT_NEAR(static_cast<double>(r.bytes_moved),
+              r.triad_gBps * 1e9 * sim::to_seconds(eng.now()),
+              static_cast<double>(r.bytes_moved) * 0.05);
+}
+
+}  // namespace
+}  // namespace e2e::numa

@@ -1,0 +1,79 @@
+#include "scsi/scsi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+#include "numa/process.hpp"
+#include "testutil.hpp"
+
+namespace e2e::scsi {
+namespace {
+
+struct LunRig : ::testing::Test {
+  sim::Engine eng;
+  numa::Host host{eng, e2e::test::tiny_host("h")};
+  mem::Tmpfs fs{host};
+  numa::Process proc{host, "tgtd", numa::NumaBinding::bound(0)};
+};
+
+TEST_F(LunRig, CapacityFromBackingFile) {
+  auto& f = fs.create("lun0", 1 << 20, numa::MemPolicy::kBind, 0);
+  Lun lun(0, fs, f);
+  EXPECT_EQ(lun.id(), 0u);
+  EXPECT_EQ(lun.capacity_bytes(), 1u << 20);
+  EXPECT_EQ(lun.capacity_blocks(), (1u << 20) / 512);
+}
+
+TEST_F(LunRig, RejectsUnalignedBacking) {
+  auto& f = fs.create("odd", 1000, numa::MemPolicy::kBind, 0);
+  EXPECT_THROW(Lun(0, fs, f), std::invalid_argument);
+}
+
+TEST_F(LunRig, ReadMovesBytesAndReportsGood) {
+  auto& f = fs.create("lun0", 1 << 20, numa::MemPolicy::kBind, 0);
+  Lun lun(0, fs, f);
+  numa::Thread& th = proc.spawn_thread();
+  const auto status = exp::run_task(
+      eng, lun.read(th, 0, 8, numa::Placement::on(0)));
+  EXPECT_EQ(status, Status::kGood);
+  EXPECT_EQ(f.bytes_read, 8u * 512);
+  EXPECT_GT(proc.usage().get(metrics::CpuCategory::kLoad), 0u);
+}
+
+TEST_F(LunRig, WriteMovesBytesAndReportsGood) {
+  auto& f = fs.create("lun0", 1 << 20, numa::MemPolicy::kBind, 0);
+  Lun lun(0, fs, f);
+  numa::Thread& th = proc.spawn_thread();
+  const auto status = exp::run_task(
+      eng, lun.write(th, 16, 8, numa::Placement::on(0)));
+  EXPECT_EQ(status, Status::kGood);
+  EXPECT_EQ(f.bytes_written, 8u * 512);
+  EXPECT_GT(proc.usage().get(metrics::CpuCategory::kOffload), 0u);
+}
+
+TEST_F(LunRig, OutOfRangeIsCheckCondition) {
+  auto& f = fs.create("lun0", 4096, numa::MemPolicy::kBind, 0);
+  Lun lun(0, fs, f);
+  numa::Thread& th = proc.spawn_thread();
+  EXPECT_EQ(exp::run_task(eng, lun.read(th, 8, 1, numa::Placement::on(0))),
+            Status::kCheckCondition);
+  EXPECT_EQ(exp::run_task(eng, lun.write(th, 7, 2, numa::Placement::on(0))),
+            Status::kCheckCondition);
+  // Boundary: last block is fine.
+  EXPECT_EQ(exp::run_task(eng, lun.read(th, 7, 1, numa::Placement::on(0))),
+            Status::kGood);
+}
+
+TEST(Cdb, ByteCount) {
+  Cdb cdb{OpCode::kRead16, 0, 9};
+  EXPECT_EQ(cdb.byte_count(), 9u * 512);
+}
+
+TEST(Status, Names) {
+  EXPECT_EQ(to_string(Status::kGood), "GOOD");
+  EXPECT_EQ(to_string(Status::kCheckCondition), "CHECK CONDITION");
+  EXPECT_EQ(to_string(Status::kBusy), "BUSY");
+}
+
+}  // namespace
+}  // namespace e2e::scsi

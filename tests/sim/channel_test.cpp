@@ -1,0 +1,140 @@
+#include "sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace e2e::sim {
+namespace {
+
+Task<> drain(Channel<int>& ch, std::vector<int>* out) {
+  for (;;) {
+    auto v = co_await ch.recv();
+    if (!v) co_return;
+    out->push_back(*v);
+  }
+}
+
+TEST(Channel, DeliversInFifoOrder) {
+  Engine eng;
+  Channel<int> ch(eng);
+  for (int i = 0; i < 5; ++i) ch.send(i);
+  std::vector<int> out;
+  co_spawn(drain(ch, &out));
+  ch.close();
+  eng.run();
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, RecvSuspendsUntilSend) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<int> out;
+  co_spawn(drain(ch, &out));
+  EXPECT_TRUE(out.empty());
+  ch.send(42);
+  eng.run();
+  EXPECT_EQ(out, (std::vector<int>{42}));
+}
+
+TEST(Channel, CloseCompletesPendingRecvWithNullopt) {
+  Engine eng;
+  Channel<int> ch(eng);
+  bool closed = false;
+  co_spawn([](Channel<int>& c, bool* cl) -> Task<> {
+    auto v = co_await c.recv();
+    *cl = !v.has_value();
+  }(ch, &closed));
+  ch.close();
+  eng.run();
+  EXPECT_TRUE(closed);
+}
+
+TEST(Channel, QueuedItemsDrainAfterClose) {
+  Engine eng;
+  Channel<int> ch(eng);
+  ch.send(1);
+  ch.send(2);
+  ch.close();
+  std::vector<int> out;
+  co_spawn(drain(ch, &out));
+  eng.run();
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(Channel, SendAfterCloseIsDropped) {
+  Engine eng;
+  Channel<int> ch(eng);
+  ch.close();
+  EXPECT_FALSE(ch.send(9));
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, TryRecv) {
+  Engine eng;
+  Channel<std::string> ch(eng);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  ch.send("a");
+  auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "a");
+}
+
+TEST(Channel, MultipleConsumersShareFifo) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<int> out1, out2;
+  co_spawn(drain(ch, &out1));
+  co_spawn(drain(ch, &out2));
+  for (int i = 0; i < 6; ++i) ch.send(i);
+  ch.close();
+  eng.run();
+  // Both consumers together see every item exactly once, in order of
+  // arrival interleaved across them.
+  EXPECT_EQ(out1.size() + out2.size(), 6u);
+  std::vector<int> merged;
+  std::size_t i1 = 0, i2 = 0;
+  while (i1 < out1.size() || i2 < out2.size()) {
+    if (i2 >= out2.size() || (i1 < out1.size() && out1[i1] < out2[i2]))
+      merged.push_back(out1[i1++]);
+    else
+      merged.push_back(out2[i2++]);
+  }
+  EXPECT_EQ(merged, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Channel, SizeTracksQueuedOnly) {
+  Engine eng;
+  Channel<int> ch(eng);
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.size(), 2u);
+  (void)ch.try_recv();
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+Task<> producer(Engine& eng, Channel<int>& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await Delay{eng, 5};
+    ch.send(i);
+  }
+  ch.close();
+}
+
+TEST(Channel, ProducerConsumerPipeline) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<int> out;
+  co_spawn(drain(ch, &out));
+  co_spawn(producer(eng, ch, 100));
+  eng.run();
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_EQ(eng.now(), 500u);
+}
+
+}  // namespace
+}  // namespace e2e::sim

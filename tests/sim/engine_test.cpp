@@ -1,0 +1,143 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace e2e::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0u);
+  EXPECT_TRUE(eng.idle());
+  EXPECT_EQ(eng.events_processed(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(30, [&] { order.push_back(3); });
+  eng.schedule_at(10, [&] { order.push_back(1); });
+  eng.schedule_at(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30u);
+}
+
+TEST(Engine, SameTimestampFiresInSchedulingOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    eng.schedule_at(5, [&order, i] { order.push_back(i); });
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, PastEventsClampToNow) {
+  Engine eng;
+  eng.schedule_at(100, [] {});
+  eng.run();
+  ASSERT_EQ(eng.now(), 100u);
+  SimTime fired_at = 0;
+  eng.schedule_at(50, [&] { fired_at = eng.now(); });  // in the past
+  eng.run();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) eng.schedule_after(10, recurse);
+  };
+  eng.schedule_after(10, recurse);
+  eng.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(eng.now(), 50u);
+}
+
+TEST(Engine, RunUntilExecutesOnlyDueEventsAndAdvancesClock) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(10, [&] { ++fired; });
+  eng.schedule_at(20, [&] { ++fired; });
+  eng.schedule_at(30, [&] { ++fired; });
+  EXPECT_EQ(eng.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), 20u);
+  EXPECT_EQ(eng.next_event_time(), 30u);
+}
+
+TEST(Engine, RunUntilAdvancesClockOnEmptyQueue) {
+  Engine eng;
+  eng.run_until(1000);
+  EXPECT_EQ(eng.now(), 1000u);
+  EXPECT_EQ(eng.next_event_time(), kTimeInfinity);
+}
+
+TEST(Engine, StopHaltsDispatch) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(10, [&] {
+    ++fired;
+    eng.stop();
+  });
+  eng.schedule_at(20, [&] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  eng.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventsProcessedCounts) {
+  Engine eng;
+  for (int i = 0; i < 7; ++i) eng.schedule_after(i, [] {});
+  eng.run();
+  EXPECT_EQ(eng.events_processed(), 7u);
+}
+
+TEST(Engine, SaturatingAddCapsAtInfinity) {
+  EXPECT_EQ(Engine::saturating_add(kTimeInfinity, 1), kTimeInfinity);
+  EXPECT_EQ(Engine::saturating_add(kTimeInfinity - 5, 10), kTimeInfinity);
+  EXPECT_EQ(Engine::saturating_add(5, 10), 15u);
+}
+
+TEST(Engine, RunForIsRelative) {
+  Engine eng;
+  eng.run_until(100);
+  int fired = 0;
+  eng.schedule_after(50, [&] { ++fired; });
+  eng.run_for(49);
+  EXPECT_EQ(fired, 0);
+  eng.run_for(1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 150u);
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(500 * kMillisecond), 0.5);
+  EXPECT_EQ(from_seconds(2.5), 2'500'000'000ull);
+  EXPECT_EQ(from_seconds(-1.0), 0ull);
+  using namespace literals;
+  EXPECT_EQ(3_us, 3000ull);
+  EXPECT_EQ(2_min, 120ull * kSecond);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine eng;
+    std::vector<std::pair<SimTime, int>> trace;
+    for (int i = 0; i < 50; ++i)
+      eng.schedule_at((i * 7919) % 100, [&trace, i, &eng] {
+        trace.emplace_back(eng.now(), i);
+      });
+    eng.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace e2e::sim

@@ -1,0 +1,150 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/task.hpp"
+
+namespace e2e::sim {
+namespace {
+
+Task<> acquire_one(Resource& r, double units, SimTime* done,
+                   Engine& eng) {
+  co_await r.acquire(units);
+  *done = eng.now();
+}
+
+TEST(Resource, ServiceTimeMatchesRate) {
+  Engine eng;
+  Resource r(eng, 1e9, "r");  // 1 unit per ns
+  EXPECT_EQ(r.service_time(1000), 1000u);
+  EXPECT_EQ(r.service_time(0), 0u);
+  // Sub-ns work still takes at least 1 ns.
+  EXPECT_EQ(r.service_time(0.25), 1u);
+}
+
+TEST(Resource, SingleAcquireCompletesAfterServiceTime) {
+  Engine eng;
+  Resource r(eng, 1e9, "r");
+  SimTime done = 0;
+  co_spawn(acquire_one(r, 500, &done, eng));
+  eng.run();
+  EXPECT_EQ(done, 500u);
+}
+
+TEST(Resource, FifoQueueingSerializes) {
+  Engine eng;
+  Resource r(eng, 1e9, "r");
+  SimTime d1 = 0, d2 = 0, d3 = 0;
+  co_spawn(acquire_one(r, 100, &d1, eng));
+  co_spawn(acquire_one(r, 200, &d2, eng));
+  co_spawn(acquire_one(r, 300, &d3, eng));
+  eng.run();
+  EXPECT_EQ(d1, 100u);
+  EXPECT_EQ(d2, 300u);
+  EXPECT_EQ(d3, 600u);
+}
+
+TEST(Resource, ChargeBooksWithoutSuspending) {
+  Engine eng;
+  Resource r(eng, 1e9, "r");
+  EXPECT_EQ(r.charge(100), 100u);
+  EXPECT_EQ(r.charge(100), 200u);
+  EXPECT_EQ(r.busy_until(), 200u);
+  EXPECT_EQ(r.backlog_delay(), 200u);
+}
+
+TEST(Resource, BacklogDrainsWithTime) {
+  Engine eng;
+  Resource r(eng, 1e9, "r");
+  r.charge(1000);
+  eng.run_until(400);
+  EXPECT_EQ(r.backlog_delay(), 600u);
+  eng.run_until(2000);
+  EXPECT_EQ(r.backlog_delay(), 0u);
+}
+
+TEST(Resource, IdleGapsDoNotAccumulateService) {
+  Engine eng;
+  Resource r(eng, 1e9, "r");
+  r.charge(100);
+  eng.run_until(1000);  // idle 900ns
+  // New work starts now, not at busy_until in the past.
+  EXPECT_EQ(r.charge(100), 1100u);
+}
+
+TEST(Resource, UtilizationAndUnitsServed) {
+  Engine eng;
+  Resource r(eng, 1e9, "r");
+  r.charge(300);
+  eng.run_until(1000);
+  EXPECT_DOUBLE_EQ(r.utilization(), 0.3);
+  EXPECT_DOUBLE_EQ(r.units_served(), 300.0);
+  EXPECT_EQ(r.busy_time(), 300u);
+}
+
+TEST(Resource, SetRateAffectsNewWork) {
+  Engine eng;
+  Resource r(eng, 1e9, "r");
+  r.set_rate(2e9);
+  EXPECT_EQ(r.service_time(1000), 500u);
+}
+
+TEST(Resource, RejectsNonPositiveRate) {
+  Engine eng;
+  EXPECT_THROW(Resource(eng, 0.0, "bad"), std::invalid_argument);
+  Resource r(eng, 1.0, "r");
+  EXPECT_THROW(r.set_rate(-1.0), std::invalid_argument);
+}
+
+TEST(Resource, ZeroUnitsAcquireIsImmediate) {
+  Engine eng;
+  Resource r(eng, 1e9, "r");
+  r.charge(1e6);  // big backlog
+  SimTime done = kTimeInfinity;
+  co_spawn(acquire_one(r, 0, &done, eng));
+  EXPECT_EQ(done, 0u);  // did not queue
+}
+
+TEST(Resource, AggregateThroughputEqualsRateUnderLoad) {
+  Engine eng;
+  Resource r(eng, 5e8, "r");  // 0.5 units/ns
+  Rng rng(7);
+  double total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(10, 1000);
+    total += u;
+    r.charge(u);
+  }
+  const SimTime finish = r.busy_until();
+  EXPECT_NEAR(static_cast<double>(finish), total / 0.5, total * 0.01);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.uniform_u64(0, 1000), b.uniform_u64(0, 1000));
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i)
+    differs |= a2.uniform_u64(0, 1000000) != c.uniform_u64(0, 1000000);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, RangesRespected) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+    const double d = r.uniform(1.5, 2.5);
+    EXPECT_GE(d, 1.5);
+    EXPECT_LT(d, 2.5);
+    EXPECT_LT(r.index(7), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace e2e::sim

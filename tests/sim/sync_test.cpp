@@ -1,0 +1,177 @@
+#include "sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace e2e::sim {
+namespace {
+
+Task<> wait_delay(Engine& eng, SimDuration d, SimTime* fired) {
+  co_await Delay{eng, d};
+  *fired = eng.now();
+}
+
+TEST(Delay, SuspendsForExactDuration) {
+  Engine eng;
+  SimTime fired = 0;
+  co_spawn(wait_delay(eng, 12345, &fired));
+  eng.run();
+  EXPECT_EQ(fired, 12345u);
+}
+
+TEST(Delay, ZeroDurationCompletesImmediately) {
+  Engine eng;
+  SimTime fired = kTimeInfinity;
+  co_spawn(wait_delay(eng, 0, &fired));
+  // No engine run needed: zero delay is await_ready.
+  EXPECT_EQ(fired, 0u);
+}
+
+Task<> wait_until(Engine& eng, SimTime t, SimTime* fired) {
+  co_await until(eng, t);
+  *fired = eng.now();
+}
+
+TEST(Until, AbsoluteDeadline) {
+  Engine eng;
+  eng.run_until(100);
+  SimTime fired = 0;
+  co_spawn(wait_until(eng, 250, &fired));
+  eng.run();
+  EXPECT_EQ(fired, 250u);
+}
+
+TEST(Until, PastDeadlineIsImmediate) {
+  Engine eng;
+  eng.run_until(100);
+  SimTime fired = kTimeInfinity;
+  co_spawn(wait_until(eng, 50, &fired));
+  EXPECT_EQ(fired, 100u);
+}
+
+Task<> wait_event(ManualEvent& ev, int* count) {
+  co_await ev.wait();
+  ++*count;
+}
+
+TEST(ManualEvent, WakesAllWaiters) {
+  Engine eng;
+  ManualEvent ev(eng);
+  int count = 0;
+  for (int i = 0; i < 5; ++i) co_spawn(wait_event(ev, &count));
+  EXPECT_EQ(count, 0);
+  ev.set();
+  eng.run();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(ManualEvent, SetBeforeWaitIsImmediate) {
+  Engine eng;
+  ManualEvent ev(eng);
+  ev.set();
+  int count = 0;
+  co_spawn(wait_event(ev, &count));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ManualEvent, ResetRearms) {
+  Engine eng;
+  ManualEvent ev(eng);
+  ev.set();
+  ev.reset();
+  int count = 0;
+  co_spawn(wait_event(ev, &count));
+  eng.run();
+  EXPECT_EQ(count, 0);
+  ev.set();
+  eng.run();
+  EXPECT_EQ(count, 1);
+}
+
+Task<> take_sem(Semaphore& sem, std::vector<int>* order, int id) {
+  co_await sem.acquire();
+  order->push_back(id);
+}
+
+TEST(Semaphore, InitialPermitsConsumedSynchronously) {
+  Engine eng;
+  Semaphore sem(eng, 2);
+  std::vector<int> order;
+  co_spawn(take_sem(sem, &order, 1));
+  co_spawn(take_sem(sem, &order, 2));
+  co_spawn(take_sem(sem, &order, 3));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sem.waiting(), 1u);
+  sem.release();
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Semaphore, FifoWakeOrder) {
+  Engine eng;
+  Semaphore sem(eng, 0);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) co_spawn(take_sem(sem, &order, i));
+  sem.release(4);
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Semaphore, TryAcquireRespectsWaiters) {
+  Engine eng;
+  Semaphore sem(eng, 1);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  std::vector<int> order;
+  co_spawn(take_sem(sem, &order, 1));
+  sem.release();
+  // A queued waiter has priority over try_acquire.
+  EXPECT_FALSE(sem.try_acquire());
+  eng.run();
+  EXPECT_EQ(order.size(), 1u);
+}
+
+TEST(Semaphore, AvailableTracksBalance) {
+  Engine eng;
+  Semaphore sem(eng, 3);
+  EXPECT_EQ(sem.available(), 3);
+  (void)sem.try_acquire();
+  EXPECT_EQ(sem.available(), 2);
+  sem.release(5);
+  EXPECT_EQ(sem.available(), 7);
+}
+
+Task<> wg_wait(WaitGroup& wg, bool* done) {
+  co_await wg.wait();
+  *done = true;
+}
+
+TEST(WaitGroup, WaitsForAllDones) {
+  Engine eng;
+  WaitGroup wg(eng);
+  wg.add(3);
+  bool done = false;
+  co_spawn(wg_wait(wg, &done));
+  wg.done();
+  wg.done();
+  eng.run();
+  EXPECT_FALSE(done);
+  wg.done();
+  eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(WaitGroup, ZeroPendingIsImmediate) {
+  Engine eng;
+  WaitGroup wg(eng);
+  bool done = false;
+  co_spawn(wg_wait(wg, &done));
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace e2e::sim

@@ -1,0 +1,123 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace e2e::sim {
+namespace {
+
+Task<int> make_value(int v) { co_return v; }
+
+Task<int> add_async(Engine& eng, int a, int b) {
+  co_await Delay{eng, 10};
+  co_return a + b;
+}
+
+Task<> set_flag(bool* flag) {
+  *flag = true;
+  co_return;
+}
+
+TEST(Task, LazyUntilAwaitedOrSpawned) {
+  bool flag = false;
+  {
+    Task<> t = set_flag(&flag);
+    EXPECT_FALSE(flag);  // body has not started
+  }                      // destroying an unstarted task is safe
+  EXPECT_FALSE(flag);
+}
+
+TEST(Task, SpawnRunsSynchronouslyToFirstSuspension) {
+  bool flag = false;
+  co_spawn(set_flag(&flag));
+  EXPECT_TRUE(flag);
+}
+
+Task<> outer_sum(Engine& eng, int* out) {
+  const int x = co_await make_value(20);
+  const int y = co_await add_async(eng, x, 22);
+  *out = y;
+}
+
+TEST(Task, NestedAwaitPropagatesValues) {
+  Engine eng;
+  int out = 0;
+  co_spawn(outer_sum(eng, &out));
+  eng.run();
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(eng.now(), 10u);
+}
+
+Task<int> throws_logic_error() {
+  throw std::logic_error("boom");
+  co_return 0;
+}
+
+Task<> catches(bool* caught) {
+  try {
+    (void)co_await throws_logic_error();
+  } catch (const std::logic_error&) {
+    *caught = true;
+  }
+}
+
+TEST(Task, ExceptionsPropagateToAwaiter) {
+  bool caught = false;
+  co_spawn(catches(&caught));
+  EXPECT_TRUE(caught);
+}
+
+Task<std::string> string_task() { co_return std::string(100, 'x'); }
+
+Task<> move_heavy(std::string* out) { *out = co_await string_task(); }
+
+TEST(Task, MoveOnlyishResultsTransfer) {
+  std::string out;
+  co_spawn(move_heavy(&out));
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(Task, MoveConstructionTransfersOwnership) {
+  Task<int> t = make_value(7);
+  Task<int> u = std::move(t);
+  EXPECT_FALSE(t.valid());
+  EXPECT_TRUE(u.valid());
+}
+
+Task<> deep_chain(Engine& eng, int depth, int* count) {
+  if (depth > 0) {
+    co_await Delay{eng, 1};
+    co_await deep_chain(eng, depth - 1, count);
+  }
+  ++*count;
+}
+
+TEST(Task, DeepRecursiveChains) {
+  Engine eng;
+  int count = 0;
+  co_spawn(deep_chain(eng, 200, &count));
+  eng.run();
+  EXPECT_EQ(count, 201);
+  EXPECT_EQ(eng.now(), 200u);
+}
+
+TEST(Task, ManyConcurrentSpawns) {
+  Engine eng;
+  int done = 0;
+  for (int i = 0; i < 1000; ++i) {
+    co_spawn([](Engine& e, int delay, int* d) -> Task<> {
+      co_await Delay{e, static_cast<SimDuration>(delay)};
+      ++*d;
+    }(eng, i % 17, &done));
+  }
+  eng.run();
+  EXPECT_EQ(done, 1000);
+}
+
+}  // namespace
+}  // namespace e2e::sim

@@ -1,0 +1,258 @@
+// Bring-up/calibration driver: exercises every major pipeline and prints
+// the headline numbers the paper reports, for manual comparison while the
+// cost model is calibrated. The gtest suites carry the real assertions.
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "exp/exp.hpp"
+#include "numa/numa.hpp"
+#include "rftp/rftp.hpp"
+#include "sim/sim.hpp"
+
+using namespace e2e;
+using metrics::CpuCategory;
+
+static void print_usage(const char* tag, const metrics::CpuUsage& u,
+                        sim::SimDuration w) {
+  std::printf(
+      "  %-18s total %6.1f%% | user %6.1f%% kernel %6.1f%% copy %6.1f%% "
+      "load %6.1f%% offload %6.1f%%\n",
+      tag, u.total_percent(w), u.percent(CpuCategory::kUserProto, w),
+      u.percent(CpuCategory::kKernelProto, w),
+      u.percent(CpuCategory::kCopy, w), u.percent(CpuCategory::kLoad, w),
+      u.percent(CpuCategory::kOffload, w));
+}
+
+static void stream_check() {
+  sim::Engine eng;
+  numa::Host host(eng, model::front_end_lan_host("fe0"));
+  numa::StreamOptions opts;
+  auto local = numa::run_stream_triad(eng, host, opts);
+  std::printf("[stream] triad local %.1f GB/s (paper: 50)\n",
+              local.triad_gBps);
+}
+
+static void motivating_iperf(bool tuned) {
+  exp::FrontEndPair pair;
+  apps::IperfConfig cfg;
+  cfg.bidirectional = true;
+  cfg.numa_tuned = tuned;
+  cfg.sender_buffer_bytes = 256ull << 20;  // defeat the cache
+  cfg.duration = 3 * sim::kSecond;
+  auto r = run_iperf(pair.eng, *pair.a, *pair.b, pair.iperf_links(), cfg);
+  std::printf("[iperf %-7s] aggregate %.1f Gbps (paper: %s)\n",
+              tuned ? "tuned" : "default", r.aggregate_gbps,
+              tuned ? "91.8" : "83.5");
+  print_usage("host A", r.usage_a, cfg.duration);
+}
+
+static void fig4_breakdown() {
+  // /dev/zero -> 40G RoCE -> /dev/null, RFTP vs iperf-style TCP.
+  exp::FrontEndPair pair;
+  const std::uint64_t total = 12ull << 30;
+
+  numa::Process sp(*pair.a, "rftp-s", numa::NumaBinding::bound(0));
+  numa::Process rp(*pair.b, "rftp-r", numa::NumaBinding::bound(0));
+  rftp::RftpConfig cfg;
+  cfg.streams = 1;
+  cfg.block_bytes = 1 << 20;
+  auto base_a = pair.a->total_usage();
+  auto base_b = pair.b->total_usage();
+  rftp::RftpSession sess({&sp, {pair.a_roce[0].get()}},
+                         {&rp, {pair.b_roce[0].get()}},
+                         {pair.links[0].get()}, cfg);
+  rftp::ZeroSource src(total);
+  rftp::NullSink dst;
+  const sim::SimTime t0 = pair.eng.now();
+  auto res = exp::run_task(pair.eng, sess.run(src, dst, total));
+  const sim::SimDuration w = pair.eng.now() - t0;
+  std::printf("[fig4 rftp] %.1f Gbps (paper 39)\n", res.goodput_gbps);
+  metrics::CpuUsage both = pair.a->total_usage().since(base_a);
+  both.merge(pair.b->total_usage().since(base_b));
+  print_usage("rftp both", both, w);  // paper: 122% total, 56% user, 70% load
+}
+
+static void fig4_tcp() {
+  exp::FrontEndPair pair;
+  apps::IperfConfig cfg;
+  cfg.numa_tuned = true;
+  cfg.streams_per_link = 4;
+  cfg.chunk_bytes = 1 << 20;
+  cfg.sender_buffer_bytes = 256ull << 20;
+  cfg.duration = 3 * sim::kSecond;
+  std::vector<apps::IperfLink> one = {pair.iperf_links()[0]};
+  auto r = run_iperf(pair.eng, *pair.a, *pair.b, one, cfg);
+  std::printf("[fig4 tcp] %.1f Gbps (paper 39)\n", r.aggregate_gbps);
+  metrics::CpuUsage both = r.usage_a;
+  both.merge(r.usage_b);
+  print_usage("tcp both", both, cfg.duration);
+  // paper: 642% total; kernel 311%, copy 213%, load ~70%
+}
+
+static void fig7_iser(bool tuned, bool write) {
+  exp::SanConfig scfg;
+  scfg.numa_tuned = tuned;
+  scfg.lun_bytes = 2ull << 30;  // placement-only; smaller keeps regions sane
+  exp::SanTestbed tb(scfg);
+  tb.start();
+  apps::FioOptions opts;
+  opts.block_bytes = 4ull << 20;
+  opts.write = write;
+  opts.duration = 2 * sim::kSecond;
+  auto r = tb.run_fio(opts, 4);
+  auto& th_ = tb.san->target_host();
+  std::printf(
+      "[iser %-7s %-5s] %.1f Gbps, target CPU %.0f%% | ch0 %.2f ch1 %.2f "
+      "qpi01 %.2f qpi10 %.2f\n",
+      tuned ? "tuned" : "default", write ? "write" : "read", r.gbps,
+      r.target_cpu_pct, th_.channel(0).utilization(),
+      th_.channel(1).utilization(), th_.interconnect(0, 1).utilization(),
+      th_.interconnect(1, 0).utilization());
+}
+
+static void e2e_rftp(bool tuned, bool use_src_file = true,
+                     bool use_dst_file = true) {
+  exp::EndToEndTestbed tb(tuned, 24ull << 30);
+  tb.start();
+  numa::Process sp(*tb.src_fe, "rftp-c", numa::NumaBinding::os_default());
+  numa::Process rp(*tb.dst_fe, "rftp-s", numa::NumaBinding::os_default());
+  rftp::RftpConfig cfg;
+  cfg.numa_aware = tuned;
+  rftp::RftpSession sess({&sp, tb.src_roce()}, {&rp, tb.dst_roce()},
+                         tb.links(), cfg);
+  exp::SanSection* ssan_loc = tb.src_san.get();
+  rftp::FileSource fsrc(*tb.src_fs, *tb.src_file, true,
+                        [ssan_loc](std::uint64_t off, std::uint64_t) {
+                          return ssan_loc->fe_node_of(off);
+                        });
+  rftp::MemorySource msrc(tb.dataset_bytes, numa::Placement::on(0));
+  rftp::FileSink fdst(*tb.dst_fs, *tb.dst_file);
+  rftp::MemorySink mdst;
+  rftp::DataSource& src =
+      use_src_file ? static_cast<rftp::DataSource&>(fsrc) : msrc;
+  rftp::DataSink& dst =
+      use_dst_file ? static_cast<rftp::DataSink&>(fdst) : mdst;
+  auto res = exp::run_task(tb.eng, sess.run(src, dst, tb.dataset_bytes));
+  std::printf("[e2e rftp %-7s src=%d dst=%d] %.1f Gbps (paper tuned: 91)\n",
+              tuned ? "tuned" : "default", use_src_file, use_dst_file,
+              res.goodput_gbps);
+}
+
+static void e2e_gridftp() {
+  exp::EndToEndTestbed tb(true, 6ull << 30);
+  tb.start();
+  apps::GridFtpConfig cfg;
+  cfg.processes = 4;
+  std::vector<apps::GridFtpLink> glinks;
+  for (std::size_t i = 0; i < 3; ++i)
+    glinks.push_back({tb.roce_links[i].get(), tb.src_devs[i]->node(),
+                      tb.dst_devs[i]->node()});
+  auto res = exp::run_task(
+      tb.eng, apps::gridftp_transfer({tb.src_fe.get(), tb.src_fs.get(),
+                                      tb.src_file},
+                                     {tb.dst_fe.get(), tb.dst_fs.get(),
+                                      tb.dst_file},
+                                     glinks, tb.dataset_bytes, cfg));
+  std::printf("[e2e gridftp] %.1f Gbps (paper: 29)\n", res.goodput_gbps);
+}
+
+static void wan_rftp(int streams, std::uint64_t block) {
+  exp::WanTestbed tb;
+  rftp::RftpConfig cfg;
+  cfg.streams = streams;
+  cfg.block_bytes = block;
+  cfg.credits_per_stream = 16;
+  rftp::RftpSession sess({tb.a_proc.get(), {tb.a_dev.get()}},
+                         {tb.b_proc.get(), {tb.b_dev.get()}},
+                         {tb.link.get()}, cfg);
+  const std::uint64_t total = 24ull << 30;
+  rftp::MemorySource src(total, numa::Placement::on(0));
+  rftp::MemorySink dst;
+  auto res = exp::run_task(tb.eng, sess.run(src, dst, total));
+  std::printf("[wan rftp s=%d block=%lluMiB] %.1f Gbps (paper peak 38.8)\n",
+              streams, static_cast<unsigned long long>(block >> 20),
+              res.goodput_gbps);
+}
+
+
+static void e2e_bidir_probe() {
+  exp::EndToEndTestbed tb(true, 12ull << 30);
+  tb.add_reverse_files();
+  tb.start();
+  numa::Process sp(*tb.src_fe, "c1", numa::NumaBinding::os_default());
+  numa::Process rp(*tb.dst_fe, "s1", numa::NumaBinding::os_default());
+  numa::Process sp2(*tb.dst_fe, "c2", numa::NumaBinding::os_default());
+  numa::Process rp2(*tb.src_fe, "s2", numa::NumaBinding::os_default());
+  rftp::RftpConfig cfg;
+  rftp::RftpSession fwd({&sp, tb.src_roce()}, {&rp, tb.dst_roce()}, tb.links(), cfg);
+  rftp::RftpSession rev({&sp2, tb.dst_roce()}, {&rp2, tb.src_roce()}, tb.links(), cfg);
+  exp::SanSection* ss = tb.src_san.get();
+  exp::SanSection* ds = tb.dst_san.get();
+  rftp::FileSource fsrc(*tb.src_fs, *tb.src_file, true,
+                        [ss](std::uint64_t off, std::uint64_t) {
+                          return ss->fe_node_of(off);
+                        });
+  rftp::FileSink fdst(*tb.dst_fs, *tb.dst_file);
+  rftp::FileSource rsrc(*tb.dst_fs, *tb.rev_src_file, true,
+                        [ds](std::uint64_t off, std::uint64_t) {
+                          return ds->fe_node_of(off);
+                        });
+  rftp::FileSink rdst(*tb.src_fs, *tb.rev_dst_file);
+  const sim::SimTime t0 = tb.eng.now();
+  auto done = std::make_shared<int>(0);
+  sim::co_spawn([](rftp::RftpSession& s, rftp::DataSource& src, rftp::DataSink& dst,
+                   std::uint64_t n, std::shared_ptr<int> d) -> sim::Task<> {
+    (void)co_await s.run(src, dst, n); ++*d;
+  }(fwd, fsrc, fdst, 12ull << 30, done));
+  sim::co_spawn([](rftp::RftpSession& s, rftp::DataSource& src, rftp::DataSink& dst,
+                   std::uint64_t n, std::shared_ptr<int> d) -> sim::Task<> {
+    (void)co_await s.run(src, dst, n); ++*d;
+  }(rev, rsrc, rdst, 12ull << 30, done));
+  tb.eng.run();
+  const double agg = 2.0 * 12 * 1024 * 1024 * 1024 * 8.0 / (tb.eng.now() - t0);
+  std::printf("[bidir] agg %.1f Gbps (done=%d) fwd steal %llu/%llu rev %llu/%llu\n",
+              agg, *done,
+              (unsigned long long)fwd.stolen_claims,
+              (unsigned long long)fwd.local_claims,
+              (unsigned long long)rev.stolen_claims,
+              (unsigned long long)rev.local_claims);
+  auto util = [&](const char* tag, sim::Resource& r) {
+    std::printf("  %-22s %.2f\n", tag, r.utilization());
+  };
+  util("src_fe ch0", tb.src_fe->channel(0));
+  util("src_fe ch1", tb.src_fe->channel(1));
+  util("src tgt ch0", tb.src_san->target_host().channel(0));
+  util("src tgt ch1", tb.src_san->target_host().channel(1));
+  util("src_fe qpi01", tb.src_fe->interconnect(0, 1));
+  util("src_fe qpi10", tb.src_fe->interconnect(1, 0));
+  util("dst_fe ch0", tb.dst_fe->channel(0));
+  util("dst_fe ch1", tb.dst_fe->channel(1));
+  util("src tgt qpi01", tb.src_san->target_host().interconnect(0, 1));
+  util("src ib0 a2b", tb.src_san->target_host().channel(0));  // placeholder
+  util("roce0 a2b", tb.roce_links[0]->dir(0));
+  util("roce0 b2a", tb.roce_links[0]->dir(1));
+  util("roce1 a2b", tb.roce_links[1]->dir(0));
+  util("roce2 a2b", tb.roce_links[2]->dir(0));
+}
+
+int main() {
+  stream_check();
+  motivating_iperf(false);
+  motivating_iperf(true);
+  fig4_breakdown();
+  fig4_tcp();
+  fig7_iser(true, false);
+  fig7_iser(true, true);
+  fig7_iser(false, false);
+  fig7_iser(false, true);
+  e2e_rftp(true);
+  e2e_rftp(true, true, false);
+  e2e_rftp(true, false, true);
+  e2e_rftp(true, false, false);
+  e2e_gridftp();
+  e2e_bidir_probe();
+  wan_rftp(1, 4ull << 20);
+  wan_rftp(4, 8ull << 20);
+  std::puts("smoke complete");
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "tcp/connection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+#include "metrics/throughput.hpp"
+#include "numa/process.hpp"
+#include "tcp/cubic.hpp"
+#include "testutil.hpp"
+
+namespace e2e::tcp {
+namespace {
+
+using metrics::CpuCategory;
+using e2e::test::TinyRig;
+
+struct TcpRig : ::testing::Test {
+  TinyRig rig;
+  std::unique_ptr<Connection> conn;
+  numa::Thread* tx = nullptr;
+  numa::Thread* rx = nullptr;
+  numa::Placement src = numa::Placement::on(0);
+  numa::Placement dst = numa::Placement::on(0);
+
+  void make(ConnectionOptions opts = {}) {
+    conn = std::make_unique<Connection>(*rig.a, 0, *rig.b, 0, *rig.link,
+                                        opts);
+    tx = &rig.proc_a->spawn_thread();
+    rx = &rig.proc_b->spawn_thread();
+  }
+};
+
+sim::Task<std::uint64_t> recv_all(Connection& c, numa::Thread& th,
+                                  numa::Placement buf) {
+  std::uint64_t total = 0;
+  for (;;) {
+    const std::uint64_t n = co_await c.recv(th, buf);
+    if (n == 0) co_return total;
+    total += n;
+  }
+}
+
+sim::Task<> send_n(Connection& c, numa::Thread& th, numa::Placement buf,
+                   std::uint64_t chunk, int count, bool cached = false) {
+  for (int i = 0; i < count; ++i) co_await c.send(th, buf, chunk, cached);
+  c.shutdown(th);
+}
+
+TEST_F(TcpRig, BytesConservedEndToEnd) {
+  make();
+  sim::co_spawn(send_n(*conn, *tx, src, 64 * 1024, 10));
+  const std::uint64_t got =
+      exp::run_task(rig.eng, recv_all(*conn, *rx, dst));
+  EXPECT_EQ(got, 640u * 1024);
+  EXPECT_EQ(conn->bytes_sent(0), 640u * 1024);
+}
+
+TEST_F(TcpRig, SendChargesCopyAndKernelCategories) {
+  make();
+  sim::co_spawn(send_n(*conn, *tx, src, 128 * 1024, 4));
+  exp::run_task(rig.eng, recv_all(*conn, *rx, dst));
+  EXPECT_GT(rig.proc_a->usage().get(CpuCategory::kCopy), 0u);
+  EXPECT_GT(rig.proc_a->usage().get(CpuCategory::kKernelProto), 0u);
+  EXPECT_GT(rig.proc_b->usage().get(CpuCategory::kCopy), 0u);
+  EXPECT_GT(rig.proc_b->usage().get(CpuCategory::kKernelProto), 0u);
+}
+
+TEST_F(TcpRig, CachedSourceSkipsSourceMemoryTraffic) {
+  make();
+  sim::co_spawn(send_n(*conn, *tx, src, 256 * 1024, 4, /*cached=*/false));
+  exp::run_task(rig.eng, recv_all(*conn, *rx, dst));
+  const double uncached = rig.a->channel(0).units_served();
+
+  TinyRig rig2;
+  Connection c2(*rig2.a, 0, *rig2.b, 0, *rig2.link);
+  numa::Thread& tx2 = rig2.proc_a->spawn_thread();
+  numa::Thread& rx2 = rig2.proc_b->spawn_thread();
+  sim::co_spawn(send_n(c2, tx2, numa::Placement::on(0), 256 * 1024, 4,
+                       /*cached=*/true));
+  exp::run_task(rig2.eng, recv_all(c2, rx2, numa::Placement::on(0)));
+  EXPECT_LT(rig2.a->channel(0).units_served(), uncached);
+}
+
+TEST_F(TcpRig, RemoteThreadPaysStackPenalty) {
+  make();
+  numa::Process remote_proc(*rig.a, "remote", numa::NumaBinding::bound(1));
+  numa::Thread& rtx = remote_proc.spawn_thread();  // node 1, NIC on node 0
+  sim::co_spawn(send_n(*conn, rtx, numa::Placement::on(1), 128 * 1024, 4));
+  exp::run_task(rig.eng, recv_all(*conn, *rx, dst));
+  const auto remote_kernel =
+      remote_proc.usage().get(CpuCategory::kKernelProto);
+
+  TinyRig rig2;
+  Connection c2(*rig2.a, 0, *rig2.b, 0, *rig2.link);
+  numa::Thread& ltx = rig2.proc_a->spawn_thread();  // node 0, local
+  numa::Thread& rx2 = rig2.proc_b->spawn_thread();
+  sim::co_spawn(send_n(c2, ltx, numa::Placement::on(0), 128 * 1024, 4));
+  exp::run_task(rig2.eng, recv_all(c2, rx2, numa::Placement::on(0)));
+  const auto local_kernel =
+      rig2.proc_a->usage().get(CpuCategory::kKernelProto);
+  EXPECT_GT(remote_kernel, local_kernel);
+}
+
+TEST_F(TcpRig, ConnectCostsOneRttPlusCpu) {
+  make();
+  const auto t0 = rig.eng.now();
+  exp::run_task(rig.eng, conn->connect(*tx));
+  EXPECT_GE(rig.eng.now() - t0, rig.link->rtt());
+}
+
+TEST_F(TcpRig, ShutdownUnblocksReceiver) {
+  make();
+  auto total = std::make_shared<std::uint64_t>(1);
+  sim::co_spawn([](Connection& c, numa::Thread& th, numa::Placement buf,
+                   std::shared_ptr<std::uint64_t> out) -> sim::Task<> {
+    *out = co_await c.recv(th, buf);
+  }(*conn, *rx, dst, total));
+  conn->shutdown(*tx);
+  rig.eng.run();
+  EXPECT_EQ(*total, 0u);
+}
+
+TEST_F(TcpRig, EndpointOfRejectsForeignHost) {
+  make();
+  TinyRig other;
+  EXPECT_THROW(conn->endpoint_of(*other.a), std::invalid_argument);
+}
+
+TEST_F(TcpRig, WanWindowLimitsInFlightToBdp) {
+  TinyRig rig2;
+  net::Link wan(rig2.eng, "wan", 40.0, 50 * sim::kMillisecond, 9000);
+  ConnectionOptions opts;
+  opts.flow_controlled = true;
+  opts.max_window_bytes = 8.0 * 1024 * 1024;
+  Connection c(*rig2.a, 0, *rig2.b, 0, wan, opts);
+  numa::Thread& tx2 = rig2.proc_a->spawn_thread();
+  numa::Thread& rx2 = rig2.proc_b->spawn_thread();
+  const int chunks = 256;
+  sim::co_spawn(send_n(c, tx2, numa::Placement::on(0), 1 << 20, chunks));
+  const auto got = exp::run_task(rig2.eng, recv_all(c, rx2,
+                                                    numa::Placement::on(0)));
+  EXPECT_EQ(got, 256u << 20);
+  const double gbps = metrics::gbps(got, rig2.eng.now());
+  // 8 MiB window / 100 ms RTT = ~0.67 Gbps << the 40G line rate.
+  EXPECT_LT(gbps, 1.2);
+  EXPECT_GT(gbps, 0.3);
+}
+
+// --- CUBIC window model ---
+
+TEST(Cubic, SlowStartDoublesRoughly) {
+  Cubic c(9000, 1e9);
+  const double w0 = c.cwnd_bytes();
+  c.on_ack(w0, sim::kSecond);
+  EXPECT_NEAR(c.cwnd_bytes(), 2 * w0, 1.0);
+  EXPECT_TRUE(c.in_slow_start());
+}
+
+TEST(Cubic, LossShrinksWindow) {
+  Cubic c(9000, 1e9);
+  for (int i = 0; i < 20; ++i) c.on_ack(c.cwnd_bytes(), sim::kSecond);
+  const double before = c.cwnd_bytes();
+  c.on_loss();
+  EXPECT_LT(c.cwnd_bytes(), before);
+  EXPECT_GE(c.cwnd_bytes(), 2 * 9000.0);
+  EXPECT_FALSE(c.in_slow_start());
+}
+
+TEST(Cubic, RecoversTowardWmaxAfterLoss) {
+  Cubic c(9000, 1e9);
+  for (int i = 0; i < 20; ++i) c.on_ack(c.cwnd_bytes(), sim::kSecond);
+  const double wmax = c.cwnd_bytes();
+  c.on_loss();
+  for (int i = 1; i <= 200; ++i)
+    c.on_ack(100 * 9000, i * 100 * sim::kMillisecond);
+  EXPECT_GT(c.cwnd_bytes(), 0.8 * wmax);
+}
+
+TEST(Cubic, WindowNeverExceedsMax) {
+  Cubic c(9000, 5e6);
+  for (int i = 0; i < 100; ++i) c.on_ack(c.cwnd_bytes(), sim::kSecond);
+  EXPECT_LE(c.cwnd_bytes(), 5e6);
+}
+
+}  // namespace
+}  // namespace e2e::tcp

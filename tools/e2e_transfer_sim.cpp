@@ -1,0 +1,226 @@
+// e2e_transfer_sim — command-line front end to the simulation library.
+//
+//   e2e_transfer_sim quick                         # 40G link, mem-to-mem
+//   e2e_transfer_sim e2e --gib 32 --numa 1         # full Fig. 5 path
+//   e2e_transfer_sim wan --streams 4 --block 8m    # ANI 95 ms loop
+//   e2e_transfer_sim san --write --numa 0          # iSER fio back-end
+//   e2e_transfer_sim motivating                    # Sec 2.3 iperf study
+//
+// Options: --gib N, --block N[k|m], --streams N, --credits N, --numa 0|1,
+//          --write, --duration SECONDS, --files N (multi-file e2e)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "exp/exp.hpp"
+#include "metrics/metrics.hpp"
+#include "rftp/rftp.hpp"
+
+using namespace e2e;
+
+namespace {
+
+struct Options {
+  std::string scenario;
+  std::uint64_t gib = 16;
+  std::uint64_t block = 4ull << 20;
+  int streams = 0;  // 0 = scenario default
+  int credits = 16;
+  bool numa = true;
+  bool write = false;
+  double duration_s = 2.0;
+  int files = 1;
+};
+
+std::uint64_t parse_size(const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  std::uint64_t mult = 1;
+  if (end && (*end == 'k' || *end == 'K')) mult = 1024;
+  if (end && (*end == 'm' || *end == 'M')) mult = 1024 * 1024;
+  if (end && (*end == 'g' || *end == 'G')) mult = 1024ull * 1024 * 1024;
+  return static_cast<std::uint64_t>(v * static_cast<double>(mult));
+}
+
+[[noreturn]] void usage() {
+  std::fputs(
+      "usage: e2e_transfer_sim <quick|e2e|wan|san|motivating> [options]\n"
+      "  --gib N        dataset size in GiB (transfer scenarios)\n"
+      "  --block N[k|m] RFTP block / fio I/O size\n"
+      "  --streams N    parallel RFTP streams\n"
+      "  --credits N    credit tokens per stream\n"
+      "  --numa 0|1     NUMA tuning on/off\n"
+      "  --write        fio writes instead of reads (san)\n"
+      "  --duration S   measurement window in simulated seconds (san)\n"
+      "  --files N      split the dataset into N files (e2e)\n",
+      stderr);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Options o;
+  o.scenario = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    auto need = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage();
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--gib"))
+      o.gib = std::strtoull(need("--gib"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--block"))
+      o.block = parse_size(need("--block"));
+    else if (!std::strcmp(argv[i], "--streams"))
+      o.streams = std::atoi(need("--streams"));
+    else if (!std::strcmp(argv[i], "--credits"))
+      o.credits = std::atoi(need("--credits"));
+    else if (!std::strcmp(argv[i], "--numa"))
+      o.numa = std::atoi(need("--numa")) != 0;
+    else if (!std::strcmp(argv[i], "--write"))
+      o.write = true;
+    else if (!std::strcmp(argv[i], "--duration"))
+      o.duration_s = std::atof(need("--duration"));
+    else if (!std::strcmp(argv[i], "--files"))
+      o.files = std::atoi(need("--files"));
+    else
+      usage();
+  }
+  return o;
+}
+
+int run_quick(const Options& o) {
+  sim::Engine eng;
+  numa::Host a(eng, model::front_end_lan_host("a"));
+  numa::Host b(eng, model::front_end_lan_host("b"));
+  rdma::Device da(a, a.profile().nics[0]);
+  rdma::Device db(b, b.profile().nics[0]);
+  auto link = net::make_roce_lan(eng, "wire");
+  link->bind_endpoints(&a, &b);
+  numa::Process pa(a, "client", numa::NumaBinding::bound(da.node()));
+  numa::Process pb(b, "server", numa::NumaBinding::bound(db.node()));
+  rftp::RftpConfig cfg;
+  cfg.streams = o.streams > 0 ? o.streams : 1;
+  cfg.block_bytes = o.block;
+  cfg.credits_per_stream = o.credits;
+  cfg.numa_aware = o.numa;
+  rftp::RftpSession sess({&pa, {&da}}, {&pb, {&db}}, {link.get()}, cfg);
+  rftp::MemorySource src(o.gib << 30, numa::Placement::on(0));
+  rftp::MemorySink dst;
+  const auto r = exp::run_task(eng, sess.run(src, dst, o.gib << 30));
+  std::printf("quick: %llu GiB in %.2f s -> %.1f Gbps\n",
+              static_cast<unsigned long long>(o.gib), r.elapsed_s,
+              r.goodput_gbps);
+  return 0;
+}
+
+int run_e2e(const Options& o) {
+  exp::EndToEndTestbed tb(o.numa, o.gib << 30);
+  tb.start();
+  numa::Process sp(*tb.src_fe, "client", numa::NumaBinding::os_default());
+  numa::Process rp(*tb.dst_fe, "server", numa::NumaBinding::os_default());
+  rftp::RftpConfig cfg;
+  cfg.numa_aware = o.numa;
+  cfg.block_bytes = o.block;
+  cfg.credits_per_stream = o.credits;
+  if (o.streams > 0) cfg.streams = o.streams;
+  rftp::RftpSession sess({&sp, tb.src_roce()}, {&rp, tb.dst_roce()},
+                         tb.links(), cfg);
+  exp::SanSection* san = tb.src_san.get();
+  auto locality = [san](std::uint64_t off, std::uint64_t) {
+    return san->fe_node_of(off);
+  };
+  metrics::ThroughputMeter meter(tb.eng, sim::kSecond);
+  rftp::TransferResult r;
+  if (o.files > 1) {
+    rftp::FileSet sset(*tb.src_fs);
+    sset.create_filled("part", o.files, (o.gib << 30) / o.files / 512 * 512);
+    rftp::FileSet dset(*tb.dst_fs);
+    dset.create_empty("part-copy", o.files,
+                      (o.gib << 30) / o.files / 512 * 512);
+    rftp::FileSetSource src(sset, locality);
+    rftp::FileSetSink dst(dset);
+    r = exp::run_task(tb.eng, sess.run(src, dst, sset.total_bytes(), &meter));
+  } else {
+    rftp::FileSource src(*tb.src_fs, *tb.src_file, true, locality);
+    rftp::FileSink dst(*tb.dst_fs, *tb.dst_file);
+    r = exp::run_task(tb.eng, sess.run(src, dst, tb.dataset_bytes, &meter));
+  }
+  std::printf("e2e (%s): %.1f Gbps over the full SAN->RoCE->SAN path\n",
+              o.numa ? "numa-tuned" : "untuned", r.goodput_gbps);
+  std::printf("per-second series: ");
+  for (double g : meter.series_gbps()) std::printf("%.0f ", g);
+  std::printf("Gbps\n");
+  return 0;
+}
+
+int run_wan(const Options& o) {
+  exp::WanTestbed tb;
+  rftp::RftpConfig cfg;
+  cfg.streams = o.streams > 0 ? o.streams : 4;
+  cfg.block_bytes = o.block;
+  cfg.credits_per_stream = o.credits;
+  rftp::RftpSession sess({tb.a_proc.get(), {tb.a_dev.get()}},
+                         {tb.b_proc.get(), {tb.b_dev.get()}},
+                         {tb.link.get()}, cfg);
+  rftp::MemorySource src(o.gib << 30, numa::Placement::on(0));
+  rftp::MemorySink dst;
+  const auto r = exp::run_task(tb.eng, sess.run(src, dst, o.gib << 30));
+  std::printf(
+      "wan (rtt 95 ms): %.1f Gbps (%.0f%% of 40G); in-flight window %.0f MB "
+      "vs BDP 475 MB\n",
+      r.goodput_gbps, 100.0 * r.goodput_gbps / 40.0,
+      static_cast<double>(cfg.streams) * cfg.credits_per_stream *
+          static_cast<double>(cfg.block_bytes) / 1e6);
+  return 0;
+}
+
+int run_san(const Options& o) {
+  exp::SanConfig scfg;
+  scfg.numa_tuned = o.numa;
+  scfg.lun_bytes = 4ull << 30;
+  exp::SanTestbed tb(scfg);
+  tb.start();
+  apps::FioOptions opts;
+  opts.block_bytes = o.block;
+  opts.write = o.write;
+  opts.duration = sim::from_seconds(o.duration_s);
+  const auto r = tb.run_fio(opts, 4);
+  std::printf("san %s (%s): %.1f Gbps, target CPU %.0f%%\n",
+              o.write ? "write" : "read", o.numa ? "numa-tuned" : "untuned",
+              r.gbps, r.target_cpu_pct);
+  return 0;
+}
+
+int run_motivating(const Options&) {
+  for (const bool tuned : {false, true}) {
+    exp::FrontEndPair pair;
+    apps::IperfConfig cfg;
+    cfg.bidirectional = true;
+    cfg.numa_tuned = tuned;
+    cfg.sender_buffer_bytes = 256ull << 20;
+    cfg.duration = 3 * sim::kSecond;
+    const auto r =
+        run_iperf(pair.eng, *pair.a, *pair.b, pair.iperf_links(), cfg);
+    std::printf("iperf bidirectional, %s: %.1f Gbps aggregate\n",
+                tuned ? "numa-tuned" : "default scheduler",
+                r.aggregate_gbps);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.scenario == "quick") return run_quick(o);
+  if (o.scenario == "e2e") return run_e2e(o);
+  if (o.scenario == "wan") return run_wan(o);
+  if (o.scenario == "san") return run_san(o);
+  if (o.scenario == "motivating") return run_motivating(o);
+  usage();
+}
