@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_filesystems.dir/bench_ablation_filesystems.cpp.o"
+  "CMakeFiles/bench_ablation_filesystems.dir/bench_ablation_filesystems.cpp.o.d"
+  "bench_ablation_filesystems"
+  "bench_ablation_filesystems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_filesystems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rftp.dir/bench_ablation_rftp.cpp.o"
+  "CMakeFiles/bench_ablation_rftp.dir/bench_ablation_rftp.cpp.o.d"
+  "bench_ablation_rftp"
+  "bench_ablation_rftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

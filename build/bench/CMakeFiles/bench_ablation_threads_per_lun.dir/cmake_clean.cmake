@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_threads_per_lun.dir/bench_ablation_threads_per_lun.cpp.o"
+  "CMakeFiles/bench_ablation_threads_per_lun.dir/bench_ablation_threads_per_lun.cpp.o.d"
+  "bench_ablation_threads_per_lun"
+  "bench_ablation_threads_per_lun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_threads_per_lun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_iser_cpu.dir/bench_fig08_iser_cpu.cpp.o"
+  "CMakeFiles/bench_fig08_iser_cpu.dir/bench_fig08_iser_cpu.cpp.o.d"
+  "bench_fig08_iser_cpu"
+  "bench_fig08_iser_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_iser_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perftest.dir/bench_perftest.cpp.o"
+  "CMakeFiles/bench_perftest.dir/bench_perftest.cpp.o.d"
+  "bench_perftest"
+  "bench_perftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

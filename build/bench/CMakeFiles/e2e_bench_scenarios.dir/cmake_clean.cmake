@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_bench_scenarios.dir/scenarios.cpp.o"
+  "CMakeFiles/e2e_bench_scenarios.dir/scenarios.cpp.o.d"
+  "libe2e_bench_scenarios.a"
+  "libe2e_bench_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_bench_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_sync.dir/datacenter_sync.cpp.o"
+  "CMakeFiles/datacenter_sync.dir/datacenter_sync.cpp.o.d"
+  "datacenter_sync"
+  "datacenter_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_tuning.dir/wan_tuning.cpp.o"
+  "CMakeFiles/wan_tuning.dir/wan_tuning.cpp.o.d"
+  "wan_tuning"
+  "wan_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_apps.dir/fio.cpp.o"
+  "CMakeFiles/e2e_apps.dir/fio.cpp.o.d"
+  "CMakeFiles/e2e_apps.dir/gridftp.cpp.o"
+  "CMakeFiles/e2e_apps.dir/gridftp.cpp.o.d"
+  "CMakeFiles/e2e_apps.dir/iperf.cpp.o"
+  "CMakeFiles/e2e_apps.dir/iperf.cpp.o.d"
+  "CMakeFiles/e2e_apps.dir/perftest.cpp.o"
+  "CMakeFiles/e2e_apps.dir/perftest.cpp.o.d"
+  "libe2e_apps.a"
+  "libe2e_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_blk.dir/block_device.cpp.o"
+  "CMakeFiles/e2e_blk.dir/block_device.cpp.o.d"
+  "CMakeFiles/e2e_blk.dir/filesystem.cpp.o"
+  "CMakeFiles/e2e_blk.dir/filesystem.cpp.o.d"
+  "CMakeFiles/e2e_blk.dir/page_cache.cpp.o"
+  "CMakeFiles/e2e_blk.dir/page_cache.cpp.o.d"
+  "libe2e_blk.a"
+  "libe2e_blk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_blk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_exp.dir/san_section.cpp.o"
+  "CMakeFiles/e2e_exp.dir/san_section.cpp.o.d"
+  "CMakeFiles/e2e_exp.dir/testbeds.cpp.o"
+  "CMakeFiles/e2e_exp.dir/testbeds.cpp.o.d"
+  "libe2e_exp.a"
+  "libe2e_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

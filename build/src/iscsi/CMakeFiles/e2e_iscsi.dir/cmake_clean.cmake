@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_iscsi.dir/initiator.cpp.o"
+  "CMakeFiles/e2e_iscsi.dir/initiator.cpp.o.d"
+  "CMakeFiles/e2e_iscsi.dir/target.cpp.o"
+  "CMakeFiles/e2e_iscsi.dir/target.cpp.o.d"
+  "CMakeFiles/e2e_iscsi.dir/tcp_datamover.cpp.o"
+  "CMakeFiles/e2e_iscsi.dir/tcp_datamover.cpp.o.d"
+  "libe2e_iscsi.a"
+  "libe2e_iscsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_iscsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

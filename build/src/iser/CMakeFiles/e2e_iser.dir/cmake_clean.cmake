@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_iser.dir/iser.cpp.o"
+  "CMakeFiles/e2e_iser.dir/iser.cpp.o.d"
+  "libe2e_iser.a"
+  "libe2e_iser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_iser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

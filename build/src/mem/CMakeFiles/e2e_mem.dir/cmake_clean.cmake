@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_mem.dir/tmpfs.cpp.o"
+  "CMakeFiles/e2e_mem.dir/tmpfs.cpp.o.d"
+  "libe2e_mem.a"
+  "libe2e_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

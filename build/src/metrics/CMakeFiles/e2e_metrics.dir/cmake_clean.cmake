@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_metrics.dir/table.cpp.o"
+  "CMakeFiles/e2e_metrics.dir/table.cpp.o.d"
+  "libe2e_metrics.a"
+  "libe2e_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numa/host.cpp" "src/numa/CMakeFiles/e2e_numa.dir/host.cpp.o" "gcc" "src/numa/CMakeFiles/e2e_numa.dir/host.cpp.o.d"
+  "/root/repo/src/numa/stream.cpp" "src/numa/CMakeFiles/e2e_numa.dir/stream.cpp.o" "gcc" "src/numa/CMakeFiles/e2e_numa.dir/stream.cpp.o.d"
+  "/root/repo/src/numa/thread.cpp" "src/numa/CMakeFiles/e2e_numa.dir/thread.cpp.o" "gcc" "src/numa/CMakeFiles/e2e_numa.dir/thread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/e2e_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/e2e_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

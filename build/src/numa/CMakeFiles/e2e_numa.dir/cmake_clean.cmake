@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_numa.dir/host.cpp.o"
+  "CMakeFiles/e2e_numa.dir/host.cpp.o.d"
+  "CMakeFiles/e2e_numa.dir/stream.cpp.o"
+  "CMakeFiles/e2e_numa.dir/stream.cpp.o.d"
+  "CMakeFiles/e2e_numa.dir/thread.cpp.o"
+  "CMakeFiles/e2e_numa.dir/thread.cpp.o.d"
+  "libe2e_numa.a"
+  "libe2e_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_rdma.dir/qp.cpp.o"
+  "CMakeFiles/e2e_rdma.dir/qp.cpp.o.d"
+  "libe2e_rdma.a"
+  "libe2e_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

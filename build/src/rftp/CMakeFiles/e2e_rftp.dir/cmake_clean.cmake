@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_rftp.dir/fileset.cpp.o"
+  "CMakeFiles/e2e_rftp.dir/fileset.cpp.o.d"
+  "CMakeFiles/e2e_rftp.dir/session.cpp.o"
+  "CMakeFiles/e2e_rftp.dir/session.cpp.o.d"
+  "libe2e_rftp.a"
+  "libe2e_rftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_rftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

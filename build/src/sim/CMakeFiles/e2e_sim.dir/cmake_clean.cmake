@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_sim.dir/engine.cpp.o"
+  "CMakeFiles/e2e_sim.dir/engine.cpp.o.d"
+  "libe2e_sim.a"
+  "libe2e_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_tcp.dir/connection.cpp.o"
+  "CMakeFiles/e2e_tcp.dir/connection.cpp.o.d"
+  "libe2e_tcp.a"
+  "libe2e_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/smoke.cpp" "tests/CMakeFiles/calibrate.dir/smoke.cpp.o" "gcc" "tests/CMakeFiles/calibrate.dir/smoke.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/e2e_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/e2e_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/iser/CMakeFiles/e2e_iser.dir/DependInfo.cmake"
+  "/root/repo/build/src/rftp/CMakeFiles/e2e_rftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/blk/CMakeFiles/e2e_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/iscsi/CMakeFiles/e2e_iscsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/e2e_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/e2e_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/e2e_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/e2e_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/e2e_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e2e_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_rdma_test.dir/net/link_binding_test.cpp.o"
+  "CMakeFiles/net_rdma_test.dir/net/link_binding_test.cpp.o.d"
+  "CMakeFiles/net_rdma_test.dir/net/link_test.cpp.o"
+  "CMakeFiles/net_rdma_test.dir/net/link_test.cpp.o.d"
+  "CMakeFiles/net_rdma_test.dir/rdma/qp_test.cpp.o"
+  "CMakeFiles/net_rdma_test.dir/rdma/qp_test.cpp.o.d"
+  "net_rdma_test"
+  "net_rdma_test.pdb"
+  "net_rdma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_rdma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_test.dir/numa/host_test.cpp.o"
+  "CMakeFiles/numa_test.dir/numa/host_test.cpp.o.d"
+  "CMakeFiles/numa_test.dir/numa/process_test.cpp.o"
+  "CMakeFiles/numa_test.dir/numa/process_test.cpp.o.d"
+  "CMakeFiles/numa_test.dir/numa/quad_node_test.cpp.o"
+  "CMakeFiles/numa_test.dir/numa/quad_node_test.cpp.o.d"
+  "CMakeFiles/numa_test.dir/numa/stream_test.cpp.o"
+  "CMakeFiles/numa_test.dir/numa/stream_test.cpp.o.d"
+  "CMakeFiles/numa_test.dir/numa/thread_test.cpp.o"
+  "CMakeFiles/numa_test.dir/numa/thread_test.cpp.o.d"
+  "numa_test"
+  "numa_test.pdb"
+  "numa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rftp_test.dir/rftp/fileset_test.cpp.o"
+  "CMakeFiles/rftp_test.dir/rftp/fileset_test.cpp.o.d"
+  "CMakeFiles/rftp_test.dir/rftp/rftp_test.cpp.o"
+  "CMakeFiles/rftp_test.dir/rftp/rftp_test.cpp.o.d"
+  "rftp_test"
+  "rftp_test.pdb"
+  "rftp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rftp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/blk/block_device_test.cpp.o"
+  "CMakeFiles/storage_test.dir/blk/block_device_test.cpp.o.d"
+  "CMakeFiles/storage_test.dir/blk/ext4_test.cpp.o"
+  "CMakeFiles/storage_test.dir/blk/ext4_test.cpp.o.d"
+  "CMakeFiles/storage_test.dir/blk/filesystem_test.cpp.o"
+  "CMakeFiles/storage_test.dir/blk/filesystem_test.cpp.o.d"
+  "CMakeFiles/storage_test.dir/blk/page_cache_test.cpp.o"
+  "CMakeFiles/storage_test.dir/blk/page_cache_test.cpp.o.d"
+  "CMakeFiles/storage_test.dir/iscsi/session_test.cpp.o"
+  "CMakeFiles/storage_test.dir/iscsi/session_test.cpp.o.d"
+  "CMakeFiles/storage_test.dir/iscsi/tcp_session_test.cpp.o"
+  "CMakeFiles/storage_test.dir/iscsi/tcp_session_test.cpp.o.d"
+  "CMakeFiles/storage_test.dir/scsi/scsi_test.cpp.o"
+  "CMakeFiles/storage_test.dir/scsi/scsi_test.cpp.o.d"
+  "storage_test"
+  "storage_test.pdb"
+  "storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

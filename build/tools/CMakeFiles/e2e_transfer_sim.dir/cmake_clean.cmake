@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_transfer_sim.dir/e2e_transfer_sim.cpp.o"
+  "CMakeFiles/e2e_transfer_sim.dir/e2e_transfer_sim.cpp.o.d"
+  "e2e_transfer_sim"
+  "e2e_transfer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_transfer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
