@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "apps/apps.hpp"
+#include "bench_util.hpp"
 #include "exp/exp.hpp"
 #include "metrics/throughput.hpp"
 #include "numa/stream.hpp"
@@ -139,9 +140,11 @@ E2eResult run_e2e_rftp(std::uint64_t dataset, bool numa_tuned) {
                        });
   rftp::FileSink dst(*tb.dst_fs, *tb.dst_file);
   metrics::ThroughputMeter meter(tb.eng, sim::kSecond);
+  ScopedTrace ts(tb.eng);  // opt-in via E2E_TRACE / E2E_REPORT
   const sim::SimTime t0 = tb.eng.now();
   const auto res =
       exp::run_task(tb.eng, sess.run(src, dst, dataset, &meter));
+  if (auto* tr = ts.get()) tr->note("goodput_gbps", res.goodput_gbps);
   return finish_e2e(tb, res, meter, tb.eng.now() - t0);
 }
 

@@ -63,6 +63,16 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
   auto pending = std::make_shared<Pending>(eng);
   pending_.emplace(cmd.itt, pending);
 
+  // Concurrent SCSI tasks overlap, so each traces as an async span keyed
+  // by its initiator task tag, from submission to response.
+  const char* span = op == scsi::OpCode::kRead16 ? "scsi-read" : "scsi-write";
+  if (auto* tr = trace::of(eng)) {
+    tr->async_begin(trace_trk_.get(tr, trace::Layer::kIscsi,
+                                   proc_.host().name() + "/initiator"),
+                    span, cmd.itt);
+    tr->counter("iscsi/tasks_submitted").add(1);
+  }
+
   // Initiator-side task bookkeeping (tag allocation, SGL mapping).
   co_await th.compute(th.host().costs().iser_initiator_cycles,
                       metrics::CpuCategory::kUserProto);
@@ -82,6 +92,18 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
     // Timed out: retransmit the same task tag. The target suppresses
     // duplicates, so at-most-once execution is preserved.
     ++command_retries_;
+    if (auto* tr = trace::of(eng)) {
+      tr->instant(trace_trk_.get(tr, trace::Layer::kIscsi,
+                                 proc_.host().name() + "/initiator"),
+                  "command-retry");
+      tr->counter("iscsi/command_retries").add(1);
+    }
+  }
+  if (auto* tr = trace::of(eng)) {
+    tr->async_end(trace_trk_.get(tr, trace::Layer::kIscsi,
+                                 proc_.host().name() + "/initiator"),
+                  span, cmd.itt);
+    tr->counter("iscsi/tasks_completed").add(1);
   }
   co_return pending->status;
 }

@@ -16,6 +16,7 @@
 #include "numa/process.hpp"
 #include "sim/channel.hpp"
 #include "sim/sync.hpp"
+#include "trace/tracer.hpp"
 
 namespace e2e::iscsi {
 
@@ -85,6 +86,7 @@ class Initiator {
   std::uint64_t tasks_completed_ = 0;
   std::uint64_t command_retries_ = 0;
   std::map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+  trace::CachedTrack trace_trk_;
 };
 
 }  // namespace e2e::iscsi

@@ -66,6 +66,11 @@ sim::Task<> IserEndpoint::send_pdu(numa::Thread& th, const iscsi::Pdu& pdu) {
   wr.payload = std::make_shared<iscsi::Pdu>(pdu);
   co_await qp_.post_send(th, wr);
   ++pdus_sent_;
+  if (auto* tr = trace::of(proc_.host().engine())) {
+    tr->instant(trace_track(tr),
+                std::string("pdu:") + iscsi::to_string(pdu.type));
+    tr->counter("iser/pdus_sent").add(1);
+  }
 }
 
 sim::Task<std::optional<iscsi::Pdu>> IserEndpoint::recv_pdu(
@@ -74,15 +79,28 @@ sim::Task<std::optional<iscsi::Pdu>> IserEndpoint::recv_pdu(
   if (!pdu) co_return std::nullopt;
   co_await th.compute(th.host().costs().iscsi_pdu_cycles,
                       metrics::CpuCategory::kUserProto);
+  if (auto* tr = trace::of(proc_.host().engine()))
+    tr->counter("iser/pdus_received").add(1);
   co_return *pdu;
 }
 
-sim::Task<> IserEndpoint::await_data_op(numa::Thread& th, rdma::SendWr wr) {
-  sim::ManualEvent done(th.host().engine());
+sim::Task<> IserEndpoint::await_data_op(numa::Thread& th, rdma::SendWr wr,
+                                        const char* span_name) {
+  auto& eng = th.host().engine();
+  // Data ops from concurrent submitters overlap, so they trace as async
+  // spans keyed by wr_id.
+  if (auto* tr = trace::of(eng)) {
+    tr->async_begin(trace_track(tr), span_name, wr.wr_id);
+    tr->counter("iser/data_bytes").add(wr.bytes);
+    tr->counter("iser/data_ops").add(1);
+  }
+  sim::ManualEvent done(eng);
   pending_.emplace(wr.wr_id, [&done] { done.set(); });
   co_await qp_.post_send(th, wr);
   co_await done.wait();
   ++data_ops_;
+  if (auto* tr = trace::of(eng))
+    tr->async_end(trace_track(tr), span_name, wr.wr_id);
 }
 
 sim::Task<> IserEndpoint::put_data(numa::Thread& th, mem::Buffer& staging,
@@ -95,7 +113,7 @@ sim::Task<> IserEndpoint::put_data(numa::Thread& th, mem::Buffer& staging,
   wr.local = &staging;
   wr.bytes = bytes;
   wr.remote = rkey;
-  co_await await_data_op(th, wr);
+  co_await await_data_op(th, wr, "rdma-write");
 }
 
 sim::Task<> IserEndpoint::put_data_nowait(numa::Thread& th,
@@ -112,7 +130,21 @@ sim::Task<> IserEndpoint::put_data_nowait(numa::Thread& th,
   wr.bytes = bytes;
   wr.remote = rkey;
   ++data_ops_;
-  pending_.emplace(wr.wr_id, std::move(on_complete));
+  auto& eng = th.host().engine();
+  if (auto* tr = trace::of(eng)) {
+    tr->async_begin(trace_track(tr), "rdma-write", wr.wr_id);
+    tr->counter("iser/data_bytes").add(bytes);
+    tr->counter("iser/data_ops").add(1);
+    pending_.emplace(
+        wr.wr_id,
+        [this, wr_id = wr.wr_id, cb = std::move(on_complete)] {
+          if (auto* t2 = trace::of(proc_.host().engine()))
+            t2->async_end(trace_track(t2), "rdma-write", wr_id);
+          cb();
+        });
+  } else {
+    pending_.emplace(wr.wr_id, std::move(on_complete));
+  }
   co_await qp_.post_send(th, wr);
 }
 
@@ -126,7 +158,7 @@ sim::Task<> IserEndpoint::get_data(numa::Thread& th, mem::Buffer& staging,
   wr.local = &staging;
   wr.bytes = bytes;
   wr.remote = rkey;
-  co_await await_data_op(th, wr);
+  co_await await_data_op(th, wr, "rdma-read");
 }
 
 void IserEndpoint::close() { rx_pdus_.close(); }

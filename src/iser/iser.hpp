@@ -24,6 +24,7 @@
 #include "rdma/qp.hpp"
 #include "sim/channel.hpp"
 #include "sim/sync.hpp"
+#include "trace/tracer.hpp"
 
 namespace e2e::iser {
 
@@ -62,7 +63,14 @@ class IserEndpoint final : public iscsi::Datamover {
  private:
   sim::Task<> send_cq_loop(numa::Thread& th);
   sim::Task<> recv_cq_loop(numa::Thread& th);
-  sim::Task<> await_data_op(numa::Thread& th, rdma::SendWr wr);
+  sim::Task<> await_data_op(numa::Thread& th, rdma::SendWr wr,
+                            const char* span_name);
+
+  /// This endpoint's trace track ("<host>/iser#n"), minted lazily.
+  trace::TrackId trace_track(trace::Tracer* tr) {
+    return trace_trk_.get(tr, trace::Layer::kIser,
+                          proc_.host().name() + "/iser");
+  }
 
   rdma::QueuePair& qp_;
   numa::Process& proc_;
@@ -76,6 +84,7 @@ class IserEndpoint final : public iscsi::Datamover {
   std::uint64_t pdus_sent_ = 0;
   std::uint64_t data_ops_ = 0;
   bool started_ = false;
+  trace::CachedTrack trace_trk_;
 };
 
 }  // namespace e2e::iser

@@ -43,6 +43,8 @@ sim::Task<> QueuePair::post_send(numa::Thread& th, const SendWr& wr) {
     throw std::invalid_argument("one-sided WR without a remote key");
   co_await th.compute(th.host().costs().rdma_post_wr_cycles,
                       metrics::CpuCategory::kUserProto);
+  if (auto* tr = trace::of(dev_.host().engine()))
+    tr->counter("rdma/wr_posted").add(1);
   send_q_.send(wr);
 }
 
@@ -76,6 +78,7 @@ sim::Task<> QueuePair::sender_loop() {
     // Transmit path: the DMA engine and the wire pipeline — the WR
     // completes when both the memory fetch and the serialization finish,
     // but the next WR's DMA is not held behind this WR's wire time.
+    const sim::SimTime t0 = eng.now();
     if (wr->bytes > 0) {
       const sim::SimTime dma_done =
           dev_.charge_dma(wr->local->placement, wr->bytes, /*to_wire=*/true);
@@ -87,10 +90,25 @@ sim::Task<> QueuePair::sender_loop() {
     // never reaches the peer (the app-level protocol must retransmit).
     if (link_->take_failure(dir_)) {
       scq_.push({wr->op, wr->wr_id, wr->bytes, 0, false, nullptr});
+      if (auto* tr = trace::of(eng)) {
+        const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
+                                      dev_.host().name() + "/qp-tx");
+        tr->complete(tk, to_string(wr->op), t0);
+        tr->instant(tk, "wire-failure");
+        tr->counter("rdma/wire_failures").add(1);
+        tr->counter("rdma/cq_completions").add(1);
+      }
       continue;
     }
     bytes_sent_ += wr->bytes;
     scq_.push({wr->op, wr->wr_id, wr->bytes, 0, true, nullptr});
+    if (auto* tr = trace::of(eng)) {
+      const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
+                                    dev_.host().name() + "/qp-tx");
+      tr->complete(tk, to_string(wr->op), t0);
+      tr->counter("rdma/bytes_posted").add(wr->bytes);
+      tr->counter("rdma/cq_completions").add(1);
+    }
     deliver_after_latency(
         {wr->op, wr->bytes, wr->remote.buffer, wr->imm,
          std::move(wr->payload)});
@@ -102,6 +120,18 @@ sim::Task<> QueuePair::receiver_loop() {
   for (;;) {
     auto d = co_await inbound_.recv();
     if (!d) co_return;
+    const sim::SimTime t0 = eng.now();
+    // Receiver-not-ready: a two-sided arrival with no posted receive
+    // stalls the inbound pipeline until the application posts one.
+    if ((d->op == Opcode::kSend || d->op == Opcode::kWriteImm) &&
+        recv_q_.size() == 0) {
+      if (auto* tr = trace::of(eng)) {
+        const auto tk = trace_rx_.get(tr, trace::Layer::kRdma,
+                                      dev_.host().name() + "/qp-rx");
+        tr->instant(tk, "rnr");
+        tr->counter("rdma/rnr_waits").add(1);
+      }
+    }
 
     switch (d->op) {
       case Opcode::kSend: {
@@ -139,12 +169,24 @@ sim::Task<> QueuePair::receiver_loop() {
       case Opcode::kRead:
         throw std::logic_error("read delivered to receiver loop");
     }
+    if (auto* tr = trace::of(eng)) {
+      const auto tk = trace_rx_.get(tr, trace::Layer::kRdma,
+                                    dev_.host().name() + "/qp-rx");
+      tr->complete(tk, to_string(d->op), t0);
+      tr->counter("rdma/bytes_delivered").add(d->bytes);
+      if (d->op != Opcode::kWrite) tr->counter("rdma/cq_completions").add(1);
+    }
   }
 }
 
 sim::Task<> QueuePair::serve_read(SendWr wr) {
   auto& eng = dev_.host().engine();
   const auto& cm = dev_.host().costs();
+  // Reads overlap each other, so they trace as async spans keyed by wr_id.
+  if (auto* tr = trace::of(eng))
+    tr->async_begin(trace_tx_.get(tr, trace::Layer::kRdma,
+                                  dev_.host().name() + "/qp-tx"),
+                    "read", wr.wr_id);
 
   // Read request travels to the responder...
   co_await link_->dir(dir_).acquire(64.0);
@@ -163,6 +205,14 @@ sim::Task<> QueuePair::serve_read(SendWr wr) {
 
   if (link_->take_failure(1 - dir_)) {
     scq_.push({Opcode::kRead, wr.wr_id, wr.bytes, 0, false, nullptr});
+    if (auto* tr = trace::of(eng)) {
+      const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
+                                    dev_.host().name() + "/qp-tx");
+      tr->async_end(tk, "read", wr.wr_id);
+      tr->instant(tk, "wire-failure");
+      tr->counter("rdma/wire_failures").add(1);
+      tr->counter("rdma/cq_completions").add(1);
+    }
     co_return;
   }
   const sim::SimTime land_done =
@@ -170,6 +220,13 @@ sim::Task<> QueuePair::serve_read(SendWr wr) {
   co_await sim::until(eng, land_done);
   bytes_sent_ += wr.bytes;  // counted at the requester, as verbs does
   scq_.push({Opcode::kRead, wr.wr_id, wr.bytes, 0, true, nullptr});
+  if (auto* tr = trace::of(eng)) {
+    const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
+                                  dev_.host().name() + "/qp-tx");
+    tr->async_end(tk, "read", wr.wr_id);
+    tr->counter("rdma/bytes_posted").add(wr.bytes);
+    tr->counter("rdma/cq_completions").add(1);
+  }
 }
 
 }  // namespace e2e::rdma

@@ -22,6 +22,7 @@
 #include "rdma/device.hpp"
 #include "rdma/verbs.hpp"
 #include "sim/channel.hpp"
+#include "trace/tracer.hpp"
 
 namespace e2e::rdma {
 
@@ -88,6 +89,10 @@ class QueuePair {
   sim::Channel<RecvWr> recv_q_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_delivered_ = 0;
+  // Trace tracks for the NIC engine loops (null-tracer fast path skips all
+  // tracing; ids are minted lazily per tracer).
+  trace::CachedTrack trace_tx_;
+  trace::CachedTrack trace_rx_;
 };
 
 }  // namespace e2e::rdma

@@ -30,6 +30,16 @@ enum class Opcode : std::uint8_t {
   kRead,      // one-sided RDMA Read
 };
 
+constexpr const char* to_string(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kSend: return "send";
+    case Opcode::kWrite: return "write";
+    case Opcode::kWriteImm: return "write-imm";
+    case Opcode::kRead: return "read";
+  }
+  return "?";
+}
+
 /// Advertised remote buffer (the moral equivalent of addr+rkey).
 struct RemoteKey {
   mem::Buffer* buffer = nullptr;

@@ -203,12 +203,14 @@ std::optional<std::uint64_t> RftpSession::claim_block(numa::NodeId node) {
   }
   if (victim < block_queues_.size()) {
     ++stolen_claims;
+    if (auto* tr = trace::of(eng_)) tr->counter("rftp/stolen_claims").add(1);
     const std::uint64_t idx = block_queues_[victim].back();
     block_queues_[victim].pop_back();
     return idx;
   }
   if (!own.empty()) {
     ++local_claims;
+    if (auto* tr = trace::of(eng_)) tr->counter("rftp/local_claims").add(1);
     const std::uint64_t idx = own.front();
     own.pop_front();
     return idx;
@@ -231,15 +233,27 @@ std::optional<std::uint64_t> RftpSession::claim_block(numa::NodeId node) {
 
 sim::Task<> RftpSession::filler(Stream& s, numa::Thread& th,
                                 DataSource& src) {
+  trace::CachedTrack fill_trk;  // this filler task's own lane
   for (;;) {
     const auto claimed = claim_block(th.node());
     if (!claimed) break;
     const std::uint64_t idx = *claimed;
     mem::Buffer* buf = co_await s.send_pool->acquire();
+    if (auto* tr = trace::of(eng_))
+      tr->async_begin(s.trk.named(tr, trace::Layer::kRftp,
+                                  "stream" + std::to_string(s.id)),
+                      "block", idx);
     const std::uint64_t offset = idx * cfg_.block_bytes;
     const std::uint64_t want =
         std::min<std::uint64_t>(cfg_.block_bytes, total_bytes_ - offset);
+    const sim::SimTime fill_t0 = eng_.now();
     const std::uint64_t got = co_await src.fill(th, *buf, offset, want);
+    if (auto* tr = trace::of(eng_)) {
+      tr->complete(fill_trk.get(tr, trace::Layer::kRftp,
+                                "s" + std::to_string(s.id) + "/fill"),
+                   "fill", fill_t0);
+      tr->counter("rftp/bytes_filled").add(got);
+    }
     if (got == 0) {  // premature EOF: surface as a truncated transfer
       s.send_pool->release(buf);
       break;
@@ -251,11 +265,24 @@ sim::Task<> RftpSession::filler(Stream& s, numa::Thread& th,
 
 sim::Task<> RftpSession::wire_sender(Stream& s, numa::Thread& th) {
   const auto& cm = th.host().costs();
+  trace::CachedTrack wire_trk;
   for (;;) {
     auto blk = co_await s.sendq->recv();
     if (!blk) co_return;
+    const sim::SimTime credit_t0 = eng_.now();
     auto credit = co_await s.credits->recv();
     if (!credit) co_return;
+    if (auto* tr = trace::of(eng_)) {
+      // A filled block that had to sit waiting for a credit token means
+      // the receiver (or the wire) is the bottleneck right now.
+      if (eng_.now() > credit_t0) {
+        tr->complete(wire_trk.get(tr, trace::Layer::kRftp,
+                                  "s" + std::to_string(s.id) + "/wire"),
+                     "credit-wait", credit_t0);
+        tr->counter("rftp/credit_stalls").add(1);
+      }
+      tr->counter("rftp/blocks_posted").add(1);
+    }
     co_await th.compute(cm.rftp_block_user_cycles,
                         metrics::CpuCategory::kUserProto);
     rdma::SendWr wr;
@@ -289,6 +316,12 @@ sim::Task<> RftpSession::send_reaper(Stream& s, numa::Thread& th) {
     // Wire fault: the block never reached the peer and the credit token is
     // still ours — repost the same block to the same remote buffer.
     ++retransmissions;
+    if (auto* tr = trace::of(eng_)) {
+      tr->instant(s.trk.named(tr, trace::Layer::kRftp,
+                              "stream" + std::to_string(s.id)),
+                  "retransmit");
+      tr->counter("rftp/retransmissions").add(1);
+    }
     co_await th.compute(cm.rftp_block_user_cycles,
                         metrics::CpuCategory::kUserProto);
     rdma::SendWr wr;
@@ -314,6 +347,7 @@ sim::Task<> RftpSession::grant_receiver(Stream& s, numa::Thread& th) {
     co_await th.compute(cm.rftp_control_msg_cycles,
                         metrics::CpuCategory::kUserProto);
     ++control_msgs_;
+    if (auto* tr = trace::of(eng_)) tr->counter("rftp/grants").add(1);
     s.credits->send(Credit{g->token, s.token_buffers.at(g->token)});
     co_await s.pair->a().post_recv(th, rdma::RecvWr{0, &s.tiny_tx});
   }
@@ -335,12 +369,24 @@ sim::Task<> RftpSession::arrival_handler(Stream& s, numa::Thread& th) {
 sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
                                  metrics::ThroughputMeter* meter) {
   const auto& cm = th.host().costs();
+  trace::CachedTrack drain_trk;  // this drainer task's own lane
   for (;;) {
     auto a = co_await s.drainq->recv();
     if (!a) co_return;
     mem::Buffer* buf = s.token_buffers.at(a->token);
+    const sim::SimTime drain_t0 = eng_.now();
     co_await dst.drain(th, *buf, a->block_idx * cfg_.block_bytes, a->bytes);
     if (meter != nullptr) meter->record(a->bytes);
+    if (auto* tr = trace::of(eng_)) {
+      tr->complete(drain_trk.get(tr, trace::Layer::kRftp,
+                                 "s" + std::to_string(s.id) + "/drain"),
+                   "drain", drain_t0);
+      tr->async_end(s.trk.named(tr, trace::Layer::kRftp,
+                                "stream" + std::to_string(s.id)),
+                    "block", a->block_idx);
+      tr->counter("rftp/bytes_delivered").add(a->bytes);
+      tr->counter("rftp/blocks_delivered").add(1);
+    }
 
     // Proactive feedback: re-grant the token immediately after draining.
     co_await th.compute(cm.rftp_control_msg_cycles,

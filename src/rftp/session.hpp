@@ -40,6 +40,7 @@
 #include "rftp/source_sink.hpp"
 #include "sim/channel.hpp"
 #include "sim/sync.hpp"
+#include "trace/tracer.hpp"
 
 namespace e2e::rftp {
 
@@ -119,6 +120,9 @@ class RftpSession {
     mem::Buffer tiny_rx;   // receiver's posted-receive target for data imm
     int active_fillers = 0;
     std::uint64_t next_wr = 1;
+    // Shared per-stream track: block lifetimes trace as async spans from
+    // fill-claim (sender) to drain (receiver), keyed by block index.
+    trace::CachedTrack trk;
   };
 
   // Pipeline tasks (one coroutine per thread).

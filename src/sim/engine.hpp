@@ -18,6 +18,20 @@
 
 namespace e2e::sim {
 
+class Resource;
+
+/// Observer interface the engine exposes to the tracing layer (trace/).
+/// The engine itself never calls it; instrumented components check
+/// Engine::trace_hook() on their hot paths and skip all tracing work when
+/// it is null — the disabled case costs one pointer load per site.
+class TraceHook {
+ public:
+  virtual ~TraceHook() = default;
+  /// One FIFO service window [start, end) booked on `r` for `units` work.
+  virtual void on_resource_service(const Resource& r, SimTime start,
+                                   SimTime end, double units) = 0;
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -69,6 +83,26 @@ class Engine {
     return s < a ? kTimeInfinity : s;
   }
 
+  // --- tracing ---
+
+  /// The installed tracer (null when tracing is disabled — the default).
+  [[nodiscard]] TraceHook* trace_hook() const noexcept { return trace_hook_; }
+  void set_trace_hook(TraceHook* h) noexcept { trace_hook_ = h; }
+
+  /// Every live Resource built on this engine, in construction order.
+  /// Deterministic: construction order is program order.
+  [[nodiscard]] const std::vector<Resource*>& resources() const noexcept {
+    return resources_;
+  }
+  void register_resource(Resource* r) { resources_.push_back(r); }
+  void deregister_resource(Resource* r) noexcept {
+    for (auto it = resources_.begin(); it != resources_.end(); ++it)
+      if (*it == r) {
+        resources_.erase(it);
+        return;
+      }
+  }
+
  private:
   struct Event {
     SimTime t;
@@ -83,6 +117,8 @@ class Engine {
   void dispatch_one();
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  TraceHook* trace_hook_ = nullptr;
+  std::vector<Resource*> resources_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;

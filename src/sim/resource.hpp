@@ -27,7 +27,9 @@ class Resource {
   Resource(Engine& eng, double units_per_second, std::string name = {})
       : eng_(eng), name_(std::move(name)) {
     set_rate(units_per_second);
+    eng_.register_resource(this);
   }
+  ~Resource() { eng_.deregister_resource(this); }
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
 
@@ -101,6 +103,8 @@ class Resource {
     busy_until_ = Engine::saturating_add(start, svc);
     busy_ns_ += svc;
     units_served_ += units;
+    if (TraceHook* h = eng_.trace_hook())
+      h->on_resource_service(*this, start, busy_until_, units);
     return busy_until_;
   }
 

@@ -57,19 +57,31 @@ sim::Task<> Connection::apply_window(Endpoint& ep, std::uint64_t bytes) {
       ep.loss_accum -= 1.0;
       ep.cubic->on_loss();
       ep.last_loss_time = eng.now();
+      if (auto* tr = trace::of(eng)) {
+        tr->instant(trace_track(tr, ep), "loss");
+        tr->counter("tcp/losses").add(1);
+        tr->value_sample("tcp/cwnd/" + ep.host->name(),
+                         ep.cubic->cwnd_bytes());
+      }
     }
   }
 
   // ACK clock: one RTT after the data hits the wire the window re-opens.
   Endpoint* pep = &ep;
   const std::uint64_t acked = bytes;
-  eng.schedule_after(link_.rtt(), [pep, acked] {
+  eng.schedule_after(link_.rtt(), [this, pep, acked] {
     pep->in_flight -= static_cast<double>(acked);
     if (pep->in_flight < 0) pep->in_flight = 0;
     const sim::SimTime since =
         pep->host->engine().now() - pep->last_loss_time;
     pep->cubic->on_ack(static_cast<double>(acked), since);
     pep->window->release();
+    if (auto* tr = trace::of(pep->host->engine())) {
+      tr->instant(trace_track(tr, *pep), "ack");
+      tr->counter("tcp/acks").add(1);
+      tr->value_sample("tcp/cwnd/" + pep->host->name(),
+                       pep->cubic->cwnd_bytes());
+    }
   });
 }
 
@@ -81,6 +93,7 @@ sim::Task<> Connection::send(numa::Thread& th, const numa::Placement& user_src,
   const auto& cm = th.host().costs();
   const int dir = link_.bound() ? link_.dir_from(ep.host)
                                 : (&ep == &ep_[0] ? 0 : 1);
+  const sim::SimTime trace_t0 = th.host().engine().now();
 
   // Syscall entry + user->kernel copy into NIC-local socket buffers.
   co_await th.compute(cm.tcp_syscall_cycles,
@@ -113,6 +126,10 @@ sim::Task<> Connection::send(numa::Thread& th, const numa::Placement& user_src,
 
   ep.bytes_sent += bytes;
   ep.last_tx_done = tx_done;
+  if (auto* tr = trace::of(eng)) {
+    tr->complete(trace_track(tr, ep), "send", trace_t0);
+    tr->counter("tcp/bytes_sent").add(bytes);
+  }
   sim::Channel<Message>* dst = peer.inbound.get();
   eng.schedule_at(
       sim::Engine::saturating_add(tx_done, link_.latency()),
@@ -141,6 +158,7 @@ sim::Task<Connection::Message> Connection::recv_raw(numa::Thread& th) {
   auto chunk = co_await ep.inbound->recv();
   if (!chunk) co_return Message{};  // connection closed
   const std::uint64_t bytes = chunk->bytes;
+  const sim::SimTime trace_t0 = th.host().engine().now();
 
   // NIC DMA into socket buffers happened on arrival; charge it now along
   // with softirq protocol processing.
@@ -155,6 +173,10 @@ sim::Task<Connection::Message> Connection::recv_raw(numa::Thread& th) {
                               kern_penalty,
                       metrics::CpuCategory::kKernelProto);
   ep.bytes_received += bytes;
+  if (auto* tr = trace::of(th.host().engine())) {
+    tr->complete(trace_track(tr, ep), "recv", trace_t0);
+    tr->counter("tcp/bytes_received").add(bytes);
+  }
   co_return Message{bytes, std::move(chunk->payload)};
 }
 

@@ -31,6 +31,7 @@
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "tcp/cubic.hpp"
+#include "trace/tracer.hpp"
 
 namespace e2e::tcp {
 
@@ -122,7 +123,13 @@ class Connection {
     double loss_accum = 0.0;
     sim::SimTime last_loss_time = 0;
     sim::SimTime last_tx_done = 0;  // orders FIN behind queued data
+    trace::CachedTrack trk;         // this endpoint's trace track
   };
+
+  /// This endpoint's trace track ("<host>/tcp#n"), minted lazily.
+  trace::TrackId trace_track(trace::Tracer* tr, Endpoint& ep) {
+    return ep.trk.get(tr, trace::Layer::kTcp, ep.host->name() + "/tcp");
+  }
 
   sim::Task<> apply_window(Endpoint& ep, std::uint64_t bytes);
 

@@ -1,0 +1,197 @@
+// Trace exporters: Chrome trace-event JSON and flat run reports.
+//
+// Formatting is fully deterministic: timestamps are printed as exact
+// microsecond fixed-point derived from integer nanoseconds, doubles use
+// "%.9g", and every collection is iterated in insertion order.
+#include <cstdio>
+#include <ostream>
+
+#include "sim/resource.hpp"
+#include "trace/tracer.hpp"
+
+namespace e2e::trace {
+
+namespace {
+
+/// Chrome trace timestamps are microseconds; print ns as exact fixed-point.
+void put_us(std::ostream& os, sim::SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  os << buf;
+}
+
+void put_double(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+/// Minimal JSON string escaping (names here are ASCII identifiers, but a
+/// stray quote or backslash must not corrupt the file).
+void put_str(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  // Process metadata: one Perfetto "process" per layer, plus pid 0 for the
+  // counter / sampler tracks.
+  sep();
+  os << R"({"ph":"M","pid":0,"name":"process_name","args":{"name":"counters"}})";
+  for (int l = 0; l < kLayerCount; ++l) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << (l + 1)
+       << ",\"name\":\"process_name\",\"args\":{\"name\":";
+    put_str(os, to_string(static_cast<Layer>(l)));
+    os << "}}";
+  }
+  // Thread metadata: one named thread per track, under its layer's pid.
+  for (TrackId t = 0; t < tracks_.size(); ++t) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":"
+       << (static_cast<int>(tracks_[t].layer) + 1) << ",\"tid\":" << (t + 1)
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    put_str(os, tracks_[t].actor);
+    os << "}}";
+  }
+
+  for (const Event& e : events_) {
+    const int pid = static_cast<int>(tracks_[e.track].layer) + 1;
+    const unsigned tid = e.track + 1;
+    sep();
+    os << "{\"ph\":\"";
+    switch (e.type) {
+      case Event::Type::kBegin: os << 'B'; break;
+      case Event::Type::kEnd: os << 'E'; break;
+      case Event::Type::kComplete: os << 'X'; break;
+      case Event::Type::kInstant: os << 'i'; break;
+      case Event::Type::kAsyncBegin: os << 'b'; break;
+      case Event::Type::kAsyncEnd: os << 'e'; break;
+    }
+    os << "\",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":";
+    put_us(os, e.ts);
+    if (e.type == Event::Type::kComplete) {
+      os << ",\"dur\":";
+      put_us(os, e.dur);
+    }
+    if (e.type != Event::Type::kEnd) {
+      os << ",\"name\":";
+      put_str(os, names_[e.name]);
+    }
+    os << ",\"cat\":";
+    put_str(os, to_string(tracks_[e.track].layer));
+    if (e.type == Event::Type::kInstant) os << ",\"s\":\"t\"";
+    if (e.type == Event::Type::kAsyncBegin ||
+        e.type == Event::Type::kAsyncEnd) {
+      // Scope the pairing id by track so block #7 of stream 0 never pairs
+      // with block #7 of stream 1.
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "\"0x%x:%llx\"", tid,
+                    static_cast<unsigned long long>(e.id));
+      os << ",\"id\":" << buf;
+    }
+    os << '}';
+  }
+
+  // Counter and value series as 'C' events under pid 0.
+  for (const Sample& s : samples_) {
+    sep();
+    os << "{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":";
+    put_us(os, s.ts);
+    os << ",\"name\":";
+    put_str(os, names_[s.series]);
+    os << ",\"args\":{\"value\":";
+    put_double(os, s.value);
+    os << "}}";
+  }
+
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Tracer::write_report_json(std::ostream& os) const {
+  os << "{\n  \"schema\": \"e2e-trace-report-v1\",\n";
+  os << "  \"sim_time_ns\": " << eng_.now() << ",\n";
+  os << "  \"events\": " << events_.size() << ",\n";
+  os << "  \"samples\": " << samples_.size() << ",\n";
+
+  os << "  \"notes\": {";
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    os << (i ? ", " : "");
+    put_str(os, notes_[i].first);
+    os << ": " << notes_[i].second;
+  }
+  os << "},\n";
+
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    os << (i ? ", " : "");
+    put_str(os, counters_[i].name());
+    os << ": " << counters_[i].value();
+  }
+  os << "},\n";
+
+  os << "  \"resources\": [";
+  bool first = true;
+  for (const sim::Resource* r : eng_.resources()) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": ";
+    put_str(os, r->name());
+    os << ", \"rate_per_s\": ";
+    put_double(os, r->rate_per_second());
+    os << ", \"busy_ns\": " << r->busy_time() << ", \"units_served\": ";
+    put_double(os, r->units_served());
+    os << ", \"utilization\": ";
+    put_double(os, r->utilization());
+    os << "}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+}
+
+void Tracer::write_report_csv(std::ostream& os) const {
+  os << "metric,value\n";
+  os << "sim_time_ns," << eng_.now() << "\n";
+  for (const auto& [k, v] : notes_) {
+    // Notes are stored pre-formatted as JSON scalars; strip string quotes.
+    std::string_view val = v;
+    if (val.size() >= 2 && val.front() == '"' && val.back() == '"')
+      val = val.substr(1, val.size() - 2);
+    os << "note." << k << "," << val << "\n";
+  }
+  for (const Counter& c : counters_)
+    os << "counter." << c.name() << "," << c.value() << "\n";
+  for (const sim::Resource* r : eng_.resources()) {
+    os << "resource." << r->name() << ".busy_ns," << r->busy_time() << "\n";
+    os << "resource." << r->name() << ".utilization,";
+    put_double(os, r->utilization());
+    os << "\n";
+  }
+}
+
+}  // namespace e2e::trace

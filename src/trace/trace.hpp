@@ -1,0 +1,4 @@
+// Umbrella header for the e2e::trace subsystem.
+#pragma once
+
+#include "trace/tracer.hpp"  // IWYU pragma: export

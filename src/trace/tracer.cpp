@@ -1,0 +1,159 @@
+#include "trace/tracer.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "sim/resource.hpp"
+
+namespace e2e::trace {
+
+NameId Tracer::intern(std::string_view s) {
+  auto it = name_ids_.find(std::string(s));
+  if (it != name_ids_.end()) return it->second;
+  const NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(s);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+TrackId Tracer::track(Layer layer, std::string_view actor) {
+  std::string key = std::string(to_string(layer)) + "/" + std::string(actor);
+  auto it = track_ids_.find(key);
+  if (it != track_ids_.end()) return it->second;
+  const TrackId id = static_cast<TrackId>(tracks_.size());
+  tracks_.push_back(Track{layer, std::string(actor), 0});
+  track_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+TrackId Tracer::mint_track(Layer layer, std::string_view base) {
+  std::string key = std::string(to_string(layer)) + "/" + std::string(base);
+  const int n = mint_counts_[key]++;
+  return track(layer, std::string(base) + "#" + std::to_string(n));
+}
+
+void Tracer::begin(TrackId t, std::string_view name) {
+  ++tracks_.at(t).depth;
+  push({Event::Type::kBegin, t, intern(name), eng_.now(), 0, 0});
+}
+
+void Tracer::end(TrackId t) {
+  --tracks_.at(t).depth;
+  push({Event::Type::kEnd, t, 0, eng_.now(), 0, 0});
+}
+
+void Tracer::complete(TrackId t, std::string_view name, sim::SimTime start) {
+  const sim::SimTime now = eng_.now();
+  const sim::SimTime s = start > now ? now : start;
+  push({Event::Type::kComplete, t, intern(name), s, now - s, 0});
+}
+
+void Tracer::instant(TrackId t, std::string_view name) {
+  push({Event::Type::kInstant, t, intern(name), eng_.now(), 0, 0});
+}
+
+void Tracer::async_begin(TrackId t, std::string_view name, std::uint64_t id) {
+  push({Event::Type::kAsyncBegin, t, intern(name), eng_.now(), 0, id});
+}
+
+void Tracer::async_end(TrackId t, std::string_view name, std::uint64_t id) {
+  push({Event::Type::kAsyncEnd, t, intern(name), eng_.now(), 0, id});
+}
+
+Counter& Tracer::counter(std::string_view name) {
+  auto it = counter_ids_.find(std::string(name));
+  if (it != counter_ids_.end()) return counters_[it->second];
+  counters_.push_back(Counter{std::string(name)});
+  counter_ids_.emplace(std::string(name), counters_.size() - 1);
+  return counters_.back();
+}
+
+std::uint64_t Tracer::counter_value(std::string_view name) const {
+  auto it = counter_ids_.find(std::string(name));
+  return it == counter_ids_.end() ? 0 : counters_[it->second].value();
+}
+
+void Tracer::value_sample(std::string_view series, double value) {
+  samples_.push_back({intern(series), eng_.now(), value});
+}
+
+void Tracer::on_resource_service(const sim::Resource& r, sim::SimTime start,
+                                 sim::SimTime end, double units) {
+  if (end <= start) return;
+  auto it = res_tracks_.find(&r);
+  TrackId t;
+  if (it != res_tracks_.end()) {
+    t = it->second;
+  } else {
+    std::string actor =
+        r.name().empty()
+            ? "res#" + std::to_string(res_tracks_.size())
+            : r.name();
+    t = track(Layer::kSim, actor);
+    res_tracks_.emplace(&r, t);
+  }
+  (void)units;
+  // Service windows are FIFO (start >= previous end), so complete spans on
+  // one resource track never overlap.
+  push({Event::Type::kComplete, t, intern("service"), start, end - start, 0});
+}
+
+void Tracer::sample_now() {
+  const sim::SimTime now = eng_.now();
+  std::size_t idx = 0;
+  for (const sim::Resource* r : eng_.resources()) {
+    ResourceState& st = res_state_[r];
+    if (!st.named) {
+      const std::string nm =
+          r->name().empty() ? "util/res#" + std::to_string(idx)
+                            : "util/" + r->name();
+      st.series = intern(nm);
+      st.named = true;
+    }
+    const double busy = static_cast<double>(r->busy_time());
+    // Utilization over the last period. busy_time() books service ahead of
+    // the clock, so a deep backlog can push a tick above 1.0 — that spike
+    // is the signal that the resource is the bottleneck.
+    const double util =
+        sampler_period_ > 0
+            ? (busy - st.last_busy_ns) / static_cast<double>(sampler_period_)
+            : r->utilization();
+    st.last_busy_ns = busy;
+    samples_.push_back({st.series, now, util});
+    ++idx;
+  }
+  for (const Counter& c : counters_)
+    samples_.push_back({intern(c.name()), now, static_cast<double>(c.value())});
+}
+
+void Tracer::enable_resource_sampler(sim::SimDuration period) {
+  sampler_period_ = period ? period : sim::kMillisecond;
+  if (sampler_armed_) return;
+  sampler_armed_ = true;
+  eng_.schedule_after(sampler_period_, [this] { sampler_tick(); });
+}
+
+void Tracer::sampler_tick() {
+  sample_now();
+  // Re-arm only while other work is pending: once the rest of the event
+  // queue drains the run is over, and a self-perpetuating tick would keep
+  // Engine::run() from ever returning.
+  if (eng_.idle()) {
+    sampler_armed_ = false;
+    return;
+  }
+  eng_.schedule_after(sampler_period_, [this] { sampler_tick(); });
+}
+
+void Tracer::note(std::string_view key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  notes_.emplace_back(std::string(key), std::string(buf));
+}
+
+void Tracer::note(std::string_view key, std::string_view value) {
+  notes_.emplace_back(std::string(key),
+                      "\"" + std::string(value) + "\"");
+}
+
+}  // namespace e2e::trace

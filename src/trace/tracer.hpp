@@ -1,0 +1,281 @@
+// e2e::trace — structured event tracing for the whole transfer stack.
+//
+// A Tracer records spans, instant events, counter series and periodic
+// resource-utilization samples against sim::Engine time, and exports them
+// as Chrome trace-event JSON (loadable in Perfetto / chrome://tracing) or
+// as a flat machine-readable run report (JSON / CSV).
+//
+// Attachment: Tracer::install() registers the tracer as the engine's
+// TraceHook. Instrumented layers fetch it with trace::of(engine) — a
+// single pointer load that is null when tracing is disabled, so the
+// disabled fast path costs one predictable branch per site and allocates
+// nothing.
+//
+// Determinism: the tracer never reads wall-clock time or any other
+// ambient state. All timestamps are simulated nanoseconds, all ids are
+// assigned in first-use order, and exports iterate insertion-ordered
+// vectors — two identical runs produce byte-identical trace files (unit
+// tested).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace e2e::trace {
+
+/// Which layer of the stack an event belongs to. Renders as one Perfetto
+/// process per layer, so the viewer groups tracks the way the paper's
+/// figures slice the system.
+enum class Layer : std::uint8_t {
+  kSim,    // engine resources (links, cores, memory channels, QPI, PCIe)
+  kRdma,   // verbs queue pairs
+  kTcp,    // TCP/IP connections
+  kIscsi,  // iSCSI session layer
+  kIser,   // iSER datamover
+  kRftp,   // RFTP transfer protocol
+  kBlk,    // block / filesystem
+  kApp,    // applications and drivers
+};
+inline constexpr int kLayerCount = 8;
+
+constexpr std::string_view to_string(Layer l) noexcept {
+  switch (l) {
+    case Layer::kSim: return "sim";
+    case Layer::kRdma: return "rdma";
+    case Layer::kTcp: return "tcp";
+    case Layer::kIscsi: return "iscsi";
+    case Layer::kIser: return "iser";
+    case Layer::kRftp: return "rftp";
+    case Layer::kBlk: return "blk";
+    case Layer::kApp: return "app";
+  }
+  return "?";
+}
+
+using TrackId = std::uint32_t;
+using NameId = std::uint32_t;
+
+/// Named monotonic counter. Handles stay valid for the tracer's lifetime;
+/// add() is an inlined integer bump so call sites can count unconditionally
+/// once they hold the handle.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Tracer;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::uint64_t value_ = 0;
+};
+
+class Tracer final : public sim::TraceHook {
+ public:
+  /// The tracer must not outlive `eng` (it samples the engine's resource
+  /// registry and uninstalls itself on destruction).
+  explicit Tracer(sim::Engine& eng) : eng_(eng) {}
+  ~Tracer() override { uninstall(); }
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Makes this tracer visible to instrumented code via trace::of().
+  void install() noexcept { eng_.set_trace_hook(this); }
+  void uninstall() noexcept {
+    if (eng_.trace_hook() == this) eng_.set_trace_hook(nullptr);
+  }
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
+
+  // --- tracks ------------------------------------------------------------
+  // A track is one horizontal timeline in the viewer, identified by
+  // (layer, actor). track() is idempotent per actor string; mint_track()
+  // appends "#<n>" to get a fresh track per caller (one per QP, stream,
+  // filler, ...), numbered in first-mint order.
+
+  TrackId track(Layer layer, std::string_view actor);
+  TrackId mint_track(Layer layer, std::string_view base);
+
+  // --- events -------------------------------------------------------------
+
+  /// Nested synchronous span. begin/end must balance per track.
+  void begin(TrackId t, std::string_view name);
+  void end(TrackId t);
+
+  /// Complete span covering [start, now] — for work whose duration is only
+  /// known when it finishes.
+  void complete(TrackId t, std::string_view name, sim::SimTime start);
+
+  /// Zero-duration marker.
+  void instant(TrackId t, std::string_view name);
+
+  /// Async span: may overlap other spans on the same track and may begin
+  /// and end on different tracks. `id` pairs the begin with the end within
+  /// the track's scope (e.g. a block index).
+  void async_begin(TrackId t, std::string_view name, std::uint64_t id);
+  void async_end(TrackId t, std::string_view name, std::uint64_t id);
+
+  // --- counters -----------------------------------------------------------
+
+  /// Named monotonic counter, created on first use. Sampled into the
+  /// counter timeline by the resource sampler and reported at exit.
+  Counter& counter(std::string_view name);
+
+  /// Records one point of a free-form value series (e.g. a cwnd that can
+  /// shrink); rendered as a Perfetto counter track.
+  void value_sample(std::string_view series, double value);
+
+  // --- resource sampler ---------------------------------------------------
+
+  /// Starts snapshotting every Resource registered with the engine (and
+  /// every Counter) each `period` of simulated time. A tick re-arms itself
+  /// only while other events are pending, so the sampler never keeps the
+  /// run alive by itself. Call after any setup-phase engine runs.
+  void enable_resource_sampler(sim::SimDuration period);
+
+  /// One immediate snapshot of all resources and counters.
+  void sample_now();
+
+  // --- run-report notes ---------------------------------------------------
+
+  /// Scalar facts about the run (goodput, scenario parameters, ...) that
+  /// belong in the machine-readable report.
+  void note(std::string_view key, double value);
+  void note(std::string_view key, std::string_view value);
+
+  // --- export -------------------------------------------------------------
+
+  /// Chrome trace-event JSON (the "traceEvents" envelope).
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Flat run report: counters, per-resource totals, notes.
+  void write_report_json(std::ostream& os) const;
+  void write_report_csv(std::ostream& os) const;
+
+  // --- introspection (tests, reports) ------------------------------------
+
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return events_.size();
+  }
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return samples_.size();
+  }
+  /// Currently open begin/end nesting depth of a track.
+  [[nodiscard]] int open_depth(TrackId t) const {
+    return tracks_.at(t).depth;
+  }
+  /// Value of a monotonic counter, 0 if never touched.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  struct Sample {
+    NameId series;
+    sim::SimTime ts;
+    double value;
+  };
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] const std::string& name_of(NameId id) const {
+    return names_.at(id);
+  }
+
+  // TraceHook: resource service windows arrive as spans on the sim layer.
+  void on_resource_service(const sim::Resource& r, sim::SimTime start,
+                           sim::SimTime end, double units) override;
+
+ private:
+  struct Event {
+    enum class Type : std::uint8_t {
+      kBegin,
+      kEnd,
+      kComplete,
+      kInstant,
+      kAsyncBegin,
+      kAsyncEnd,
+    };
+    Type type;
+    TrackId track;
+    NameId name;       // unused for kEnd
+    sim::SimTime ts;
+    sim::SimDuration dur;  // kComplete only
+    std::uint64_t id;      // async pairing id
+  };
+  struct Track {
+    Layer layer;
+    std::string actor;
+    int depth = 0;
+  };
+
+  NameId intern(std::string_view s);
+  void sampler_tick();
+  void push(Event e) { events_.push_back(e); }
+
+  sim::Engine& eng_;
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NameId> name_ids_;
+
+  std::vector<Track> tracks_;
+  std::unordered_map<std::string, TrackId> track_ids_;  // "<layer>/<actor>"
+  std::unordered_map<std::string, int> mint_counts_;
+
+  std::vector<Event> events_;
+
+  std::deque<Counter> counters_;  // stable addresses for handles
+  std::unordered_map<std::string, std::size_t> counter_ids_;
+  std::vector<Sample> samples_;
+
+  // Per-resource sampler state: cached series name + busy_ns at last tick.
+  struct ResourceState {
+    NameId series = 0;
+    bool named = false;
+    double last_busy_ns = 0.0;
+  };
+  std::unordered_map<const sim::Resource*, ResourceState> res_state_;
+  std::unordered_map<const sim::Resource*, TrackId> res_tracks_;
+  sim::SimDuration sampler_period_ = 0;
+  bool sampler_armed_ = false;
+
+  std::vector<std::pair<std::string, std::string>> notes_;  // pre-formatted
+};
+
+/// The tracer installed on `eng`, or null when tracing is disabled.
+/// Tracer is the only TraceHook implementation, so the downcast is safe;
+/// anyone installing a different hook must not also use trace::of().
+inline Tracer* of(sim::Engine& eng) noexcept {
+  return static_cast<Tracer*>(eng.trace_hook());
+}
+
+/// Per-site track cache: mints the site's track once per tracer and then
+/// resolves in O(1), keeping hot instrumentation free of hash lookups.
+struct CachedTrack {
+  Tracer* owner = nullptr;
+  TrackId id = 0;
+  TrackId get(Tracer* t, Layer layer, std::string_view base) {
+    if (owner != t) {
+      id = t->mint_track(layer, base);
+      owner = t;
+    }
+    return id;
+  }
+  /// Like get() but with a caller-chosen (already unique) actor name.
+  TrackId named(Tracer* t, Layer layer, std::string_view actor) {
+    if (owner != t) {
+      id = t->track(layer, actor);
+      owner = t;
+    }
+    return id;
+  }
+};
+
+}  // namespace e2e::trace

@@ -6,6 +6,17 @@
 
 #include "sim/sim.hpp"
 
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define E2E_HAS_LSAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define E2E_HAS_LSAN 1
+#endif
+#ifdef E2E_HAS_LSAN
+#include <sanitizer/lsan_interface.h>
+#endif
+
 namespace e2e::exp {
 namespace {
 
@@ -46,7 +57,15 @@ sim::Task<> waits_forever(sim::ManualEvent& ev) { co_await ev.wait(); }
 TEST(Runner, DetectsDeadlock) {
   sim::Engine eng;
   sim::ManualEvent never(eng);
+  // The deadlocked coroutine frame is never resumed and so never freed —
+  // that leak is the scenario under test, not a bug; hide it from LSan.
+#ifdef E2E_HAS_LSAN
+  __lsan_disable();
+#endif
   EXPECT_THROW(run_task(eng, waits_forever(never)), std::runtime_error);
+#ifdef E2E_HAS_LSAN
+  __lsan_enable();
+#endif
 }
 
 TEST(Runner, NestedRunTasksCompose) {

@@ -95,6 +95,36 @@ TEST(ThroughputMeter, ActiveWindowExcludesIdleLead) {
   EXPECT_NEAR(m.active_gbps(), 10.0, 1e-9);
 }
 
+TEST(ThroughputMeter, ZeroBinWidthFallsBackToOneSecond) {
+  sim::Engine eng;
+  ThroughputMeter m(eng, 0);
+  EXPECT_EQ(m.bin_width(), kSecond);
+  m.record(125'000'000);  // must not divide by zero
+  ASSERT_EQ(m.series_gbps().size(), 1u);
+  EXPECT_NEAR(m.series_gbps()[0], 1.0, 1e-9);
+}
+
+TEST(ThroughputMeter, ExactBinBoundaryLandsInNextBin) {
+  sim::Engine eng;
+  ThroughputMeter m(eng, kSecond);
+  eng.run_until(kSecond);  // now == exactly one bin width
+  m.record(125'000'000);
+  auto s = m.series_gbps();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_NEAR(s[0], 0.0, 1e-9);
+  EXPECT_NEAR(s[1], 1.0, 1e-9);
+}
+
+TEST(ThroughputMeter, SingleRecordHasNoActiveWindow) {
+  sim::Engine eng;
+  eng.run_until(kSecond);
+  ThroughputMeter m(eng, kSecond);
+  m.record(1'000'000);
+  // first == last: a zero-width active span must not divide by zero.
+  EXPECT_EQ(m.active_gbps(), 0.0);
+  EXPECT_GT(m.mean_gbps(), 0.0);
+}
+
 TEST(StatAccumulator, Moments) {
   StatAccumulator s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);

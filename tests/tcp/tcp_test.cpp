@@ -123,7 +123,7 @@ TEST_F(TcpRig, ShutdownUnblocksReceiver) {
 TEST_F(TcpRig, EndpointOfRejectsForeignHost) {
   make();
   TinyRig other;
-  EXPECT_THROW(conn->endpoint_of(*other.a), std::invalid_argument);
+  EXPECT_THROW((void)conn->endpoint_of(*other.a), std::invalid_argument);
 }
 
 TEST_F(TcpRig, WanWindowLimitsInFlightToBdp) {

@@ -6,17 +6,21 @@
 //   e2e_transfer_sim san --write --numa 0          # iSER fio back-end
 //   e2e_transfer_sim motivating                    # Sec 2.3 iperf study
 //
-// Options: --gib N, --block N[k|m], --streams N, --credits N, --numa 0|1,
-//          --write, --duration SECONDS, --files N (multi-file e2e)
+// Options: --gib N, --block N[k|m|g], --streams N, --credits N, --numa 0|1,
+//          --write, --duration SECONDS, --files N (multi-file e2e),
+//          --trace FILE (Perfetto JSON), --report FILE (run report)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "apps/apps.hpp"
 #include "exp/exp.hpp"
 #include "metrics/metrics.hpp"
 #include "rftp/rftp.hpp"
+#include "trace/trace.hpp"
 
 using namespace e2e;
 
@@ -32,31 +36,43 @@ struct Options {
   bool write = false;
   double duration_s = 2.0;
   int files = 1;
+  std::string trace_file;
+  std::string report_file;
 };
-
-std::uint64_t parse_size(const char* s) {
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  std::uint64_t mult = 1;
-  if (end && (*end == 'k' || *end == 'K')) mult = 1024;
-  if (end && (*end == 'm' || *end == 'M')) mult = 1024 * 1024;
-  if (end && (*end == 'g' || *end == 'G')) mult = 1024ull * 1024 * 1024;
-  return static_cast<std::uint64_t>(v * static_cast<double>(mult));
-}
 
 [[noreturn]] void usage() {
   std::fputs(
       "usage: e2e_transfer_sim <quick|e2e|wan|san|motivating> [options]\n"
-      "  --gib N        dataset size in GiB (transfer scenarios)\n"
-      "  --block N[k|m] RFTP block / fio I/O size\n"
-      "  --streams N    parallel RFTP streams\n"
-      "  --credits N    credit tokens per stream\n"
-      "  --numa 0|1     NUMA tuning on/off\n"
-      "  --write        fio writes instead of reads (san)\n"
-      "  --duration S   measurement window in simulated seconds (san)\n"
-      "  --files N      split the dataset into N files (e2e)\n",
+      "  --gib N          dataset size in GiB (transfer scenarios)\n"
+      "  --block N[k|m|g] RFTP block / fio I/O size (KiB/MiB/GiB suffix)\n"
+      "  --streams N      parallel RFTP streams\n"
+      "  --credits N      credit tokens per stream\n"
+      "  --numa 0|1       NUMA tuning on/off\n"
+      "  --write          fio writes instead of reads (san)\n"
+      "  --duration S     measurement window in simulated seconds (san)\n"
+      "  --files N        split the dataset into N files (e2e)\n"
+      "  --trace FILE     write a Chrome/Perfetto trace-event JSON file\n"
+      "  --report FILE    write a flat run report (.csv -> CSV, else JSON)\n",
       stderr);
   std::exit(2);
+}
+
+std::uint64_t parse_size(const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || v < 0) {
+    std::fprintf(stderr, "bad size: '%s'\n", s);
+    usage();
+  }
+  std::uint64_t mult = 1;
+  if (*end == 'k' || *end == 'K') mult = 1024, ++end;
+  else if (*end == 'm' || *end == 'M') mult = 1ull << 20, ++end;
+  else if (*end == 'g' || *end == 'G') mult = 1ull << 30, ++end;
+  if (*end != '\0') {  // trailing garbage ("4mb", "12q", ...)
+    std::fprintf(stderr, "bad size: '%s'\n", s);
+    usage();
+  }
+  return static_cast<std::uint64_t>(v * static_cast<double>(mult));
 }
 
 Options parse(int argc, char** argv) {
@@ -87,11 +103,68 @@ Options parse(int argc, char** argv) {
       o.duration_s = std::atof(need("--duration"));
     else if (!std::strcmp(argv[i], "--files"))
       o.files = std::atoi(need("--files"));
+    else if (!std::strcmp(argv[i], "--trace"))
+      o.trace_file = need("--trace");
+    else if (!std::strcmp(argv[i], "--report"))
+      o.report_file = need("--report");
     else
       usage();
   }
   return o;
 }
+
+/// Optional tracing for one scenario run. Construct right before the
+/// measured engine run — after any setup-phase runs, so the sampler tick
+/// arms for the transfer itself — and call finish() after it to write the
+/// requested files. With neither --trace nor --report the scope is inert
+/// and no tracer is installed (the zero-cost disabled path).
+class TraceScope {
+ public:
+  TraceScope(sim::Engine& eng, const Options& o) : o_(o) {
+    if (o_.trace_file.empty() && o_.report_file.empty()) return;
+    tracer_ = std::make_unique<trace::Tracer>(eng);
+    tracer_->install();
+    tracer_->enable_resource_sampler(kSamplePeriod);
+    tracer_->note("scenario", o_.scenario);
+    tracer_->note("block_bytes", static_cast<double>(o_.block));
+    tracer_->note("numa_aware", o_.numa ? 1.0 : 0.0);
+  }
+
+  [[nodiscard]] trace::Tracer* get() noexcept { return tracer_.get(); }
+
+  void finish() {
+    if (!tracer_) return;
+    tracer_->sample_now();  // closing snapshot at end-of-run time
+    if (!o_.trace_file.empty()) {
+      std::ofstream os(o_.trace_file);
+      if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", o_.trace_file.c_str());
+        std::exit(1);
+      }
+      tracer_->write_chrome_trace(os);
+    }
+    if (!o_.report_file.empty()) {
+      std::ofstream os(o_.report_file);
+      if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", o_.report_file.c_str());
+        std::exit(1);
+      }
+      if (o_.report_file.size() >= 4 &&
+          o_.report_file.compare(o_.report_file.size() - 4, 4, ".csv") == 0)
+        tracer_->write_report_csv(os);
+      else
+        tracer_->write_report_json(os);
+    }
+    tracer_.reset();
+  }
+
+ private:
+  // 10 ms of simulated time per utilization sample: fine enough to see
+  // per-second throughput structure, coarse enough to keep traces small.
+  static constexpr sim::SimDuration kSamplePeriod = 10 * sim::kMillisecond;
+  const Options& o_;
+  std::unique_ptr<trace::Tracer> tracer_;
+};
 
 int run_quick(const Options& o) {
   sim::Engine eng;
@@ -111,7 +184,10 @@ int run_quick(const Options& o) {
   rftp::RftpSession sess({&pa, {&da}}, {&pb, {&db}}, {link.get()}, cfg);
   rftp::MemorySource src(o.gib << 30, numa::Placement::on(0));
   rftp::MemorySink dst;
+  TraceScope ts(eng, o);
   const auto r = exp::run_task(eng, sess.run(src, dst, o.gib << 30));
+  if (auto* tr = ts.get()) tr->note("goodput_gbps", r.goodput_gbps);
+  ts.finish();
   std::printf("quick: %llu GiB in %.2f s -> %.1f Gbps\n",
               static_cast<unsigned long long>(o.gib), r.elapsed_s,
               r.goodput_gbps);
@@ -135,6 +211,9 @@ int run_e2e(const Options& o) {
     return san->fe_node_of(off);
   };
   metrics::ThroughputMeter meter(tb.eng, sim::kSecond);
+  // After tb.start(): the testbed's setup run has drained, so the sampler
+  // armed here stays alive exactly for the measured transfer.
+  TraceScope ts(tb.eng, o);
   rftp::TransferResult r;
   if (o.files > 1) {
     rftp::FileSet sset(*tb.src_fs);
@@ -150,6 +229,8 @@ int run_e2e(const Options& o) {
     rftp::FileSink dst(*tb.dst_fs, *tb.dst_file);
     r = exp::run_task(tb.eng, sess.run(src, dst, tb.dataset_bytes, &meter));
   }
+  if (auto* tr = ts.get()) tr->note("goodput_gbps", r.goodput_gbps);
+  ts.finish();
   std::printf("e2e (%s): %.1f Gbps over the full SAN->RoCE->SAN path\n",
               o.numa ? "numa-tuned" : "untuned", r.goodput_gbps);
   std::printf("per-second series: ");
@@ -169,7 +250,10 @@ int run_wan(const Options& o) {
                          {tb.link.get()}, cfg);
   rftp::MemorySource src(o.gib << 30, numa::Placement::on(0));
   rftp::MemorySink dst;
+  TraceScope ts(tb.eng, o);
   const auto r = exp::run_task(tb.eng, sess.run(src, dst, o.gib << 30));
+  if (auto* tr = ts.get()) tr->note("goodput_gbps", r.goodput_gbps);
+  ts.finish();
   std::printf(
       "wan (rtt 95 ms): %.1f Gbps (%.0f%% of 40G); in-flight window %.0f MB "
       "vs BDP 475 MB\n",
@@ -189,14 +273,20 @@ int run_san(const Options& o) {
   opts.block_bytes = o.block;
   opts.write = o.write;
   opts.duration = sim::from_seconds(o.duration_s);
+  TraceScope ts(tb.eng, o);
   const auto r = tb.run_fio(opts, 4);
+  if (auto* tr = ts.get()) {
+    tr->note("gbps", r.gbps);
+    tr->note("target_cpu_pct", r.target_cpu_pct);
+  }
+  ts.finish();
   std::printf("san %s (%s): %.1f Gbps, target CPU %.0f%%\n",
               o.write ? "write" : "read", o.numa ? "numa-tuned" : "untuned",
               r.gbps, r.target_cpu_pct);
   return 0;
 }
 
-int run_motivating(const Options&) {
+int run_motivating(const Options& o) {
   for (const bool tuned : {false, true}) {
     exp::FrontEndPair pair;
     apps::IperfConfig cfg;
@@ -204,8 +294,15 @@ int run_motivating(const Options&) {
     cfg.numa_tuned = tuned;
     cfg.sender_buffer_bytes = 256ull << 20;
     cfg.duration = 3 * sim::kSecond;
+    // Each iteration has its own engine; trace the tuned run.
+    std::unique_ptr<TraceScope> ts;
+    if (tuned) ts = std::make_unique<TraceScope>(pair.eng, o);
     const auto r =
         run_iperf(pair.eng, *pair.a, *pair.b, pair.iperf_links(), cfg);
+    if (ts) {
+      if (auto* tr = ts->get()) tr->note("aggregate_gbps", r.aggregate_gbps);
+      ts->finish();
+    }
     std::printf("iperf bidirectional, %s: %.1f Gbps aggregate\n",
                 tuned ? "numa-tuned" : "default scheduler",
                 r.aggregate_gbps);
