@@ -1,0 +1,269 @@
+// Ablation: goodput under injected faults, iSER vs iSCSI-over-TCP.
+//
+// The robustness layer (src/fault) injects seeded loss bursts, flaps,
+// latency spikes, blackholes and QP kills while the same 8-job write
+// workload runs over both SAN datamovers. TCP hides wire faults inside
+// transport retransmission; iSER surfaces them as failed completions and
+// leans on the layered recovery stack (command retries -> QP reset ->
+// session re-login). This bench quantifies what each layer costs: goodput
+// retained per fault intensity, plus the retry/recovery work expended.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "exp/runner.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "iscsi/initiator.hpp"
+#include "iscsi/target.hpp"
+#include "iscsi/tcp_datamover.hpp"
+#include "iser/session.hpp"
+#include "metrics/table.hpp"
+#include "model/host_profile.hpp"
+
+namespace e2e::bench {
+namespace {
+
+struct Result {
+  double gbps = 0.0;
+  std::uint64_t faults = 0;
+  std::uint64_t messages_failed = 0;
+  std::uint64_t command_retries = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t command_failures = 0;
+};
+
+constexpr std::uint64_t kIoBytes = 4ull << 20;
+constexpr int kJobs = 8;
+constexpr std::uint64_t kLunBytes = 4ull << 30;
+constexpr std::uint64_t kSeed = 7;
+
+struct Intensity {
+  const char* name = "";
+  bool any = true;
+  fault::FaultPlan::RandomParams params;
+};
+
+/// Fault mixes over the 2 s measurement window, from none to a storm.
+std::vector<Intensity> intensities() {
+  std::vector<Intensity> out;
+  {
+    Intensity lvl;
+    lvl.name = "clean";
+    lvl.any = false;
+    out.push_back(lvl);
+  }
+  {
+    Intensity lvl;
+    lvl.name = "light";
+    lvl.params.loss_bursts = 4;
+    lvl.params.flaps = 0;
+    lvl.params.spikes = 1;
+    lvl.params.holes = 0;
+    lvl.params.qp_kills = 0;
+    out.push_back(lvl);
+  }
+  {
+    Intensity lvl;
+    lvl.name = "heavy";
+    lvl.params.loss_bursts = 16;
+    lvl.params.flaps = 2;
+    lvl.params.spikes = 2;
+    lvl.params.holes = 2;
+    lvl.params.qp_kills = 0;
+    out.push_back(lvl);
+  }
+  {
+    Intensity lvl;
+    lvl.name = "storm";
+    lvl.params.loss_bursts = 48;
+    lvl.params.max_burst = 8;
+    lvl.params.flaps = 4;
+    lvl.params.spikes = 4;
+    lvl.params.holes = 4;
+    lvl.params.qps = 1;  // one QP kill mid-run (iSER recovers the session)
+    lvl.params.qp_kills = 1;
+    out.push_back(lvl);
+  }
+  return out;
+}
+
+sim::Task<> io_job(iscsi::Initiator& init, numa::Thread& th,
+                   mem::Buffer* buf, std::uint64_t region_off,
+                   sim::SimTime deadline, std::uint64_t* bytes) {
+  auto& eng = th.host().engine();
+  std::uint64_t off = region_off;
+  const auto blocks = static_cast<std::uint32_t>(kIoBytes / 512);
+  while (eng.now() < deadline) {
+    const auto s =
+        co_await init.submit_write(th, 0, off / 512, blocks, *buf);
+    if (s != scsi::Status::kGood) co_return;  // terminal: job gives up
+    if (eng.now() <= deadline) *bytes += kIoBytes;
+    off += kIoBytes;
+    if (off + kIoBytes > region_off + kLunBytes / kJobs) off = region_off;
+  }
+}
+
+Result run_case(bool use_tcp, const Intensity& lvl) {
+  sim::Engine eng;
+  numa::Host fe(eng, model::front_end_lan_host("fe"));
+  numa::Host be(eng, model::back_end_lan_host("be"));
+  auto link = net::make_ib_lan(eng, "ib");
+  link->bind_endpoints(&fe, &be);
+  numa::Process iproc(fe, "initiator", numa::NumaBinding::bound(0));
+  numa::Process tproc(be, "tgtd", numa::NumaBinding::bound(0));
+
+  mem::Tmpfs store(be);
+  auto& file = store.create("lun0", kLunBytes, numa::MemPolicy::kBind, 0);
+  scsi::Lun lun(0, store, file);
+  mem::BufferPool staging(be, "staging", 32, 8ull << 20,
+                          numa::MemPolicy::kBind, 0);
+  staging.mark_registered();
+
+  std::unique_ptr<rdma::Device> fe_dev, be_dev;
+  std::unique_ptr<iser::IserSession> rdma_sess;
+  std::unique_ptr<iscsi::TcpSession> tcp_sess;
+  iscsi::Datamover* init_dm = nullptr;
+  iscsi::Datamover* tgt_dm = nullptr;
+
+  numa::Thread& irx = iproc.spawn_thread();
+  numa::Thread& itx = iproc.spawn_thread();
+  numa::Thread& trx = tproc.spawn_thread();
+  numa::Thread& ttx = tproc.spawn_thread();
+  if (use_tcp) {
+    tcp_sess = std::make_unique<iscsi::TcpSession>(fe, 0, be, 0, *link,
+                                                   iproc, tproc);
+    exp::run_task(eng, tcp_sess->start(irx, itx, trx, ttx));
+    init_dm = &tcp_sess->initiator_ep();
+    tgt_dm = &tcp_sess->target_ep();
+  } else {
+    fe_dev = std::make_unique<rdma::Device>(
+        fe, model::NicProfile{"ib0", model::LinkType::kInfiniBand, 56.0,
+                              65520, 0, 63.0});
+    be_dev = std::make_unique<rdma::Device>(be, be.profile().nics[0]);
+    rdma_sess = std::make_unique<iser::IserSession>(*fe_dev, *be_dev, *link,
+                                                    iproc, tproc);
+    exp::run_task(eng, rdma_sess->start(irx, trx));
+    init_dm = &rdma_sess->initiator_ep();
+    tgt_dm = &rdma_sess->target_ep();
+  }
+
+  iscsi::Target target(tproc, *tgt_dm, {&lun}, staging);
+  target.start(8);
+  // TCP's transport retransmits absorb wire faults, so its initiator runs
+  // without a command timer; iSER sees failed completions and needs the
+  // command-retry layer armed. The timer sits above the ~7 ms queueing
+  // latency of 8 concurrent 4 MiB commands so clean runs never retry.
+  iscsi::RetryPolicy policy;
+  iscsi::Initiator initiator(iproc, *init_dm,
+                             use_tcp ? 0 : 25 * sim::kMillisecond, policy);
+  iscsi::LoginParams params;
+  if (!exp::run_task(eng, initiator.login(irx, params)))
+    throw std::runtime_error("login failed");
+  initiator.start_dispatcher(irx);
+  if (!use_tcp) {
+    iser::SessionRecoveryPolicy rp;
+    rp.mr_bytes_initiator = kIoBytes;
+    rp.mr_bytes_target = 8ull << 20;
+    rdma_sess->enable_recovery(irx, trx, rp);
+  }
+
+  const sim::SimDuration window = 2 * sim::kSecond;
+  fault::FaultInjector inj(
+      eng, lvl.any ? fault::FaultPlan::random(kSeed, [&] {
+                       auto p = lvl.params;
+                       p.horizon = window;
+                       return p;
+                     }())
+                   : fault::FaultPlan{});
+  inj.attach(*link);
+  if (!use_tcp)
+    inj.set_qp_kill_handler([&rdma_sess](int) { rdma_sess->kill(); });
+  inj.arm();
+
+  const sim::SimTime deadline = eng.now() + window;
+  const sim::SimTime t0 = eng.now();
+  auto bytes = std::make_unique<std::uint64_t>(0);
+  std::vector<std::unique_ptr<mem::Buffer>> bufs;
+  for (int j = 0; j < kJobs; ++j) {
+    bufs.push_back(std::make_unique<mem::Buffer>());
+    bufs.back()->bytes = kIoBytes;
+    bufs.back()->placement = iproc.alloc(kIoBytes);
+    bufs.back()->registered = true;
+    sim::co_spawn(io_job(initiator, iproc.spawn_thread(), bufs.back().get(),
+                         j * (kLunBytes / kJobs), deadline, bytes.get()));
+  }
+  eng.run_until(deadline);
+  const sim::SimDuration w = eng.now() - t0;
+
+  Result r;
+  r.gbps = static_cast<double>(*bytes) * 8.0 / static_cast<double>(w);
+  r.faults = inj.faults_injected();
+  r.messages_failed = inj.messages_failed();
+  r.command_retries = initiator.command_retries();
+  r.command_failures = initiator.command_failures();
+  if (rdma_sess) r.recoveries = rdma_sess->recoveries();
+  eng.run();
+  return r;
+}
+
+std::map<std::pair<int, bool>, Result> g_results;
+
+void BM_FaultRecovery(benchmark::State& state) {
+  const auto levels = intensities();
+  const int lvl = static_cast<int>(state.range(0));
+  const bool tcp = state.range(1) != 0;
+  Result r;
+  for (auto _ : state) {
+    r = run_case(tcp, levels[static_cast<std::size_t>(lvl)]);
+    benchmark::DoNotOptimize(r.gbps);
+  }
+  g_results[{lvl, tcp}] = r;
+  state.counters["Gbps"] = r.gbps;
+  state.counters["retries"] = static_cast<double>(r.command_retries);
+  state.counters["recoveries"] = static_cast<double>(r.recoveries);
+  state.SetLabel(std::string(tcp ? "iscsi-tcp" : "iser") + "/" +
+                 levels[static_cast<std::size_t>(lvl)].name);
+}
+BENCHMARK(BM_FaultRecovery)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace e2e::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace e2e::bench;
+  const auto levels = intensities();
+  e2e::metrics::Table t(
+      "Ablation: goodput under injected faults (seed 7, 2 s window, "
+      "8 jobs x 4 MiB writes)");
+  t.header({"faults", "transport", "Gbps", "injected", "msgs failed",
+            "cmd retries", "recoveries", "terminal"});
+  for (std::size_t lvl = 0; lvl < levels.size(); ++lvl)
+    for (const bool tcp : {false, true}) {
+      const auto& r = g_results[{static_cast<int>(lvl), tcp}];
+      t.row({levels[lvl].name, tcp ? "iSCSI/TCP" : "iSER (RDMA)",
+             e2e::metrics::Table::num(r.gbps),
+             std::to_string(r.faults), std::to_string(r.messages_failed),
+             std::to_string(r.command_retries),
+             std::to_string(r.recoveries),
+             std::to_string(r.command_failures)});
+    }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf(
+      "\nTCP buries wire faults in transport retransmission (goodput dips,\n"
+      "no visible recovery work); iSER surfaces them and pays with command\n"
+      "retries and, for QP kills, a session re-login -- but keeps RDMA\n"
+      "zero-copy goodput everywhere the wire is clean.\n");
+  return 0;
+}

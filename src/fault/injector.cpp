@@ -1,0 +1,166 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace e2e::fault {
+
+FaultInjector::FaultInjector(sim::Engine& eng, FaultPlan plan)
+    : eng_(eng), plan_(std::move(plan)) {}
+
+FaultInjector::~FaultInjector() {
+  for (auto& ls : links_)
+    if (ls.link != nullptr && ls.link->fault_hook() == this)
+      ls.link->set_fault_hook(nullptr);
+}
+
+void FaultInjector::attach(net::Link& link) {
+  if (armed_) throw std::logic_error("attach after arm()");
+  for (const auto& ls : links_)
+    if (ls.link == &link)
+      throw std::logic_error("link attached twice: " + link.name());
+  LinkState ls;
+  ls.link = &link;
+  links_.push_back(ls);
+  link.set_fault_hook(this);
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector armed twice");
+  armed_ = true;
+  for (const auto& ev : plan_.events) {
+    if (ev.type != FaultType::kQpKill &&
+        ev.link >= static_cast<int>(links_.size())) {
+      ++skipped_events_;
+      continue;
+    }
+    const FaultEvent e = ev;
+    eng_.schedule_at(e.at, [this, e] { apply(e); });
+  }
+}
+
+// Emits the injection-time trace instant + counters for one plan event.
+void FaultInjector::fire(LinkState& ls, const char* name) {
+  ++faults_injected_;
+  if (auto* tr = trace::of(eng_)) {
+    const auto tk = ls.trk.get(tr, trace::Layer::kFault,
+                               "fault/" + ls.link->name());
+    tr->instant(tk, name);
+    tr->counter("fault/injected").add(1);
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& ev) {
+  if (ev.type == FaultType::kQpKill) {
+    ++faults_injected_;
+    if (auto* tr = trace::of(eng_)) {
+      const auto tk =
+          plan_trk_.get(tr, trace::Layer::kFault, "fault/plan");
+      tr->instant(tk, "qp-kill");
+      tr->counter("fault/injected").add(1);
+    }
+    if (qp_kill_) qp_kill_(ev.qp);
+    else ++skipped_events_;
+    return;
+  }
+
+  LinkState& ls = links_[static_cast<std::size_t>(ev.link)];
+  switch (ev.type) {
+    case FaultType::kLossBurst: {
+      const int d = net::index(ev.dir);
+      ls.pending_loss[d] += ev.count;
+      const sim::SimDuration window =
+          ev.duration > 0 ? ev.duration : kDefaultLossWindow;
+      ls.loss_until[d] = std::max(ls.loss_until[d], eng_.now() + window);
+      fire(ls, "loss-burst");
+      break;
+    }
+    case FaultType::kLinkFlap: {
+      ls.down = true;
+      fire(ls, "link-down");
+      eng_.schedule_after(ev.duration, [this, &ls] {
+        ls.down = false;
+        if (auto* tr = trace::of(eng_))
+          tr->instant(ls.trk.get(tr, trace::Layer::kFault,
+                                 "fault/" + ls.link->name()),
+                      "link-up");
+      });
+      break;
+    }
+    case FaultType::kLatencySpike: {
+      ls.extra_latency += ev.extra_latency;
+      const sim::SimDuration add = ev.extra_latency;
+      fire(ls, "latency-spike");
+      eng_.schedule_after(ev.duration, [this, &ls, add] {
+        ls.extra_latency -= add;
+        if (auto* tr = trace::of(eng_))
+          tr->instant(ls.trk.get(tr, trace::Layer::kFault,
+                                 "fault/" + ls.link->name()),
+                      "latency-normal");
+      });
+      break;
+    }
+    case FaultType::kBlackhole: {
+      const int d = net::index(ev.dir);
+      ls.hole[d] = true;
+      fire(ls, "blackhole");
+      eng_.schedule_after(ev.duration, [this, &ls, d] {
+        ls.hole[d] = false;
+        if (auto* tr = trace::of(eng_))
+          tr->instant(ls.trk.get(tr, trace::Layer::kFault,
+                                 "fault/" + ls.link->name()),
+                      "blackhole-end");
+      });
+      break;
+    }
+    case FaultType::kQpKill:
+      break;  // handled above
+  }
+}
+
+net::TxFate FaultInjector::on_transmit(net::Link& link, net::Direction d,
+                                       double bytes) {
+  (void)bytes;
+  net::TxFate fate;
+  LinkState* state = nullptr;
+  for (auto& ls : links_)
+    if (ls.link == &link) {
+      state = &ls;
+      break;
+    }
+  if (state == nullptr) return fate;  // not an attached link
+
+  const int di = net::index(d);
+  if (state->pending_loss[di] > 0 && eng_.now() >= state->loss_until[di])
+    state->pending_loss[di] = 0;  // burst window over: leftover losses lapse
+  const char* cause = nullptr;
+  if (state->down) {
+    fate.fail = true;
+    cause = "drop:link-down";
+  } else if (state->hole[di]) {
+    // A blackholed message vanishes; the sender only learns after its
+    // transport retries exhaust, so the failure surfaces late.
+    fate.fail = true;
+    fate.fail_delay = static_cast<sim::SimDuration>(blackhole_fail_rtts_) *
+                      link.rtt();
+    cause = "drop:blackhole";
+  } else if (state->pending_loss[di] > 0) {
+    --state->pending_loss[di];
+    fate.fail = true;
+    cause = "drop:loss";
+  }
+  fate.extra_latency = state->extra_latency;
+  if (fate.fail) {
+    ++messages_failed_;
+    if (auto* tr = trace::of(eng_)) {
+      const auto tk = state->trk.get(tr, trace::Layer::kFault,
+                                     "fault/" + link.name());
+      tr->instant(tk, cause);
+      tr->counter("fault/messages_failed").add(1);
+    }
+  }
+  return fate;
+}
+
+}  // namespace e2e::fault

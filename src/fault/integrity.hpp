@@ -1,0 +1,70 @@
+// Payload-identity checksums for end-to-end integrity verification.
+//
+// The simulation moves no real bytes, so integrity is modelled over payload
+// *identity*: every logical unit of data (a 512-byte SCSI block, an RFTP
+// block at a file offset) has a deterministic FNV-1a tag derived from its
+// coordinates. Tags are XOR-composable — the tag of a range is the XOR of
+// its units' tags — so chunked, reordered and multi-path transfers all
+// compose to the same value, while a missing, duplicated or misdirected
+// chunk perturbs it. Data paths carry tags alongside transfers
+// (rdma::SendWr::content_tag, rftp::DataHeader::checksum) and sinks verify
+// them against the analytically-known expected value.
+#pragma once
+
+#include <cstdint>
+
+namespace e2e::fault {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// FNV-1a over the 8 little-endian bytes of `x`.
+[[nodiscard]] constexpr std::uint64_t fnv64(std::uint64_t x) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// FNV-1a over the concatenation of two words (order-sensitive mix).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a,
+                                            std::uint64_t b) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (a >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  for (int i = 0; i < 8; ++i) {
+    h ^= (b >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Tag of one 512-byte logical block at `lba`. Domain-separated from raw
+/// fnv64 so LBA tags never collide with offset-derived tags.
+[[nodiscard]] constexpr std::uint64_t block_tag(std::uint64_t lba) noexcept {
+  return mix64(0x5C51B10CULL, lba);  // "scsi block"
+}
+
+/// XOR-composed tag of `blocks` consecutive logical blocks starting at
+/// `lba`. block_range_tag(l, m) ^ block_range_tag(l + m, n) ==
+/// block_range_tag(l, m + n), so any chunking of an I/O composes.
+[[nodiscard]] constexpr std::uint64_t block_range_tag(
+    std::uint64_t lba, std::uint32_t blocks) noexcept {
+  std::uint64_t t = 0;
+  for (std::uint32_t i = 0; i < blocks; ++i) t ^= block_tag(lba + i);
+  return t;
+}
+
+/// Tag of one RFTP block: `bytes` of payload at byte `offset` of the
+/// transfer, carried in rftp::DataHeader::checksum and XOR-accumulated into
+/// the sink digest.
+[[nodiscard]] constexpr std::uint64_t rftp_block_tag(
+    std::uint64_t offset, std::uint64_t bytes) noexcept {
+  return mix64(0x2F7BULL ^ fnv64(offset), bytes);  // "rftp"
+}
+
+}  // namespace e2e::fault

@@ -1,0 +1,259 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace e2e::fault {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+[[noreturn]] void bad(std::string_view spec, std::string_view why) {
+  throw std::invalid_argument("bad fault plan \"" + std::string(spec) +
+                              "\": " + std::string(why));
+}
+
+/// Parses `750us`-style durations. A bare number means seconds.
+sim::SimDuration parse_time(std::string_view spec, std::string_view tok) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(std::string(tok), &pos);
+  } catch (const std::exception&) {
+    bad(spec, "unparseable time \"" + std::string(tok) + "\"");
+  }
+  if (value < 0) bad(spec, "negative time \"" + std::string(tok) + "\"");
+  const std::string_view suffix = tok.substr(pos);
+  double scale = 0.0;
+  if (suffix.empty() || suffix == "s") scale = static_cast<double>(sim::kSecond);
+  else if (suffix == "ms") scale = static_cast<double>(sim::kMillisecond);
+  else if (suffix == "us") scale = static_cast<double>(sim::kMicrosecond);
+  else if (suffix == "ns") scale = static_cast<double>(sim::kNanosecond);
+  else bad(spec, "unknown time suffix \"" + std::string(suffix) + "\"");
+  return static_cast<sim::SimDuration>(value * scale);
+}
+
+int parse_int(std::string_view spec, std::string_view tok) {
+  try {
+    return std::stoi(std::string(tok));
+  } catch (const std::exception&) {
+    bad(spec, "unparseable integer \"" + std::string(tok) + "\"");
+  }
+}
+
+net::Direction parse_dir(std::string_view spec, std::string_view tok) {
+  if (tok == "ab") return net::Direction::kAtoB;
+  if (tok == "ba") return net::Direction::kBtoA;
+  bad(spec, "direction must be ab or ba, got \"" + std::string(tok) + "\"");
+}
+
+/// Formats a duration in the shortest exact unit (round-trips parse_time).
+std::string format_time(sim::SimDuration t) {
+  const char* unit = "ns";
+  sim::SimDuration div = 1;
+  if (t % sim::kSecond == 0) { unit = "s"; div = sim::kSecond; }
+  else if (t % sim::kMillisecond == 0) { unit = "ms"; div = sim::kMillisecond; }
+  else if (t % sim::kMicrosecond == 0) { unit = "us"; div = sim::kMicrosecond; }
+  return std::to_string(t / div) + unit;
+}
+
+FaultEvent parse_event(std::string_view spec, std::string_view ev) {
+  const auto at_pos = ev.find('@');
+  if (at_pos == std::string_view::npos)
+    bad(spec, "event \"" + std::string(ev) + "\" missing @time");
+  const std::string_view type_tok = ev.substr(0, at_pos);
+  std::string_view rest = ev.substr(at_pos + 1);
+  std::string_view time_tok = rest;
+  std::string_view params;
+  if (const auto colon = rest.find(':'); colon != std::string_view::npos) {
+    time_tok = rest.substr(0, colon);
+    params = rest.substr(colon + 1);
+  }
+
+  FaultEvent e;
+  if (type_tok == "loss") e.type = FaultType::kLossBurst;
+  else if (type_tok == "flap") e.type = FaultType::kLinkFlap;
+  else if (type_tok == "spike") e.type = FaultType::kLatencySpike;
+  else if (type_tok == "hole") e.type = FaultType::kBlackhole;
+  else if (type_tok == "qpkill") e.type = FaultType::kQpKill;
+  else bad(spec, "unknown fault type \"" + std::string(type_tok) + "\"");
+  e.at = parse_time(spec, time_tok);
+
+  while (!params.empty()) {
+    std::string_view kv = params;
+    if (const auto comma = params.find(','); comma != std::string_view::npos) {
+      kv = params.substr(0, comma);
+      params = params.substr(comma + 1);
+    } else {
+      params = {};
+    }
+    kv = trim(kv);
+    if (kv.empty()) continue;
+    const auto eq = kv.find('=');
+    if (eq == std::string_view::npos)
+      bad(spec, "parameter \"" + std::string(kv) + "\" missing =");
+    const std::string_view key = kv.substr(0, eq);
+    const std::string_view val = kv.substr(eq + 1);
+    if (key == "n") e.count = parse_int(spec, val);
+    else if (key == "link") e.link = parse_int(spec, val);
+    else if (key == "dir") e.dir = parse_dir(spec, val);
+    else if (key == "dur") e.duration = parse_time(spec, val);
+    else if (key == "add") e.extra_latency = parse_time(spec, val);
+    else if (key == "qp") e.qp = parse_int(spec, val);
+    else bad(spec, "unknown parameter \"" + std::string(key) + "\"");
+  }
+  if (e.count < 1) bad(spec, "n must be >= 1");
+  if (e.link < 0) bad(spec, "link must be >= 0");
+  if (e.qp < 0) bad(spec, "qp must be >= 0");
+  if ((e.type == FaultType::kLinkFlap || e.type == FaultType::kLatencySpike ||
+       e.type == FaultType::kBlackhole) &&
+      e.duration == 0)
+    bad(spec, "windowed fault needs dur=");
+  if (e.type == FaultType::kLatencySpike && e.extra_latency == 0)
+    bad(spec, "spike needs add=");
+  return e;
+}
+
+void sort_events(std::vector<FaultEvent>& evs) {
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    std::string_view ev = rest;
+    if (const auto semi = rest.find(';'); semi != std::string_view::npos) {
+      ev = rest.substr(0, semi);
+      rest = rest.substr(semi + 1);
+    } else {
+      rest = {};
+    }
+    ev = trim(ev);
+    if (ev.empty()) continue;
+    plan.events.push_back(parse_event(spec, ev));
+  }
+  sort_events(plan.events);
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const auto& e : events) {
+    if (!out.empty()) out += ';';
+    out += fault::to_string(e.type);
+    out += '@';
+    out += format_time(e.at);
+    switch (e.type) {
+      case FaultType::kLossBurst:
+        out += ":n=" + std::to_string(e.count);
+        if (e.duration > 0) out += ",dur=" + format_time(e.duration);
+        out += ",dir=" + std::string(net::to_string(e.dir));
+        out += ",link=" + std::to_string(e.link);
+        break;
+      case FaultType::kLinkFlap:
+        out += ":dur=" + format_time(e.duration);
+        out += ",link=" + std::to_string(e.link);
+        break;
+      case FaultType::kLatencySpike:
+        out += ":dur=" + format_time(e.duration);
+        out += ",add=" + format_time(e.extra_latency);
+        out += ",link=" + std::to_string(e.link);
+        break;
+      case FaultType::kBlackhole:
+        out += ":dur=" + format_time(e.duration);
+        out += ",dir=" + std::string(net::to_string(e.dir));
+        out += ",link=" + std::to_string(e.link);
+        break;
+      case FaultType::kQpKill:
+        out += ":qp=" + std::to_string(e.qp);
+        break;
+    }
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const RandomParams& p) {
+  FaultPlan plan;
+  sim::Rng rng(seed);
+  // Events land in the middle 90% of the horizon so nothing fires before
+  // connections establish or after the transfer would have drained.
+  const auto when = [&] {
+    return static_cast<sim::SimTime>(
+        rng.uniform_u64(p.horizon / 20, (p.horizon * 19) / 20));
+  };
+  const auto dur = [&](sim::SimDuration max) {
+    return static_cast<sim::SimDuration>(rng.uniform_u64(max / 4, max));
+  };
+  const auto link = [&] {
+    return static_cast<int>(rng.uniform_u64(0, p.links > 0 ? p.links - 1 : 0));
+  };
+  const auto dir = [&] {
+    return rng.chance(0.5) ? net::Direction::kAtoB : net::Direction::kBtoA;
+  };
+  for (int i = 0; i < p.loss_bursts; ++i) {
+    FaultEvent e;
+    e.type = FaultType::kLossBurst;
+    e.at = when();
+    e.count = static_cast<int>(
+        rng.uniform_u64(1, static_cast<std::uint64_t>(p.max_burst)));
+    e.dir = dir();
+    e.link = link();
+    plan.events.push_back(e);
+  }
+  for (int i = 0; i < p.flaps; ++i) {
+    FaultEvent e;
+    e.type = FaultType::kLinkFlap;
+    e.at = when();
+    e.duration = dur(p.max_flap);
+    e.link = link();
+    plan.events.push_back(e);
+  }
+  for (int i = 0; i < p.spikes; ++i) {
+    FaultEvent e;
+    e.type = FaultType::kLatencySpike;
+    e.at = when();
+    e.duration = dur(p.max_spike);
+    e.extra_latency = dur(p.max_extra_latency);
+    e.link = link();
+    plan.events.push_back(e);
+  }
+  for (int i = 0; i < p.holes; ++i) {
+    FaultEvent e;
+    e.type = FaultType::kBlackhole;
+    e.at = when();
+    e.duration = dur(p.max_hole);
+    e.dir = dir();
+    e.link = link();
+    plan.events.push_back(e);
+  }
+  if (p.qps > 0) {
+    for (int i = 0; i < p.qp_kills; ++i) {
+      FaultEvent e;
+      e.type = FaultType::kQpKill;
+      e.at = when();
+      e.qp = static_cast<int>(
+          rng.uniform_u64(0, static_cast<std::uint64_t>(p.qps) - 1));
+      plan.events.push_back(e);
+    }
+  }
+  sort_events(plan.events);
+  return plan;
+}
+
+}  // namespace e2e::fault

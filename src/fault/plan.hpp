@@ -1,0 +1,96 @@
+// Fault plans: typed, time-stamped schedules of injected faults.
+//
+// A FaultPlan is data — a sorted list of fault events — produced either
+// from an explicit script (parse(), the CLI's --fault-plan) or from a
+// seeded PRNG (random(), the CLI's --fault-seed). The FaultInjector arms a
+// plan against an engine and one or more links; the same plan against the
+// same scenario reproduces byte-identical traces.
+//
+// Script syntax: semicolon-separated events, each `type@time[:k=v,...]`.
+//   loss@500ms:n=5,dir=ab,link=0     burst of 5 corrupted messages
+//                                    (optional dur= caps how long the
+//                                    burst stays live; default 10 ms)
+//   flap@1s:dur=20ms,link=0          link down for 20 ms (both directions)
+//   spike@2s:dur=100ms,add=5ms       +5 ms one-way latency for 100 ms
+//   hole@1200ms:dur=10ms,dir=ba      unidirectional blackhole for 10 ms
+//   qpkill@1500ms:qp=0               kill QP/stream index 0
+// Times take ns/us/ms/s suffixes (a bare number means seconds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/time.hpp"
+
+namespace e2e::fault {
+
+enum class FaultType : std::uint8_t {
+  kLossBurst,     // next n messages in one direction fail in flight,
+                  // within a bounded window (duration, default 10 ms)
+  kLinkFlap,      // link down (both directions) for a duration
+  kLatencySpike,  // extra one-way latency for a duration
+  kBlackhole,     // one direction silently eats traffic for a duration
+  kQpKill,        // kill one QP / transfer stream by index
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultType t) noexcept {
+  switch (t) {
+    case FaultType::kLossBurst: return "loss";
+    case FaultType::kLinkFlap: return "flap";
+    case FaultType::kLatencySpike: return "spike";
+    case FaultType::kBlackhole: return "hole";
+    case FaultType::kQpKill: return "qpkill";
+  }
+  return "?";
+}
+
+struct FaultEvent {
+  FaultType type = FaultType::kLossBurst;
+  sim::SimTime at = 0;                  // injection time
+  int link = 0;                         // target link index (attach order)
+  net::Direction dir = net::Direction::kAtoB;  // loss/hole direction
+  int count = 1;                        // loss burst length
+  sim::SimDuration duration = 0;        // flap/spike/hole window
+  sim::SimDuration extra_latency = 0;   // spike magnitude (one-way)
+  int qp = 0;                           // qpkill target index
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // sorted by `at`
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+  /// Canonical script form (round-trips through parse()).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses the script syntax above. Throws std::invalid_argument with a
+  /// position-carrying message on malformed input.
+  static FaultPlan parse(std::string_view spec);
+
+  /// Knobs for random(). Defaults give a plan the chaos tests can survive:
+  /// a handful of loss bursts, one flap, one spike, one blackhole and one
+  /// QP kill spread over the horizon.
+  struct RandomParams {
+    sim::SimDuration horizon = 2 * sim::kSecond;  // events land in (0,horizon)
+    int links = 1;      // events spread across this many link indices
+    int qps = 0;        // 0 disables qpkill events
+    int loss_bursts = 4;
+    int max_burst = 6;
+    int flaps = 1;
+    sim::SimDuration max_flap = 20 * sim::kMillisecond;
+    int spikes = 1;
+    sim::SimDuration max_spike = 100 * sim::kMillisecond;
+    sim::SimDuration max_extra_latency = 5 * sim::kMillisecond;
+    int holes = 1;
+    sim::SimDuration max_hole = 10 * sim::kMillisecond;
+    int qp_kills = 1;
+  };
+
+  /// Deterministic seeded plan: same (seed, params) => same plan.
+  static FaultPlan random(std::uint64_t seed, const RandomParams& params);
+};
+
+}  // namespace e2e::fault

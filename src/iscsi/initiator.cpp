@@ -1,6 +1,9 @@
 #include "iscsi/initiator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "fault/integrity.hpp"
 
 namespace e2e::iscsi {
 
@@ -77,21 +80,46 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
   co_await th.compute(th.host().costs().iser_initiator_cycles,
                       metrics::CpuCategory::kUserProto);
 
-  for (;;) {
+  bool terminal = false;
+  sim::SimDuration timeout = command_timeout_;
+  for (int attempt = 1;; ++attempt) {
     co_await dm_.send_pdu(th, cmd);
     if (command_timeout_ == 0) {
       (void)co_await pending->wake.recv();
       break;
     }
-    // Arm a timeout; the shared_ptr keeps the rendezvous alive even if the
-    // timer outlives this task.
-    eng.schedule_after(command_timeout_,
-                       [pending] { pending->wake.send(false); });
+    // Arm a (jittered) timeout; the shared_ptr keeps the rendezvous alive
+    // even if the timer outlives this task.
+    sim::SimDuration armed = timeout;
+    if (policy_.jitter > 0.0)
+      armed += static_cast<sim::SimDuration>(
+          jitter_rng_.uniform(0.0, policy_.jitter) *
+          static_cast<double>(timeout));
+    eng.schedule_after(armed, [pending] { pending->wake.send(false); });
     const auto woke = co_await pending->wake.recv();
     if (woke && *woke) break;  // genuine response
-    // Timed out: retransmit the same task tag. The target suppresses
-    // duplicates, so at-most-once execution is preserved.
+    if (attempt >= std::max(policy_.max_attempts, 1)) {
+      // Retry budget exhausted: abandon the task and surface a terminal
+      // transport error. Erasing the rendezvous turns any late response
+      // into an ignorable duplicate.
+      pending_.erase(cmd.itt);
+      terminal = true;
+      ++command_failures_;
+      if (auto* tr = trace::of(eng)) {
+        tr->instant(trace_trk_.get(tr, trace::Layer::kIscsi,
+                                   proc_.host().name() + "/initiator"),
+                    "command-abandoned");
+        tr->counter("iscsi/command_failures").add(1);
+      }
+      break;
+    }
+    // Timed out: retransmit the same task tag with the timeout grown by
+    // the backoff multiplier (capped). The target suppresses duplicates,
+    // so at-most-once execution is preserved.
     ++command_retries_;
+    timeout = static_cast<sim::SimDuration>(
+        static_cast<double>(timeout) * policy_.backoff_multiplier);
+    if (policy_.backoff_cap > 0) timeout = std::min(timeout, policy_.backoff_cap);
     if (auto* tr = trace::of(eng)) {
       tr->instant(trace_trk_.get(tr, trace::Layer::kIscsi,
                                  proc_.host().name() + "/initiator"),
@@ -103,9 +131,10 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
     tr->async_end(trace_trk_.get(tr, trace::Layer::kIscsi,
                                  proc_.host().name() + "/initiator"),
                   span, cmd.itt);
-    tr->counter("iscsi/tasks_completed").add(1);
+    tr->counter(terminal ? "iscsi/tasks_failed" : "iscsi/tasks_completed")
+        .add(1);
   }
-  co_return pending->status;
+  co_return terminal ? scsi::Status::kTransportError : pending->status;
 }
 
 sim::Task<scsi::Status> Initiator::submit_read(numa::Thread& th,
@@ -113,7 +142,35 @@ sim::Task<scsi::Status> Initiator::submit_read(numa::Thread& th,
                                                std::uint64_t lba,
                                                std::uint32_t blocks,
                                                mem::Buffer& data) {
-  return submit_io(th, scsi::OpCode::kRead16, lun, lba, blocks, data);
+  if (!policy_.verify_read_digest)
+    co_return co_await submit_io(th, scsi::OpCode::kRead16, lun, lba, blocks,
+                                 data);
+  // End-to-end integrity: the landed data must compose to the analytic
+  // range tag. A lost Data-In delivery leaves the tag short even when the
+  // control path replays a GOOD response, so mismatches re-drive the whole
+  // I/O under a fresh task tag (a fresh ITT defeats the replay cache).
+  const std::uint64_t expected = fault::block_range_tag(lba, blocks);
+  auto& eng = th.host().engine();
+  for (int attempt = 0;; ++attempt) {
+    data.content_tag = 0;
+    const auto st =
+        co_await submit_io(th, scsi::OpCode::kRead16, lun, lba, blocks, data);
+    if (st != scsi::Status::kGood) co_return st;
+    if (data.content_tag == expected) co_return scsi::Status::kGood;
+    ++digest_errors_;
+    if (auto* tr = trace::of(eng)) {
+      tr->instant(trace_trk_.get(tr, trace::Layer::kIscsi,
+                                 proc_.host().name() + "/initiator"),
+                  "digest-mismatch");
+      tr->counter("iscsi/digest_errors").add(1);
+    }
+    if (attempt >= policy_.max_digest_retries) {
+      ++command_failures_;
+      if (auto* tr = trace::of(eng))
+        tr->counter("iscsi/command_failures").add(1);
+      co_return scsi::Status::kTransportError;
+    }
+  }
 }
 
 sim::Task<scsi::Status> Initiator::submit_write(numa::Thread& th,
@@ -121,6 +178,9 @@ sim::Task<scsi::Status> Initiator::submit_write(numa::Thread& th,
                                                 std::uint64_t lba,
                                                 std::uint32_t blocks,
                                                 mem::Buffer& data) {
+  // Stamp the source buffer's identity so one-sided pulls propagate it;
+  // write-path integrity is verified against the LUN's written digest.
+  data.content_tag = fault::block_range_tag(lba, blocks);
   return submit_io(th, scsi::OpCode::kWrite16, lun, lba, blocks, data);
 }
 

@@ -15,19 +15,51 @@
 #include "mem/buffer.hpp"
 #include "numa/process.hpp"
 #include "sim/channel.hpp"
+#include "sim/rng.hpp"
 #include "sim/sync.hpp"
 #include "trace/tracer.hpp"
 
 namespace e2e::iscsi {
 
+/// Bounds and shapes the initiator's recovery behaviour. Retransmission
+/// timeouts grow exponentially (capped) with uniform jitter so retry storms
+/// decorrelate; the attempt budget turns a dead session into a terminal
+/// scsi::Status::kTransportError instead of an infinite retransmit loop.
+struct RetryPolicy {
+  /// Transmissions per command, including the first (>= 1). Exhausting the
+  /// budget surfaces kTransportError to the submitter.
+  int max_attempts = 8;
+  /// Timeout growth per retransmission (capped exponential backoff).
+  double backoff_multiplier = 2.0;
+  /// Upper bound for the grown timeout (0 = uncapped).
+  sim::SimDuration backoff_cap = 0;
+  /// Uniform jitter added to each armed timeout, as a fraction of it
+  /// (0.1 = up to +10%). Drawn from a deterministic seeded PRNG.
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 0x7E57;
+  /// End-to-end READ integrity: verify the landed data's content tag
+  /// against the analytic block-range tag, re-driving the I/O under a
+  /// fresh task tag on mismatch (recovers data lost to wire faults that
+  /// the control path's replay cache papers over). Off by default: tags
+  /// are only meaningful when each in-flight buffer serves one I/O.
+  bool verify_read_digest = false;
+  /// Fresh-ITT re-drives allowed per READ on digest mismatch.
+  int max_digest_retries = 3;
+};
+
 class Initiator {
  public:
   /// `command_timeout` (0 = disabled): how long to wait for a SCSI
   /// response before retransmitting the command (the target suppresses
-  /// duplicates). Bounds recovery from lost control PDUs.
+  /// duplicates). Bounds recovery from lost control PDUs; `policy` bounds
+  /// and shapes the retransmissions themselves.
   Initiator(numa::Process& proc, Datamover& dm,
-            sim::SimDuration command_timeout = 0)
-      : proc_(proc), dm_(dm), command_timeout_(command_timeout) {}
+            sim::SimDuration command_timeout = 0, RetryPolicy policy = {})
+      : proc_(proc),
+        dm_(dm),
+        command_timeout_(command_timeout),
+        policy_(policy),
+        jitter_rng_(policy.jitter_seed) {}
   Initiator(const Initiator&) = delete;
   Initiator& operator=(const Initiator&) = delete;
 
@@ -62,6 +94,15 @@ class Initiator {
   [[nodiscard]] std::uint64_t command_retries() const noexcept {
     return command_retries_;
   }
+  /// Commands abandoned with kTransportError (retry budget exhausted).
+  [[nodiscard]] std::uint64_t command_failures() const noexcept {
+    return command_failures_;
+  }
+  /// READ digest mismatches detected (verify_read_digest).
+  [[nodiscard]] std::uint64_t digest_errors() const noexcept {
+    return digest_errors_;
+  }
+  [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
 
  private:
   struct Pending {
@@ -82,9 +123,13 @@ class Initiator {
   bool logged_in_ = false;
   bool dispatcher_running_ = false;
   sim::SimDuration command_timeout_ = 0;
+  RetryPolicy policy_;
+  sim::Rng jitter_rng_;
   std::uint64_t next_itt_ = 1;
   std::uint64_t tasks_completed_ = 0;
   std::uint64_t command_retries_ = 0;
+  std::uint64_t command_failures_ = 0;
+  std::uint64_t digest_errors_ = 0;
   std::map<std::uint64_t, std::shared_ptr<Pending>> pending_;
   trace::CachedTrack trace_trk_;
 };

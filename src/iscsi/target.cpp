@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/integrity.hpp"
+
 namespace e2e::iscsi {
 
 Target::Target(numa::Process& proc, Datamover& dm,
@@ -156,6 +158,9 @@ sim::Task<> Target::serve_task(numa::Thread& th, Pdu cmd) {
           resp.status =
               co_await lun->read(th, lba, blocks, staging->placement);
           if (resp.status == scsi::Status::kGood) {
+            // Stamp the staging chunk's payload identity; the datamover
+            // carries it to the initiator buffer for digest verification.
+            staging->content_tag = fault::block_range_tag(lba, blocks);
             // Data-In rides the ordered session QP ahead of the response;
             // the staging buffer recycles on the send completion, and the
             // worker moves on immediately (completion-driven pipeline).

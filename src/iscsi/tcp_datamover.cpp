@@ -58,6 +58,7 @@ sim::Task<> TcpDatamover::put_data(numa::Thread& th, mem::Buffer& staging,
     wire->kind = Wire::Kind::kDataIn;
     wire->bytes = chunk;
     wire->dest = rkey.buffer;
+    wire->tag = sent == 0 ? staging.content_tag : 0;
     ++data_pdus_;
     co_await conn_.send(th, staging.placement, chunk, false,
                         std::move(wire));
@@ -148,8 +149,10 @@ sim::Task<> TcpDatamover::demux_loop(numa::Thread& th) {
       case Wire::Kind::kDataIn:
         // Land the payload in the I/O buffer: the deferred kernel->user
         // copy of the TCP receive path.
-        if (w->dest != nullptr)
+        if (w->dest != nullptr) {
           co_await conn_.copy_from_kernel(th, m.bytes, w->dest->placement);
+          w->dest->content_tag ^= w->tag;
+        }
         break;
       case Wire::Kind::kR2T:
         if (is_target_)

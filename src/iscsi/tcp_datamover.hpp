@@ -64,6 +64,9 @@ class TcpDatamover final : public Datamover {
     std::uint64_t itt = 0;         // data/R2T sequences
     std::uint64_t bytes = 0;
     mem::Buffer* dest = nullptr;   // where the payload lands
+    // Integrity tag XORed into `dest` at the demux (first segment of a
+    // chunk carries the whole chunk's tag; TCP delivers reliably).
+    std::uint64_t tag = 0;
   };
   struct PendingDataOut {
     std::uint64_t remaining = 0;

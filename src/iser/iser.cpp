@@ -1,5 +1,6 @@
 #include "iser/iser.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace e2e::iser {
@@ -39,9 +40,10 @@ sim::Task<> IserEndpoint::send_cq_loop(numa::Thread& th) {
     if (it != pending_.end()) {
       auto on_complete = std::move(it->second);
       pending_.erase(it);
-      on_complete();
+      on_complete(wc.success);
     }
     // Control-send completions (wr_id 0) just recycle the shared buffer.
+    // A lost control PDU is healed by the initiator's command retransmit.
   }
 }
 
@@ -94,13 +96,49 @@ sim::Task<> IserEndpoint::await_data_op(numa::Thread& th, rdma::SendWr wr,
     tr->counter("iser/data_bytes").add(wr.bytes);
     tr->counter("iser/data_ops").add(1);
   }
-  sim::ManualEvent done(eng);
-  pending_.emplace(wr.wr_id, [&done] { done.set(); });
-  co_await qp_.post_send(th, wr);
-  co_await done.wait();
+  const std::uint64_t span_id = wr.wr_id;
+  sim::SimDuration backoff = 100 * sim::kMicrosecond;
+  constexpr sim::SimDuration kBackoffCap = 10 * sim::kMillisecond;
+  for (int attempt = 0;; ++attempt) {
+    bool ok = false;
+    sim::ManualEvent done(eng);
+    pending_.emplace(wr.wr_id, [&done, &ok](bool success) {
+      ok = success;
+      done.set();
+    });
+    co_await qp_.post_send(th, wr);
+    co_await done.wait();
+    if (ok) break;
+    if (attempt >= data_retry_limit_) {
+      // Give up rather than hang: the missing data surfaces end-to-end
+      // (READ digest mismatch at the initiator, write-ledger divergence at
+      // the LUN), and the session layer decides the command's fate.
+      ++data_aborts_;
+      if (auto* tr = trace::of(eng)) {
+        tr->instant(trace_track(tr), "data-abort");
+        tr->counter("iser/data_aborts").add(1);
+        tr->async_end(trace_track(tr), span_name, span_id);
+      }
+      co_return;
+    }
+    ++data_retries_;
+    if (auto* tr = trace::of(eng)) {
+      tr->instant(trace_track(tr), "data-retry");
+      tr->counter("iser/data_retries").add(1);
+    }
+    if (!qp_.alive()) {
+      // QP died: wait for the session supervisor to walk it back to RTS
+      // (MR revalidation included) before reposting.
+      co_await qp_.ready_event().wait();
+    } else {
+      co_await sim::Delay{eng, backoff};
+      backoff = std::min(backoff * 2, kBackoffCap);
+    }
+    wr.wr_id = next_wr_++;  // fresh id: the old completion is consumed
+  }
   ++data_ops_;
   if (auto* tr = trace::of(eng))
-    tr->async_end(trace_track(tr), span_name, wr.wr_id);
+    tr->async_end(trace_track(tr), span_name, span_id);
 }
 
 sim::Task<> IserEndpoint::put_data(numa::Thread& th, mem::Buffer& staging,
@@ -113,6 +151,7 @@ sim::Task<> IserEndpoint::put_data(numa::Thread& th, mem::Buffer& staging,
   wr.local = &staging;
   wr.bytes = bytes;
   wr.remote = rkey;
+  wr.content_tag = staging.content_tag;
   co_await await_data_op(th, wr, "rdma-write");
 }
 
@@ -129,22 +168,32 @@ sim::Task<> IserEndpoint::put_data_nowait(numa::Thread& th,
   wr.local = &staging;
   wr.bytes = bytes;
   wr.remote = rkey;
+  wr.content_tag = staging.content_tag;
   ++data_ops_;
   auto& eng = th.host().engine();
   if (auto* tr = trace::of(eng)) {
     tr->async_begin(trace_track(tr), "rdma-write", wr.wr_id);
     tr->counter("iser/data_bytes").add(bytes);
     tr->counter("iser/data_ops").add(1);
-    pending_.emplace(
-        wr.wr_id,
-        [this, wr_id = wr.wr_id, cb = std::move(on_complete)] {
-          if (auto* t2 = trace::of(proc_.host().engine()))
-            t2->async_end(trace_track(t2), "rdma-write", wr_id);
-          cb();
-        });
-  } else {
-    pending_.emplace(wr.wr_id, std::move(on_complete));
   }
+  // Fire-and-forget Data-In: a failed completion still recycles the
+  // staging buffer, but the payload never landed — count the loss and let
+  // the initiator's digest verification re-drive the I/O. Retrying here
+  // would risk double-delivery when the initiator also retries.
+  pending_.emplace(
+      wr.wr_id,
+      [this, wr_id = wr.wr_id, cb = std::move(on_complete)](bool success) {
+        if (!success) {
+          ++data_losses_;
+          if (auto* t2 = trace::of(proc_.host().engine())) {
+            t2->instant(trace_track(t2), "data-loss");
+            t2->counter("iser/data_losses").add(1);
+          }
+        }
+        if (auto* t2 = trace::of(proc_.host().engine()))
+          t2->async_end(trace_track(t2), "rdma-write", wr_id);
+        cb();
+      });
   co_await qp_.post_send(th, wr);
 }
 
@@ -158,6 +207,7 @@ sim::Task<> IserEndpoint::get_data(numa::Thread& th, mem::Buffer& staging,
   wr.local = &staging;
   wr.bytes = bytes;
   wr.remote = rkey;
+  // kRead adopts the remote buffer's tag into `staging` on completion.
   co_await await_data_op(th, wr, "rdma-read");
 }
 

@@ -59,6 +59,25 @@ class IserEndpoint final : public iscsi::Datamover {
   [[nodiscard]] rdma::QueuePair& qp() noexcept { return qp_; }
   [[nodiscard]] std::uint64_t pdus_sent() const noexcept { return pdus_sent_; }
   [[nodiscard]] std::uint64_t data_ops() const noexcept { return data_ops_; }
+  /// Failed data-op completions that were retried (wire fault / QP error).
+  [[nodiscard]] std::uint64_t data_retries() const noexcept {
+    return data_retries_;
+  }
+  /// Data ops abandoned after the retry limit; the loss surfaces end-to-end
+  /// (digest mismatch / LUN write-ledger divergence), not as a hang.
+  [[nodiscard]] std::uint64_t data_aborts() const noexcept {
+    return data_aborts_;
+  }
+  /// Fire-and-forget Data-In losses (put_data_nowait completions that
+  /// failed; the initiator's digest retry recovers the data).
+  [[nodiscard]] std::uint64_t data_losses() const noexcept {
+    return data_losses_;
+  }
+
+  /// Failed awaited data ops are retried up to this many times, waiting
+  /// for QP recovery when the QP died and backing off (capped exponential)
+  /// on transient wire faults.
+  void set_data_retry_limit(int n) noexcept { data_retry_limit_ = n; }
 
  private:
   sim::Task<> send_cq_loop(numa::Thread& th);
@@ -79,10 +98,16 @@ class IserEndpoint final : public iscsi::Datamover {
   mem::Buffer ctrl_buf_;   // shared descriptor for control sends
   mem::Buffer recv_buf_;   // shared descriptor for the receive ring
   sim::Channel<iscsi::Pdu> rx_pdus_;
-  std::map<std::uint64_t, std::function<void()>> pending_;
+  // Completion callbacks keyed by wr_id; invoked with wc.success so data
+  // paths can distinguish delivered from lost.
+  std::map<std::uint64_t, std::function<void(bool)>> pending_;
   std::uint64_t next_wr_ = 1;
   std::uint64_t pdus_sent_ = 0;
   std::uint64_t data_ops_ = 0;
+  std::uint64_t data_retries_ = 0;
+  std::uint64_t data_aborts_ = 0;
+  std::uint64_t data_losses_ = 0;
+  int data_retry_limit_ = 12;
   bool started_ = false;
   trace::CachedTrack trace_trk_;
 };

@@ -1,11 +1,32 @@
 // Convenience wiring of a full iSER session between two hosts.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+
 #include "iser/iser.hpp"
 #include "net/link.hpp"
 #include "rdma/cm.hpp"
+#include "sim/rng.hpp"
+#include "trace/tracer.hpp"
 
 namespace e2e::iser {
+
+/// Shapes IserSession::enable_recovery(): capped exponential backoff with
+/// jitter between re-establishment attempts, and an attempt budget after
+/// which the session closes (surfacing terminal errors to submitters via
+/// the initiator's retry budget) instead of reconnecting forever.
+struct SessionRecoveryPolicy {
+  int max_attempts = 8;  // consecutive failed recoveries before giving up
+  sim::SimDuration backoff = sim::kMillisecond;
+  double multiplier = 2.0;
+  sim::SimDuration backoff_cap = 50 * sim::kMillisecond;
+  double jitter = 0.2;  // uniform extra fraction of the backoff
+  std::uint64_t seed = 0xC0FFEE;
+  // Registered bytes revalidated per side during QP recovery (MR re-pin).
+  std::uint64_t mr_bytes_initiator = 0;
+  std::uint64_t mr_bytes_target = 0;
+};
 
 /// One iSER session: a connected QP pair plus the two datamover endpoints.
 /// The initiator side rides pair().a(), the target side pair().b().
@@ -25,6 +46,27 @@ class IserSession {
     co_await target_ep_.start(tgt_th);
   }
 
+  /// Kills the session's QP pair (NIC fault). In-flight data ops fail and
+  /// wait for the recovery supervisor (see enable_recovery()).
+  void kill() { pair_.kill(); }
+
+  /// Spawns a supervisor that watches for QP death and re-establishes the
+  /// connection with capped exponential backoff + jitter, revalidating MRs
+  /// per `policy`. Call after start(); `init_th`/`tgt_th` must outlive the
+  /// run (session service threads, as for start()).
+  void enable_recovery(numa::Thread& init_th, numa::Thread& tgt_th,
+                       SessionRecoveryPolicy policy = {}) {
+    if (supervising_) return;
+    supervising_ = true;
+    policy_ = policy;
+    sim::co_spawn(supervise(init_th, tgt_th));
+  }
+
+  [[nodiscard]] std::uint64_t recoveries() const noexcept {
+    return recoveries_;
+  }
+  [[nodiscard]] bool abandoned() const noexcept { return abandoned_; }
+
   [[nodiscard]] rdma::ConnectedPair& pair() noexcept { return pair_; }
   [[nodiscard]] IserEndpoint& initiator_ep() noexcept {
     return initiator_ep_;
@@ -32,9 +74,56 @@ class IserSession {
   [[nodiscard]] IserEndpoint& target_ep() noexcept { return target_ep_; }
 
  private:
+  sim::Task<> supervise(numa::Thread& init_th, numa::Thread& tgt_th) {
+    auto& eng = init_th.host().engine();
+    sim::Rng rng(policy_.seed);
+    int consecutive_failures = 0;
+    for (;;) {
+      co_await pair_.a().error_event().wait();
+      sim::SimDuration backoff = policy_.backoff;
+      // Back off before re-establishing (real CMs pace reconnects so a
+      // flapping fabric is not hammered), growing the delay while the
+      // fabric keeps killing us right back.
+      for (int i = 0; i < consecutive_failures; ++i)
+        backoff = std::min(static_cast<sim::SimDuration>(
+                               static_cast<double>(backoff) *
+                               policy_.multiplier),
+                           policy_.backoff_cap);
+      backoff += static_cast<sim::SimDuration>(
+          rng.uniform(0.0, policy_.jitter) * static_cast<double>(backoff));
+      co_await sim::Delay{eng, backoff};
+      if (pair_.alive()) {  // someone else recovered while we backed off
+        consecutive_failures = 0;
+        continue;
+      }
+      if (++consecutive_failures > policy_.max_attempts) {
+        // Budget exhausted: close the session. Submitters drain with
+        // terminal errors through the initiator's own retry budget.
+        abandoned_ = true;
+        initiator_ep_.close();
+        target_ep_.close();
+        if (auto* tr = trace::of(eng))
+          tr->counter("iser/sessions_abandoned").add(1);
+        co_return;
+      }
+      co_await pair_.reestablish(init_th, tgt_th, policy_.mr_bytes_initiator,
+                                 policy_.mr_bytes_target);
+      if (pair_.alive()) {
+        consecutive_failures = 0;
+        ++recoveries_;
+        if (auto* tr = trace::of(eng))
+          tr->counter("iser/session_recoveries").add(1);
+      }
+    }
+  }
+
   rdma::ConnectedPair pair_;
   IserEndpoint initiator_ep_;
   IserEndpoint target_ep_;
+  SessionRecoveryPolicy policy_;
+  bool supervising_ = false;
+  bool abandoned_ = false;
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace e2e::iser

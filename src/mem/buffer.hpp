@@ -16,6 +16,10 @@ struct Buffer {
   numa::Placement placement;
   bool registered = false;  // pinned as an RDMA memory region
   std::uint64_t id = 0;     // pool-unique identifier
+  // Integrity accumulator standing in for the buffer's contents: data paths
+  // XOR in the content tag of each chunk they deposit (fault/integrity.hpp),
+  // so a sink can verify what landed without the simulation moving bytes.
+  std::uint64_t content_tag = 0;
 
   [[nodiscard]] numa::NodeId home_node() const noexcept {
     return placement.extents.empty() ? 0 : placement.extents.front().node;

@@ -19,6 +19,50 @@
 
 namespace e2e::net {
 
+class Link;
+
+/// Transmission direction over a duplex link. The numeric values match the
+/// historical `int d` convention (0: a->b, 1: b->a) so the enum converts
+/// losslessly at the resource-array boundary.
+enum class Direction : int { kAtoB = 0, kBtoA = 1 };
+
+[[nodiscard]] constexpr int index(Direction d) noexcept {
+  return static_cast<int>(d);
+}
+[[nodiscard]] constexpr Direction opposite(Direction d) noexcept {
+  return d == Direction::kAtoB ? Direction::kBtoA : Direction::kAtoB;
+}
+[[nodiscard]] constexpr const char* to_string(Direction d) noexcept {
+  return d == Direction::kAtoB ? "ab" : "ba";
+}
+
+/// Verdict for one message about to be transmitted on a link direction.
+/// Produced by Link::transmit_fate() from the attached FaultHook (plus any
+/// legacy injected-failure counters).
+struct TxFate {
+  /// Message is corrupted/dropped in flight: the sender sees a failed
+  /// completion and the payload is never delivered.
+  bool fail = false;
+  /// When failing, how long the sender waits before the failure surfaces
+  /// (models RC retry exhaustion on a blackholed path; 0 = immediate).
+  sim::SimDuration fail_delay = 0;
+  /// Extra one-way propagation delay added to this message (latency spike).
+  /// Applies to successful deliveries.
+  sim::SimDuration extra_latency = 0;
+};
+
+/// Fault-injection hook consulted once per message transmission. Implemented
+/// by fault::FaultInjector; the indirection keeps net:: free of any
+/// dependency on the fault library. Hooks must be deterministic for a given
+/// event sequence — the simulation's reproducibility depends on it.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  /// Decides the fate of one `bytes`-sized message about to transmit on
+  /// `link` in direction `d`.
+  virtual TxFate on_transmit(Link& link, Direction d, double bytes) = 0;
+};
+
 class Link {
  public:
   Link(sim::Engine& eng, std::string name, double rate_gbps,
@@ -36,6 +80,7 @@ class Link {
 
   /// Serialization resource for one direction (0: a->b, 1: b->a).
   [[nodiscard]] sim::Resource& dir(int d) { return *dir_[d]; }
+  [[nodiscard]] sim::Resource& dir(Direction d) { return *dir_[index(d)]; }
 
   /// Declares which physical endpoints sit on the link's two sides, so
   /// connections attached later transmit on the correct direction
@@ -54,15 +99,37 @@ class Link {
     throw std::logic_error("endpoint not bound to link " + name_);
   }
 
-  /// Failure injection: the next `count` messages transmitted in direction
-  /// `d` are corrupted in flight (delivered as failed completions). Used
-  /// by tests and fault-tolerance benches; deterministic.
-  void inject_failures(int d, int count) noexcept { inject_[d] += count; }
+  /// Attaches (or detaches, with nullptr) the fault-injection hook consulted
+  /// on every transmission. At most one hook per link; the caller keeps
+  /// ownership and must outlive the link or detach first.
+  void set_fault_hook(FaultHook* hook) noexcept { hook_ = hook; }
+  [[nodiscard]] FaultHook* fault_hook() const noexcept { return hook_; }
 
-  /// Consumes one pending injected failure for direction `d`.
-  [[nodiscard]] bool take_failure(int d) noexcept {
-    if (inject_[d] <= 0) return false;
-    --inject_[d];
+  /// Decides the fate of one message of `bytes` wire bytes about to be
+  /// transmitted in direction `d`: consults the attached FaultHook first,
+  /// then the legacy injected-failure counters. Senders (rdma::QueuePair,
+  /// tcp::Connection) call this exactly once per message.
+  [[nodiscard]] TxFate transmit_fate(Direction d, double bytes) {
+    TxFate fate;
+    if (hook_ != nullptr) fate = hook_->on_transmit(*this, d, bytes);
+    if (!fate.fail && take_failure(d)) fate.fail = true;
+    return fate;
+  }
+
+  /// Failure injection: the next `count` messages transmitted in direction
+  /// `d` are corrupted in flight (delivered as failed completions).
+  /// Deprecated counter API — new code should drive faults through a
+  /// fault::FaultInjector attached via set_fault_hook(); the counters remain
+  /// for cheap single-shot injections in unit tests.
+  void inject_failures(Direction d, int count) noexcept {
+    inject_[index(d)] += count;
+  }
+
+  /// Consumes one pending injected failure for direction `d`. Prefer
+  /// transmit_fate(), which folds these counters in with hook-driven faults.
+  [[nodiscard]] bool take_failure(Direction d) noexcept {
+    if (inject_[index(d)] <= 0) return false;
+    --inject_[index(d)];
     return true;
   }
 
@@ -94,6 +161,7 @@ class Link {
   std::unique_ptr<sim::Resource> dir_[2];
   const void* ep_[2] = {nullptr, nullptr};
   int inject_[2] = {0, 0};
+  FaultHook* hook_ = nullptr;
 };
 
 /// LAN RoCE link per Table 1 (40 Gbps QDR, MTU 9000, RTT 166 us).

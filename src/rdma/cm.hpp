@@ -37,6 +37,27 @@ class ConnectedPair {
     co_await sim::Delay{a_.device().host().engine(), link_.rtt()};
   }
 
+  /// Kills both ends of the connection (NIC/QP fault): sends flush, inbound
+  /// drops, until reestablish() brings the pair back.
+  void kill() {
+    a_.kill();
+    b_.kill();
+  }
+  [[nodiscard]] bool alive() const noexcept {
+    return a_.alive() && b_.alive();
+  }
+
+  /// Recovers a killed pair: QP bring-up on both sides (including MR
+  /// revalidation for the given registered bytes), then the CM handshake
+  /// round trip. Safe to call when already established (no-op recover).
+  sim::Task<> reestablish(numa::Thread& th_a, numa::Thread& th_b,
+                          std::uint64_t mr_bytes_a = 0,
+                          std::uint64_t mr_bytes_b = 0) {
+    co_await a_.recover(th_a, mr_bytes_a);
+    co_await b_.recover(th_b, mr_bytes_b);
+    co_await sim::Delay{a_.device().host().engine(), link_.rtt()};
+  }
+
   [[nodiscard]] QueuePair& a() noexcept { return a_; }
   [[nodiscard]] QueuePair& b() noexcept { return b_; }
   [[nodiscard]] net::Link& link() noexcept { return link_; }

@@ -13,7 +13,48 @@ QueuePair::QueuePair(Device& dev, CompletionQueue& send_cq,
       rcq_(recv_cq),
       send_q_(dev.host().engine()),
       inbound_(dev.host().engine()),
-      recv_q_(dev.host().engine()) {}
+      recv_q_(dev.host().engine()),
+      error_event_(dev.host().engine()),
+      ready_event_(dev.host().engine()) {
+  ready_event_.set();
+}
+
+void QueuePair::kill() {
+  if (state_ == QpState::kError) return;
+  state_ = QpState::kError;
+  ready_event_.reset();
+  error_event_.set();
+  if (auto* tr = trace::of(dev_.host().engine())) {
+    const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
+                                  dev_.host().name() + "/qp-tx");
+    tr->instant(tk, "qp-error");
+    tr->counter("rdma/qp_errors").add(1);
+  }
+}
+
+sim::Task<> QueuePair::recover(numa::Thread& th,
+                               std::uint64_t revalidate_bytes) {
+  if (state_ == QpState::kRts) co_return;
+  const auto& cm = th.host().costs();
+  // reset->init->RTR->RTS bring-up, then MR revalidation (re-pinning the
+  // registered regions the reset NIC dropped).
+  co_await th.compute(cm.rdma_setup_cycles, metrics::CpuCategory::kUserProto);
+  if (revalidate_bytes > 0) {
+    const double pages = static_cast<double>(revalidate_bytes) / 4096.0;
+    co_await th.compute(pages * cm.rdma_mr_register_cycles_per_page,
+                        metrics::CpuCategory::kUserProto);
+  }
+  state_ = QpState::kRts;
+  ++recoveries_;
+  error_event_.reset();
+  ready_event_.set();
+  if (auto* tr = trace::of(dev_.host().engine())) {
+    const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
+                                  dev_.host().name() + "/qp-tx");
+    tr->instant(tk, "qp-rts");
+    tr->counter("rdma/qp_recoveries").add(1);
+  }
+}
 
 void QueuePair::connect(QueuePair& a, QueuePair& b, net::Link& link) {
   if (a.connected() || b.connected())
@@ -56,10 +97,32 @@ sim::Task<> QueuePair::post_recv(numa::Thread& th, RecvWr wr) {
   recv_q_.send(wr);
 }
 
-void QueuePair::deliver_after_latency(Delivery d) {
+void QueuePair::deliver_after_latency(Delivery d,
+                                      sim::SimDuration extra_latency) {
   QueuePair* peer = peer_;
-  dev_.host().engine().schedule_after(link_->latency(),
+  dev_.host().engine().schedule_after(link_->latency() + extra_latency,
                                       [peer, d] { peer->inbound_.send(d); });
+}
+
+// Pushes a failed completion for `wr`, after `delay` when the failure only
+// surfaces once transport-level retries exhaust (blackholed path).
+void QueuePair::fail_send(const SendWr& wr, sim::SimDuration delay,
+                          const char* what) {
+  auto& eng = dev_.host().engine();
+  const WorkCompletion wc{wr.op, wr.wr_id, wr.bytes, 0, false, nullptr};
+  if (delay > 0) {
+    CompletionQueue* scq = &scq_;
+    eng.schedule_after(delay, [scq, wc] { scq->push(wc); });
+  } else {
+    scq_.push(wc);
+  }
+  if (auto* tr = trace::of(eng)) {
+    const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
+                                  dev_.host().name() + "/qp-tx");
+    tr->instant(tk, what);
+    tr->counter("rdma/wire_failures").add(1);
+    tr->counter("rdma/cq_completions").add(1);
+  }
 }
 
 sim::Task<> QueuePair::sender_loop() {
@@ -67,6 +130,20 @@ sim::Task<> QueuePair::sender_loop() {
   for (;;) {
     auto wr = co_await send_q_.recv();
     if (!wr) co_return;
+
+    // Error-state QP: flush the WR with a failed completion, no wire time.
+    if (state_ == QpState::kError) {
+      ++sends_flushed_;
+      scq_.push({wr->op, wr->wr_id, wr->bytes, 0, false, nullptr});
+      if (auto* tr = trace::of(eng)) {
+        const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
+                                      dev_.host().name() + "/qp-tx");
+        tr->instant(tk, "flush-err");
+        tr->counter("rdma/sends_flushed").add(1);
+        tr->counter("rdma/cq_completions").add(1);
+      }
+      continue;
+    }
 
     if (wr->op == Opcode::kRead) {
       // Reads proceed concurrently: the responder's read engine streams
@@ -86,18 +163,24 @@ sim::Task<> QueuePair::sender_loop() {
           link_->wire_bytes(static_cast<double>(wr->bytes), header_per_mtu()));
       co_await sim::until(eng, dma_done);
     }
+    // The QP may have been killed while this WR waited on DMA/wire time.
+    if (state_ == QpState::kError) {
+      ++sends_flushed_;
+      fail_send(*wr, 0, "flush-err");
+      continue;
+    }
     // Injected wire faults surface as failed completions; the payload
     // never reaches the peer (the app-level protocol must retransmit).
-    if (link_->take_failure(dir_)) {
-      scq_.push({wr->op, wr->wr_id, wr->bytes, 0, false, nullptr});
+    const net::TxFate fate = link_->transmit_fate(
+        dir(), link_->wire_bytes(static_cast<double>(wr->bytes),
+                                 header_per_mtu()));
+    if (fate.fail) {
       if (auto* tr = trace::of(eng)) {
         const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
                                       dev_.host().name() + "/qp-tx");
         tr->complete(tk, to_string(wr->op), t0);
-        tr->instant(tk, "wire-failure");
-        tr->counter("rdma/wire_failures").add(1);
-        tr->counter("rdma/cq_completions").add(1);
       }
+      fail_send(*wr, fate.fail_delay, "wire-failure");
       continue;
     }
     bytes_sent_ += wr->bytes;
@@ -109,9 +192,9 @@ sim::Task<> QueuePair::sender_loop() {
       tr->counter("rdma/bytes_posted").add(wr->bytes);
       tr->counter("rdma/cq_completions").add(1);
     }
-    deliver_after_latency(
-        {wr->op, wr->bytes, wr->remote.buffer, wr->imm,
-         std::move(wr->payload)});
+    deliver_after_latency({wr->op, wr->bytes, wr->remote.buffer, wr->imm,
+                           std::move(wr->payload), wr->content_tag},
+                          fate.extra_latency);
   }
 }
 
@@ -120,6 +203,19 @@ sim::Task<> QueuePair::receiver_loop() {
   for (;;) {
     auto d = co_await inbound_.recv();
     if (!d) co_return;
+    // An errored QP drops inbound traffic on the floor (the real NIC nacks
+    // it; the sender's transport-level retries eventually surface a failed
+    // completion on its side).
+    if (state_ == QpState::kError) {
+      ++inbound_dropped_;
+      if (auto* tr = trace::of(eng)) {
+        const auto tk = trace_rx_.get(tr, trace::Layer::kRdma,
+                                      dev_.host().name() + "/qp-rx");
+        tr->instant(tk, "drop-err");
+        tr->counter("rdma/inbound_dropped").add(1);
+      }
+      continue;
+    }
     const sim::SimTime t0 = eng.now();
     // Receiver-not-ready: a two-sided arrival with no posted receive
     // stalls the inbound pipeline until the application posts one.
@@ -155,6 +251,7 @@ sim::Task<> QueuePair::receiver_loop() {
             dev_.charge_dma(d->target->placement, d->bytes, /*to_wire=*/false);
         co_await sim::until(eng, done);
         bytes_delivered_ += d->bytes;
+        d->target->content_tag ^= d->content_tag;
         rcq_.push({Opcode::kWriteImm, rwr->wr_id, d->bytes, d->imm, true,
                    std::move(d->payload)});
         break;
@@ -164,6 +261,7 @@ sim::Task<> QueuePair::receiver_loop() {
             dev_.charge_dma(d->target->placement, d->bytes, /*to_wire=*/false);
         co_await sim::until(eng, done);
         bytes_delivered_ += d->bytes;
+        d->target->content_tag ^= d->content_tag;
         break;  // silent at the responder
       }
       case Opcode::kRead:
@@ -203,22 +301,29 @@ sim::Task<> QueuePair::serve_read(SendWr wr) {
   co_await sim::until(eng, fetch_done);
   co_await sim::Delay{eng, link_->latency()};
 
-  if (link_->take_failure(1 - dir_)) {
-    scq_.push({Opcode::kRead, wr.wr_id, wr.bytes, 0, false, nullptr});
+  const net::TxFate fate =
+      state_ == QpState::kError
+          ? net::TxFate{true, 0, 0}
+          : link_->transmit_fate(
+                opposite(dir()),
+                link_->wire_bytes(static_cast<double>(wr.bytes),
+                                  header_per_mtu()));
+  if (fate.fail) {
     if (auto* tr = trace::of(eng)) {
       const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
                                     dev_.host().name() + "/qp-tx");
       tr->async_end(tk, "read", wr.wr_id);
-      tr->instant(tk, "wire-failure");
-      tr->counter("rdma/wire_failures").add(1);
-      tr->counter("rdma/cq_completions").add(1);
     }
+    fail_send(wr, fate.fail_delay, "wire-failure");
     co_return;
   }
+  if (fate.extra_latency > 0) co_await sim::Delay{eng, fate.extra_latency};
   const sim::SimTime land_done =
       dev_.charge_dma(wr.local->placement, wr.bytes, /*to_wire=*/false);
   co_await sim::until(eng, land_done);
   bytes_sent_ += wr.bytes;  // counted at the requester, as verbs does
+  // The landed data is a copy of the remote region: adopt its content tag.
+  wr.local->content_tag = wr.remote.buffer->content_tag;
   scq_.push({Opcode::kRead, wr.wr_id, wr.bytes, 0, true, nullptr});
   if (auto* tr = trace::of(eng)) {
     const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,

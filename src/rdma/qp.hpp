@@ -22,9 +22,22 @@
 #include "rdma/device.hpp"
 #include "rdma/verbs.hpp"
 #include "sim/channel.hpp"
+#include "sim/sync.hpp"
 #include "trace/tracer.hpp"
 
 namespace e2e::rdma {
+
+/// QP lifecycle, collapsed to the two states the simulation distinguishes.
+/// kRts (ready-to-send) is the operational state; kError models the verbs
+/// error state a QP enters after a fatal fault (NIC failure, retry
+/// exhaustion): posted sends flush with failed completions and inbound
+/// traffic is dropped until recover() walks the QP back through
+/// reset->init->RTR->RTS.
+enum class QpState : std::uint8_t { kRts, kError };
+
+constexpr const char* to_string(QpState s) noexcept {
+  return s == QpState::kRts ? "RTS" : "ERR";
+}
 
 class QueuePair {
  public:
@@ -49,6 +62,30 @@ class QueuePair {
   [[nodiscard]] bool connected() const noexcept { return peer_ != nullptr; }
   [[nodiscard]] net::Link* link() noexcept { return link_; }
 
+  /// Transitions the QP to the error state (NIC/QP fault): queued and
+  /// future sends flush with failed completions, inbound messages are
+  /// dropped. Signals error_event() so supervisors can react. Idempotent.
+  void kill();
+
+  /// Walks an errored QP back to RTS: reset->init->RTR->RTS bring-up CPU
+  /// plus MR revalidation for `revalidate_bytes` of registered memory
+  /// (re-pinning after a NIC reset). Signals ready_event(). No-op in kRts.
+  sim::Task<> recover(numa::Thread& th, std::uint64_t revalidate_bytes = 0);
+
+  [[nodiscard]] QpState state() const noexcept { return state_; }
+  [[nodiscard]] bool alive() const noexcept {
+    return state_ == QpState::kRts;
+  }
+  /// Set while the QP sits in kError; reset by recover().
+  [[nodiscard]] sim::ManualEvent& error_event() noexcept {
+    return error_event_;
+  }
+  /// Set while the QP is in kRts; reset by kill(). Retry loops wait on
+  /// this before reposting after a QP death.
+  [[nodiscard]] sim::ManualEvent& ready_event() noexcept {
+    return ready_event_;
+  }
+
   // Payload counters (tests/metrics).
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
     return bytes_sent_;
@@ -60,6 +97,17 @@ class QueuePair {
     return recv_q_.size();
   }
 
+  // Fault/recovery observability counters (tests/metrics).
+  [[nodiscard]] std::uint64_t sends_flushed() const noexcept {
+    return sends_flushed_;
+  }
+  [[nodiscard]] std::uint64_t inbound_dropped() const noexcept {
+    return inbound_dropped_;
+  }
+  [[nodiscard]] std::uint64_t recoveries() const noexcept {
+    return recoveries_;
+  }
+
  private:
   struct Delivery {
     Opcode op;
@@ -67,15 +115,21 @@ class QueuePair {
     mem::Buffer* target;  // for kWrite/kWriteImm
     std::uint32_t imm;
     std::shared_ptr<const void> payload;
+    std::uint64_t content_tag;  // integrity tag XORed into `target`
   };
 
   sim::Task<> sender_loop();
   sim::Task<> receiver_loop();
   sim::Task<> serve_read(SendWr wr);
-  void deliver_after_latency(Delivery d);
+  void deliver_after_latency(Delivery d, sim::SimDuration extra_latency);
+  void fail_send(const SendWr& wr, sim::SimDuration delay, const char* what);
 
   [[nodiscard]] double header_per_mtu() const {
     return dev_.host().costs().rdma_header_bytes_per_mtu;
+  }
+
+  [[nodiscard]] net::Direction dir() const noexcept {
+    return static_cast<net::Direction>(dir_);
   }
 
   Device& dev_;
@@ -84,11 +138,17 @@ class QueuePair {
   QueuePair* peer_ = nullptr;
   net::Link* link_ = nullptr;
   int dir_ = 0;
+  QpState state_ = QpState::kRts;
   sim::Channel<SendWr> send_q_;
   sim::Channel<Delivery> inbound_;
   sim::Channel<RecvWr> recv_q_;
+  sim::ManualEvent error_event_;
+  sim::ManualEvent ready_event_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t sends_flushed_ = 0;
+  std::uint64_t inbound_dropped_ = 0;
+  std::uint64_t recoveries_ = 0;
   // Trace tracks for the NIC engine loops (null-tracer fast path skips all
   // tracing; ids are minted lazily per tracer).
   trace::CachedTrack trace_tx_;

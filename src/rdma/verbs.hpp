@@ -55,6 +55,10 @@ struct SendWr {
   // Message content carried to the peer's completion (the simulation moves
   // no real bytes; protocol layers ship their headers/PDUs through this).
   std::shared_ptr<const void> payload;
+  // Integrity tag describing the payload identity (fault/integrity.hpp).
+  // For kWrite/kWriteImm it is XORed into the remote buffer's content_tag
+  // on delivery, so sinks can verify what actually landed.
+  std::uint64_t content_tag = 0;
 };
 
 struct RecvWr {

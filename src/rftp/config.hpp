@@ -28,6 +28,11 @@ struct TransferResult {
   std::uint64_t blocks = 0;
   double elapsed_s = 0.0;
   double goodput_gbps = 0.0;
+  /// False when every stream died before the transfer drained: `bytes` and
+  /// `blocks` then report what actually landed, not what was asked for.
+  bool complete = true;
+  /// All drained blocks' checksums matched what the sender computed.
+  bool integrity_ok = true;
 };
 
 }  // namespace e2e::rftp

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/integrity.hpp"
+
 namespace e2e::rftp {
 
 namespace {
@@ -65,6 +67,7 @@ RftpSession::RftpSession(EndpointConfig sender, EndpointConfig receiver,
                                      rnic.node());
     streams_.push_back(std::move(s));
   }
+  alive_streams_ = cfg_.streams;
 }
 
 RftpSession::~RftpSession() = default;
@@ -81,6 +84,7 @@ numa::Thread& RftpSession::spawn(numa::Process& proc,
 }
 
 sim::Task<> RftpSession::setup_stream(Stream& s) {
+  if (s.dead) co_return;  // killed before the transfer started
   numa::Thread& sth = spawn(*sender_.proc, s.pair->a().device());
   numa::Thread& rth = spawn(*receiver_.proc, s.pair->b().device());
 
@@ -117,6 +121,7 @@ sim::Task<> RftpSession::setup_stream(Stream& s) {
   for (std::uint32_t t = 0; t < s.token_buffers.size(); ++t) {
     rdma::SendWr wr;
     wr.op = rdma::Opcode::kSend;
+    wr.wr_id = t;  // grant wr_ids carry the token so a reaper can re-send
     wr.local = &s.tiny_rx;
     wr.bytes = static_cast<std::uint64_t>(
         rth.host().costs().rftp_control_msg_bytes);
@@ -134,13 +139,20 @@ sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
   total_blocks_ = (total_bytes + cfg_.block_bytes - 1) / cfg_.block_bytes;
   build_block_plan(src);
   blocks_done_ = 0;
+  src_ = &src;
+  drained_.assign(total_blocks_, 0);
+  sink_digest_ = 0;
+  delivered_bytes_ = 0;
+  transfer_failed_ = false;
   done_ = std::make_unique<sim::WaitGroup>(eng_);
   done_->add(static_cast<std::int64_t>(total_blocks_));
+  if (alive_streams_ == 0) fail_transfer();  // every stream killed pre-run
 
   for (auto& s : streams_) co_await setup_stream(*s);
   const sim::SimTime t0 = eng_.now();
 
   for (auto& s : streams_) {
+    if (s->dead) continue;
     rdma::Device& snic = s->pair->a().device();
     rdma::Device& rnic = s->pair->b().device();
     s->active_fillers = cfg_.fillers_per_stream;
@@ -150,6 +162,7 @@ sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
     sim::co_spawn(send_reaper(*s, spawn(*sender_.proc, snic)));
     sim::co_spawn(grant_receiver(*s, spawn(*sender_.proc, snic)));
     sim::co_spawn(arrival_handler(*s, spawn(*receiver_.proc, rnic)));
+    sim::co_spawn(grant_reaper(*s, spawn(*receiver_.proc, rnic)));
     for (int i = 0; i < cfg_.drainers_per_stream; ++i)
       sim::co_spawn(drainer(*s, spawn(*receiver_.proc, rnic), dst, meter));
   }
@@ -157,14 +170,27 @@ sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
   co_await done_->wait();
 
   TransferResult r;
-  r.bytes = total_bytes_;
-  r.blocks = total_blocks_;
+  r.bytes = delivered_bytes_;
+  r.blocks = blocks_done_;
   r.elapsed_s = sim::to_seconds(eng_.now() - t0);
   r.goodput_gbps =
       r.elapsed_s > 0
-          ? static_cast<double>(total_bytes_) * 8.0 / r.elapsed_s / 1e9
+          ? static_cast<double>(r.bytes) * 8.0 / r.elapsed_s / 1e9
           : 0.0;
+  r.complete = !transfer_failed_ && blocks_done_ == total_blocks_;
+  // End-to-end verification: XOR of the checksums the sink accepted must
+  // equal the analytic digest of the blocks it claims to have drained.
+  std::uint64_t expect = 0;
+  for (std::uint64_t idx = 0; idx < total_blocks_; ++idx)
+    if (drained_[idx] != 0) {
+      const std::uint64_t offset = idx * cfg_.block_bytes;
+      expect ^= fault::rftp_block_tag(
+          idx, std::min<std::uint64_t>(cfg_.block_bytes,
+                                       total_bytes_ - offset));
+    }
+  r.integrity_ok = sink_digest_ == expect && checksum_failures == 0;
   running_ = false;
+  src_ = nullptr;
   co_return r;
 }
 
@@ -235,10 +261,16 @@ sim::Task<> RftpSession::filler(Stream& s, numa::Thread& th,
                                 DataSource& src) {
   trace::CachedTrack fill_trk;  // this filler task's own lane
   for (;;) {
+    if (s.dead) break;
     const auto claimed = claim_block(th.node());
     if (!claimed) break;
     const std::uint64_t idx = *claimed;
     mem::Buffer* buf = co_await s.send_pool->acquire();
+    if (s.dead) {  // stream died while we waited for staging
+      s.send_pool->release(buf);
+      requeue_block(idx);
+      break;
+    }
     if (auto* tr = trace::of(eng_))
       tr->async_begin(s.trk.named(tr, trace::Layer::kRftp,
                                   "stream" + std::to_string(s.id)),
@@ -258,9 +290,17 @@ sim::Task<> RftpSession::filler(Stream& s, numa::Thread& th,
       s.send_pool->release(buf);
       break;
     }
-    s.sendq->send(FilledBlock{buf, idx, got});
+    if (!s.sendq->send(FilledBlock{buf, idx, got})) {
+      // Stream died while we were filling; the block is not lost, it fails
+      // over like everything else this stream owed.
+      s.send_pool->release(buf);
+      requeue_block(idx);
+      break;
+    }
   }
-  if (--s.active_fillers == 0) s.sendq->close();
+  // The sendq stays open: failover may requeue blocks and respawn fillers
+  // long after the original plan drained, so only stream death closes it.
+  --s.active_fillers;
 }
 
 sim::Task<> RftpSession::wire_sender(Stream& s, numa::Thread& th) {
@@ -269,9 +309,20 @@ sim::Task<> RftpSession::wire_sender(Stream& s, numa::Thread& th) {
   for (;;) {
     auto blk = co_await s.sendq->recv();
     if (!blk) co_return;
+    if (s.dead) {  // drain the queue into the failover pool
+      s.send_pool->release(blk->buf);
+      requeue_block(blk->block_idx);
+      continue;
+    }
     const sim::SimTime credit_t0 = eng_.now();
     auto credit = co_await s.credits->recv();
-    if (!credit) co_return;
+    if (!credit || s.dead) {  // stream died while we waited for a token
+      s.send_pool->release(blk->buf);
+      requeue_block(blk->block_idx);
+      // Keep looping: the closed sendq still holds filled blocks that must
+      // drain through the requeue branch above before recv() says nullopt.
+      continue;
+    }
     if (auto* tr = trace::of(eng_)) {
       // A filled block that had to sit waiting for a credit token means
       // the receiver (or the wire) is the bottleneck right now.
@@ -285,6 +336,8 @@ sim::Task<> RftpSession::wire_sender(Stream& s, numa::Thread& th) {
     }
     co_await th.compute(cm.rftp_block_user_cycles,
                         metrics::CpuCategory::kUserProto);
+    const std::uint64_t sum = fault::rftp_block_tag(blk->block_idx,
+                                                    blk->bytes);
     rdma::SendWr wr;
     wr.op = rdma::Opcode::kWriteImm;
     wr.wr_id = s.next_wr++;
@@ -292,8 +345,9 @@ sim::Task<> RftpSession::wire_sender(Stream& s, numa::Thread& th) {
     wr.bytes = blk->bytes;
     wr.remote = rdma::RemoteKey{credit->remote};
     wr.imm = credit->token;
+    wr.content_tag = sum;  // lands in the remote buffer with the write
     wr.payload = std::make_shared<DataHeader>(
-        DataHeader{credit->token, blk->block_idx, blk->bytes});
+        DataHeader{credit->token, blk->block_idx, blk->bytes, sum});
     s.inflight.emplace(wr.wr_id,
                        Stream::InflightBlock{blk->buf, blk->block_idx,
                                              blk->bytes, *credit});
@@ -310,7 +364,17 @@ sim::Task<> RftpSession::send_reaper(Stream& s, numa::Thread& th) {
     const Stream::InflightBlock blk = it->second;
     s.inflight.erase(it);
     if (wc.success) {
+      // The wire accepted it; only a drain at the sink confirms delivery
+      // (the receiver QP may still drop it if it errors meanwhile).
+      s.sent_unconfirmed.insert(blk.block_idx);
       s.send_pool->release(blk.buf);
+      continue;
+    }
+    if (s.dead) {
+      // Flushed by a QP kill after the failover requeue ran: the block is
+      // someone else's job now, just reclaim the staging buffer.
+      s.send_pool->release(blk.buf);
+      requeue_block(blk.block_idx);
       continue;
     }
     // Wire fault: the block never reached the peer and the credit token is
@@ -324,6 +388,7 @@ sim::Task<> RftpSession::send_reaper(Stream& s, numa::Thread& th) {
     }
     co_await th.compute(cm.rftp_block_user_cycles,
                         metrics::CpuCategory::kUserProto);
+    const std::uint64_t sum = fault::rftp_block_tag(blk.block_idx, blk.bytes);
     rdma::SendWr wr;
     wr.op = rdma::Opcode::kWriteImm;
     wr.wr_id = s.next_wr++;
@@ -331,8 +396,9 @@ sim::Task<> RftpSession::send_reaper(Stream& s, numa::Thread& th) {
     wr.bytes = blk.bytes;
     wr.remote = rdma::RemoteKey{blk.credit.remote};
     wr.imm = blk.credit.token;
+    wr.content_tag = sum;
     wr.payload = std::make_shared<DataHeader>(
-        DataHeader{blk.credit.token, blk.block_idx, blk.bytes});
+        DataHeader{blk.credit.token, blk.block_idx, blk.bytes, sum});
     s.inflight.emplace(wr.wr_id, blk);
     co_await s.pair->a().post_send(th, wr);
   }
@@ -353,6 +419,37 @@ sim::Task<> RftpSession::grant_receiver(Stream& s, numa::Thread& th) {
   }
 }
 
+sim::Task<> RftpSession::grant_reaper(Stream& s, numa::Thread& th) {
+  const auto& cm = th.host().costs();
+  for (;;) {
+    auto wc = co_await s.pair->b().send_cq().wait(th);
+    if (wc.success || s.dead) continue;
+    // A grant lost on the wire is a leaked credit: the sender can never
+    // learn the token is free again, and with enough leaks the stream
+    // starves. Re-send (paced by a control-message gap so a flap window
+    // does not turn into a same-instant retry storm) until it sticks.
+    co_await sim::Delay{eng_, 2 * s.pair->link().rtt()};
+    if (s.dead) continue;
+    ++grant_retransmissions;
+    if (auto* tr = trace::of(eng_)) {
+      tr->instant(s.trk.named(tr, trace::Layer::kRftp,
+                              "stream" + std::to_string(s.id)),
+                  "grant-retransmit");
+      tr->counter("rftp/grant_retransmissions").add(1);
+    }
+    co_await th.compute(cm.rftp_control_msg_cycles,
+                        metrics::CpuCategory::kUserProto);
+    rdma::SendWr grant;
+    grant.op = rdma::Opcode::kSend;
+    grant.wr_id = wc.wr_id;
+    grant.local = &s.tiny_rx;
+    grant.bytes = static_cast<std::uint64_t>(cm.rftp_control_msg_bytes);
+    grant.payload = std::make_shared<GrantMsg>(
+        GrantMsg{static_cast<std::uint32_t>(wc.wr_id)});
+    co_await s.pair->b().post_send(th, grant);
+  }
+}
+
 sim::Task<> RftpSession::arrival_handler(Stream& s, numa::Thread& th) {
   const auto& cm = th.host().costs();
   for (;;) {
@@ -361,7 +458,7 @@ sim::Task<> RftpSession::arrival_handler(Stream& s, numa::Thread& th) {
     if (h == nullptr) continue;
     co_await th.compute(cm.rftp_block_user_cycles,
                         metrics::CpuCategory::kUserProto);
-    s.drainq->send(Arrival{h->token, h->block_idx, h->bytes});
+    s.drainq->send(Arrival{h->token, h->block_idx, h->bytes, h->checksum});
     co_await s.pair->b().post_recv(th, rdma::RecvWr{0, &s.tiny_rx});
   }
 }
@@ -374,33 +471,141 @@ sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
     auto a = co_await s.drainq->recv();
     if (!a) co_return;
     mem::Buffer* buf = s.token_buffers.at(a->token);
-    const sim::SimTime drain_t0 = eng_.now();
-    co_await dst.drain(th, *buf, a->block_idx * cfg_.block_bytes, a->bytes);
-    if (meter != nullptr) meter->record(a->bytes);
-    if (auto* tr = trace::of(eng_)) {
-      tr->complete(drain_trk.get(tr, trace::Layer::kRftp,
-                                 "s" + std::to_string(s.id) + "/drain"),
-                   "drain", drain_t0);
-      tr->async_end(s.trk.named(tr, trace::Layer::kRftp,
+    // The RDMA write deposited the sender's tag in the landing buffer;
+    // lift it out and reset so the next block lands in a clean buffer.
+    const std::uint64_t landed = buf->content_tag;
+    buf->content_tag = 0;
+    const bool dup = drained_[a->block_idx] != 0;
+    bool fresh = false;
+    if (dup) {
+      // A failover re-send of a block the original stream had delivered.
+      ++duplicate_blocks;
+      if (auto* tr = trace::of(eng_))
+        tr->counter("rftp/duplicate_blocks").add(1);
+    } else if (landed != a->checksum) {
+      ++checksum_failures;
+      if (auto* tr = trace::of(eng_)) {
+        tr->instant(s.trk.named(tr, trace::Layer::kRftp,
                                 "stream" + std::to_string(s.id)),
-                    "block", a->block_idx);
-      tr->counter("rftp/bytes_delivered").add(a->bytes);
-      tr->counter("rftp/blocks_delivered").add(1);
+                    "checksum-mismatch");
+        tr->counter("rftp/checksum_failures").add(1);
+      }
+      requeue_block(a->block_idx);  // a survivor re-sends it
+    } else {
+      fresh = true;
+      const sim::SimTime drain_t0 = eng_.now();
+      co_await dst.drain(th, *buf, a->block_idx * cfg_.block_bytes,
+                         a->bytes);
+      if (meter != nullptr) meter->record(a->bytes);
+      drained_[a->block_idx] = 1;
+      sink_digest_ ^= landed;
+      delivered_bytes_ += a->bytes;
+      s.sent_unconfirmed.erase(a->block_idx);
+      if (auto* tr = trace::of(eng_)) {
+        tr->complete(drain_trk.get(tr, trace::Layer::kRftp,
+                                   "s" + std::to_string(s.id) + "/drain"),
+                     "drain", drain_t0);
+        tr->async_end(s.trk.named(tr, trace::Layer::kRftp,
+                                  "stream" + std::to_string(s.id)),
+                      "block", a->block_idx);
+        tr->counter("rftp/bytes_delivered").add(a->bytes);
+        tr->counter("rftp/blocks_delivered").add(1);
+      }
     }
 
-    // Proactive feedback: re-grant the token immediately after draining.
+    // Proactive feedback: re-grant the token immediately after draining
+    // (duplicates and checksum rejects recycle the token too).
     co_await th.compute(cm.rftp_control_msg_cycles,
                         metrics::CpuCategory::kUserProto);
     rdma::SendWr grant;
     grant.op = rdma::Opcode::kSend;
+    grant.wr_id = a->token;
     grant.local = &s.tiny_rx;
     grant.bytes = static_cast<std::uint64_t>(cm.rftp_control_msg_bytes);
     grant.payload = std::make_shared<GrantMsg>(GrantMsg{a->token});
     co_await s.pair->b().post_send(th, grant);
 
-    ++blocks_done_;
-    done_->done();
+    if (fresh) {
+      ++blocks_done_;
+      done_->done();
+    }
   }
+}
+
+void RftpSession::requeue_block(std::uint64_t idx) {
+  if (idx < drained_.size() && drained_[idx] != 0) return;  // already landed
+  block_queues_.back().push_back(idx);
+  if (!running_ || src_ == nullptr || alive_streams_ <= 0) return;
+  // Fillers are transient — they exit once the plan drains — so a block
+  // requeued after that point would sit unclaimed forever. Re-arm one
+  // filler on the next surviving stream per requeued block; extras find an
+  // empty plan and exit immediately.
+  for (std::size_t off = 0; off < streams_.size(); ++off) {
+    Stream& s =
+        *streams_[(next_failover_stream_ + off) % streams_.size()];
+    if (s.dead) continue;
+    next_failover_stream_ =
+        (next_failover_stream_ + off + 1) % streams_.size();
+    ++s.active_fillers;
+    sim::co_spawn(
+        filler(s, spawn(*sender_.proc, s.pair->a().device()), *src_));
+    return;
+  }
+}
+
+void RftpSession::kill_stream(int idx) {
+  if (idx < 0 || idx >= static_cast<int>(streams_.size()))
+    throw std::out_of_range("kill_stream: no such stream");
+  Stream& s = *streams_[static_cast<std::size_t>(idx)];
+  if (s.dead) return;
+  s.pair->kill();
+  handle_stream_death(s);
+}
+
+void RftpSession::handle_stream_death(Stream& s) {
+  if (s.dead) return;
+  s.dead = true;
+  --alive_streams_;
+  ++failovers;
+  if (auto* tr = trace::of(eng_)) {
+    tr->instant(s.trk.named(tr, trace::Layer::kRftp,
+                            "stream" + std::to_string(s.id)),
+                "stream-dead");
+    tr->counter("rftp/failovers").add(1);
+  }
+
+  // Reassign everything this stream still owed: blocks posted but not
+  // completed, and blocks the wire acked that the sink never confirmed
+  // (the dying receiver QP may have dropped them on the floor).
+  for (auto& [wr_id, blk] : s.inflight) {
+    s.send_pool->release(blk.buf);
+    requeue_block(blk.block_idx);
+  }
+  s.inflight.clear();
+  for (const std::uint64_t idx : s.sent_unconfirmed) requeue_block(idx);
+  s.sent_unconfirmed.clear();
+
+  // Wake the stream's pipeline: queued fill work drains through the
+  // wire_sender's dead-stream branch back into the shared queue, queued
+  // arrivals still drain (they landed before the kill), then every task
+  // parks or exits.
+  s.credits->close();
+  s.sendq->close();
+  s.drainq->close();
+
+  if (alive_streams_ <= 0 && running_) fail_transfer();
+}
+
+void RftpSession::fail_transfer() {
+  if (transfer_failed_) return;
+  transfer_failed_ = true;
+  if (auto* tr = trace::of(eng_)) {
+    tr->instant(plan_trk_.get(tr, trace::Layer::kRftp, "rftp/session"),
+                "transfer-failed");
+    tr->counter("rftp/transfers_failed").add(1);
+  }
+  // Release run(): undelivered blocks are never coming.
+  while (done_ != nullptr && done_->pending() > 0) done_->done();
 }
 
 }  // namespace e2e::rftp

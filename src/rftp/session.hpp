@@ -29,6 +29,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "mem/buffer_pool.hpp"
@@ -76,6 +77,15 @@ class RftpSession {
     return control_msgs_;
   }
 
+  /// Kills stream `idx`'s QP pair and fails its blocks over to surviving
+  /// streams: in-flight and sent-but-undrained blocks are requeued, its
+  /// buffers reclaimed, and fillers respawned on survivors so the requeued
+  /// work is picked up even if the original fillers already drained the
+  /// plan. With no survivors the transfer fails (run() returns
+  /// complete=false) instead of hanging.
+  void kill_stream(int idx);
+  [[nodiscard]] int alive_streams() const noexcept { return alive_streams_; }
+
  private:
   struct Credit {
     std::uint32_t token = 0;
@@ -90,6 +100,7 @@ class RftpSession {
     std::uint32_t token = 0;
     std::uint64_t block_idx = 0;
     std::uint64_t bytes = 0;
+    std::uint64_t checksum = 0;  // sender-computed per-block integrity tag
   };
   struct GrantMsg {
     std::uint32_t token = 0;
@@ -98,6 +109,7 @@ class RftpSession {
     std::uint32_t token = 0;
     std::uint64_t block_idx = 0;
     std::uint64_t bytes = 0;
+    std::uint64_t checksum = 0;
   };
 
   struct Stream {
@@ -120,6 +132,12 @@ class RftpSession {
     mem::Buffer tiny_rx;   // receiver's posted-receive target for data imm
     int active_fillers = 0;
     std::uint64_t next_wr = 1;
+    /// The stream's QPs died; its work is failed over to survivors.
+    bool dead = false;
+    /// Blocks acked by a send CQE but not yet seen draining at the sink —
+    /// the receiver may still have dropped them (QP error), so a dying
+    /// stream requeues these alongside its in-flight blocks.
+    std::set<std::uint64_t> sent_unconfirmed;
     // Shared per-stream track: block lifetimes trace as async spans from
     // fill-claim (sender) to drain (receiver), keyed by block index.
     trace::CachedTrack trk;
@@ -130,10 +148,16 @@ class RftpSession {
   sim::Task<> wire_sender(Stream& s, numa::Thread& th);
   sim::Task<> send_reaper(Stream& s, numa::Thread& th);
   sim::Task<> grant_receiver(Stream& s, numa::Thread& th);
+  sim::Task<> grant_reaper(Stream& s, numa::Thread& th);
   sim::Task<> arrival_handler(Stream& s, numa::Thread& th);
   sim::Task<> drainer(Stream& s, numa::Thread& th, DataSink& dst,
                       metrics::ThroughputMeter* meter);
   sim::Task<> setup_stream(Stream& s);
+
+  // Failover machinery.
+  void handle_stream_death(Stream& s);
+  void fail_transfer();
+  void requeue_block(std::uint64_t idx);
 
   numa::Thread& spawn(numa::Process& proc, const rdma::Device& nic);
 
@@ -162,12 +186,30 @@ class RftpSession {
   std::uint64_t local_claims = 0;
   /// Blocks retransmitted after failed wire completions.
   std::uint64_t retransmissions = 0;
+  /// Credit grants re-sent after failed wire completions. A lost grant is
+  /// a leaked credit — the sender would starve without the re-send.
+  std::uint64_t grant_retransmissions = 0;
+  /// Streams killed with their work reassigned to survivors.
+  std::uint64_t failovers = 0;
+  /// Blocks whose sink-side checksum disagreed with the header (requeued).
+  std::uint64_t checksum_failures = 0;
+  /// Blocks that arrived more than once (failover re-sends); dropped.
+  std::uint64_t duplicate_blocks = 0;
 
  private:
   std::uint64_t blocks_done_ = 0;
   std::uint64_t control_msgs_ = 0;
   std::unique_ptr<sim::WaitGroup> done_;
   bool running_ = false;
+  // Failover / integrity state for the current run().
+  DataSource* src_ = nullptr;
+  std::vector<char> drained_;       // per-block: already at the sink
+  std::uint64_t sink_digest_ = 0;   // XOR of drained blocks' checksums
+  std::uint64_t delivered_bytes_ = 0;
+  int alive_streams_ = 0;
+  bool transfer_failed_ = false;
+  std::size_t next_failover_stream_ = 0;  // round-robin requeue target
+  trace::CachedTrack plan_trk_;  // session-wide (non-stream) fault events
 };
 
 }  // namespace e2e::rftp

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "fault/integrity.hpp"
 #include "mem/tmpfs.hpp"
 #include "metrics/cpu_usage.hpp"
 #include "numa/thread.hpp"
@@ -25,13 +26,21 @@ enum class OpCode : std::uint8_t {
   kWrite16,
 };
 
-enum class Status : std::uint8_t { kGood, kCheckCondition, kBusy };
+enum class Status : std::uint8_t {
+  kGood,
+  kCheckCondition,
+  kBusy,
+  // Terminal transport failure surfaced by the initiator after its retry
+  // budget is exhausted (the command may or may not have executed).
+  kTransportError,
+};
 
 constexpr std::string_view to_string(Status s) noexcept {
   switch (s) {
     case Status::kGood: return "GOOD";
     case Status::kCheckCondition: return "CHECK CONDITION";
     case Status::kBusy: return "BUSY";
+    case Status::kTransportError: return "TRANSPORT ERROR";
   }
   return "?";
 }
@@ -85,7 +94,20 @@ class Lun {
     co_await fs_.write(th, backing_, lba * Cdb::kBlockSize,
                        std::uint64_t{blocks} * Cdb::kBlockSize, src,
                        metrics::CpuCategory::kOffload);
+    written_digest_ ^= fault::block_range_tag(lba, blocks);
+    ++writes_executed_;
     co_return Status::kGood;
+  }
+
+  /// Integrity ledger: XOR of block_range_tag for every executed write.
+  /// A write-path transfer that executes each logical block exactly once
+  /// leaves this equal to the analytically-expected digest; duplicated or
+  /// lost command executions perturb it (see fault/integrity.hpp).
+  [[nodiscard]] std::uint64_t written_digest() const noexcept {
+    return written_digest_;
+  }
+  [[nodiscard]] std::uint64_t writes_executed() const noexcept {
+    return writes_executed_;
   }
 
  private:
@@ -97,6 +119,8 @@ class Lun {
   std::uint32_t id_;
   mem::Tmpfs& fs_;
   mem::TmpFile& backing_;
+  std::uint64_t written_digest_ = 0;
+  std::uint64_t writes_executed_ = 0;
 };
 
 }  // namespace e2e::scsi

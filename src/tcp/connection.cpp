@@ -1,5 +1,6 @@
 #include "tcp/connection.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -121,8 +122,30 @@ sim::Task<> Connection::send(numa::Thread& th, const numa::Placement& user_src,
   while (wire.backlog_delay() > sndbuf_time)
     co_await sim::Delay{eng, wire.backlog_delay() - sndbuf_time};
   th.host().charge_dma(ep.skb, bytes, ep.nic_node, /*to_device=*/true);
-  const sim::SimTime tx_done = wire.charge(
-      link_.wire_bytes(static_cast<double>(bytes), kTcpHeaderBytes));
+  const double wire_payload =
+      link_.wire_bytes(static_cast<double>(bytes), kTcpHeaderBytes);
+  sim::SimTime tx_done = wire.charge(wire_payload);
+
+  // Fault model: TCP is reliable, so a chunk the fabric eats is recovered
+  // inside the transport — the kernel retransmits after an RTO (backing
+  // off while a fault window persists), re-serializing the chunk and
+  // shrinking the congestion window. The sender stalls meanwhile, which is
+  // exactly the goodput cost chaos benches measure.
+  net::TxFate fate =
+      link_.transmit_fate(static_cast<net::Direction>(dir), wire_payload);
+  sim::SimDuration rto = 2 * link_.rtt();
+  while (fate.fail) {
+    if (ep.cubic) ep.cubic->on_loss();
+    if (auto* tr = trace::of(eng)) {
+      tr->instant(trace_track(tr, ep), "retransmit");
+      tr->counter("tcp/retransmits").add(1);
+    }
+    ++retransmits_;
+    co_await sim::Delay{eng, fate.fail_delay + rto};
+    rto = std::min(rto * 2, static_cast<sim::SimDuration>(60 * sim::kSecond));
+    tx_done = wire.charge(wire_payload);
+    fate = link_.transmit_fate(static_cast<net::Direction>(dir), wire_payload);
+  }
 
   ep.bytes_sent += bytes;
   ep.last_tx_done = tx_done;
@@ -132,7 +155,8 @@ sim::Task<> Connection::send(numa::Thread& th, const numa::Placement& user_src,
   }
   sim::Channel<Message>* dst = peer.inbound.get();
   eng.schedule_at(
-      sim::Engine::saturating_add(tx_done, link_.latency()),
+      sim::Engine::saturating_add(tx_done, link_.latency() +
+                                               fate.extra_latency),
       [dst, bytes, payload = std::move(payload)]() mutable {
         dst->send(Message{bytes, std::move(payload)});
       });

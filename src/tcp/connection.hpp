@@ -103,6 +103,10 @@ class Connection {
   [[nodiscard]] std::uint64_t bytes_sent(int endpoint) const {
     return ep_[endpoint].bytes_sent;
   }
+  /// Chunks re-serialized after an injected wire fault (RTO recovery).
+  [[nodiscard]] std::uint64_t retransmits() const noexcept {
+    return retransmits_;
+  }
   [[nodiscard]] net::Link& link() noexcept { return link_; }
 
   /// Endpoint index for a thread on `host` (0 for host_a, 1 for host_b).
@@ -136,6 +140,7 @@ class Connection {
   net::Link& link_;
   ConnectionOptions opts_;
   Endpoint ep_[2];
+  std::uint64_t retransmits_ = 0;
 };
 
 }  // namespace e2e::tcp

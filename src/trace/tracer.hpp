@@ -44,8 +44,9 @@ enum class Layer : std::uint8_t {
   kRftp,   // RFTP transfer protocol
   kBlk,    // block / filesystem
   kApp,    // applications and drivers
+  kFault,  // fault injection (chaos plans, injected faults, recoveries)
 };
-inline constexpr int kLayerCount = 8;
+inline constexpr int kLayerCount = 9;
 
 constexpr std::string_view to_string(Layer l) noexcept {
   switch (l) {
@@ -57,6 +58,7 @@ constexpr std::string_view to_string(Layer l) noexcept {
     case Layer::kRftp: return "rftp";
     case Layer::kBlk: return "blk";
     case Layer::kApp: return "app";
+    case Layer::kFault: return "fault";
   }
   return "?";
 }

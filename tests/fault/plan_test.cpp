@@ -1,0 +1,155 @@
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace e2e::fault {
+namespace {
+
+TEST(FaultPlan, ParsesEveryFaultType) {
+  const auto plan = FaultPlan::parse(
+      "loss@500ms:n=5,dir=ab,link=0; flap@1s:dur=20ms; "
+      "spike@2s:dur=100ms,add=5ms; hole@1200ms:dur=10ms,dir=ba; "
+      "qpkill@1500ms:qp=2");
+  ASSERT_EQ(plan.events.size(), 5u);
+
+  // Sorted by injection time regardless of script order.
+  for (std::size_t i = 1; i < plan.events.size(); ++i)
+    EXPECT_LE(plan.events[i - 1].at, plan.events[i].at);
+
+  const auto& loss = plan.events[0];
+  EXPECT_EQ(loss.type, FaultType::kLossBurst);
+  EXPECT_EQ(loss.at, 500 * sim::kMillisecond);
+  EXPECT_EQ(loss.count, 5);
+  EXPECT_EQ(loss.dir, net::Direction::kAtoB);
+
+  const auto& flap = plan.events[1];
+  EXPECT_EQ(flap.type, FaultType::kLinkFlap);
+  EXPECT_EQ(flap.at, sim::kSecond);
+  EXPECT_EQ(flap.duration, 20 * sim::kMillisecond);
+
+  const auto& hole = plan.events[2];
+  EXPECT_EQ(hole.type, FaultType::kBlackhole);
+  EXPECT_EQ(hole.dir, net::Direction::kBtoA);
+
+  const auto& kill = plan.events[3];
+  EXPECT_EQ(kill.type, FaultType::kQpKill);
+  EXPECT_EQ(kill.qp, 2);
+
+  const auto& spike = plan.events[4];
+  EXPECT_EQ(spike.type, FaultType::kLatencySpike);
+  EXPECT_EQ(spike.extra_latency, 5 * sim::kMillisecond);
+}
+
+TEST(FaultPlan, TimeSuffixesAndBareSeconds) {
+  const auto plan =
+      FaultPlan::parse("loss@250ns; loss@3us; loss@7ms; loss@2s; loss@1");
+  ASSERT_EQ(plan.events.size(), 5u);
+  EXPECT_EQ(plan.events[0].at, 250u);
+  EXPECT_EQ(plan.events[1].at, 3u * 1000);
+  EXPECT_EQ(plan.events[2].at, 7 * sim::kMillisecond);
+  // A bare number means seconds.
+  EXPECT_EQ(plan.events[3].at, sim::kSecond);
+  EXPECT_EQ(plan.events[4].at, 2 * sim::kSecond);
+}
+
+TEST(FaultPlan, RoundTripsThroughToString) {
+  const char* spec =
+      "loss@500ms:n=5,dir=ab,link=0; flap@1s:dur=20ms; "
+      "spike@2s:dur=100ms,add=5ms; hole@1200ms:dur=10ms,dir=ba; "
+      "qpkill@1500ms:qp=0";
+  const auto plan = FaultPlan::parse(spec);
+  const std::string canon = plan.to_string();
+  // Canonical form is a fixed point: parse(to_string()) == to_string().
+  EXPECT_EQ(FaultPlan::parse(canon).to_string(), canon);
+}
+
+TEST(FaultPlan, RejectsMalformedScripts) {
+  EXPECT_THROW(FaultPlan::parse("bogus@1s"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("loss"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("loss@"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("loss@xyz"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("loss@1s:nonsense"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("loss@1s:n="), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("loss@1s:dir=sideways"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, EmptyScriptIsEmptyPlan) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse("  ;  ; ").empty());
+}
+
+TEST(FaultPlan, RandomIsDeterministicPerSeed) {
+  FaultPlan::RandomParams p;
+  p.links = 2;
+  p.qps = 3;
+  const auto a = FaultPlan::random(42, p);
+  const auto b = FaultPlan::random(42, p);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_FALSE(a.empty());
+
+  const auto c = FaultPlan::random(43, p);
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(FaultPlan, RandomHonoursParams) {
+  FaultPlan::RandomParams p;
+  p.links = 2;
+  p.qps = 4;
+  p.loss_bursts = 3;
+  p.flaps = 1;
+  p.spikes = 1;
+  p.holes = 1;
+  p.qp_kills = 2;
+  const auto plan = FaultPlan::random(7, p);
+  int loss = 0, flap = 0, spike = 0, hole = 0, kills = 0;
+  for (const auto& ev : plan.events) {
+    EXPECT_GT(ev.at, 0u);
+    EXPECT_LT(ev.at, p.horizon);
+    switch (ev.type) {
+      case FaultType::kLossBurst:
+        ++loss;
+        EXPECT_GE(ev.count, 1);
+        EXPECT_LE(ev.count, p.max_burst);
+        break;
+      case FaultType::kLinkFlap:
+        ++flap;
+        EXPECT_LE(ev.duration, p.max_flap);
+        break;
+      case FaultType::kLatencySpike:
+        ++spike;
+        EXPECT_LE(ev.duration, p.max_spike);
+        EXPECT_LE(ev.extra_latency, p.max_extra_latency);
+        break;
+      case FaultType::kBlackhole:
+        ++hole;
+        EXPECT_LE(ev.duration, p.max_hole);
+        break;
+      case FaultType::kQpKill:
+        ++kills;
+        EXPECT_GE(ev.qp, 0);
+        EXPECT_LT(ev.qp, p.qps);
+        break;
+    }
+    EXPECT_GE(ev.link, 0);
+    EXPECT_LT(ev.link, p.links);
+  }
+  EXPECT_EQ(loss, p.loss_bursts);
+  EXPECT_EQ(flap, p.flaps);
+  EXPECT_EQ(spike, p.spikes);
+  EXPECT_EQ(hole, p.holes);
+  EXPECT_EQ(kills, p.qp_kills);
+}
+
+TEST(FaultPlan, RandomWithZeroQpsNeverKills) {
+  FaultPlan::RandomParams p;
+  p.qps = 0;
+  const auto plan = FaultPlan::random(11, p);
+  for (const auto& ev : plan.events)
+    EXPECT_NE(ev.type, FaultType::kQpKill);
+}
+
+}  // namespace
+}  // namespace e2e::fault

@@ -27,21 +27,21 @@ TEST(LinkBinding, UnknownEndpointThrows) {
 TEST(LinkFailures, InjectionIsPerDirectionAndConsumed) {
   sim::Engine eng;
   Link l(eng, "l", 40.0, 100, 9000);
-  l.inject_failures(0, 2);
-  EXPECT_TRUE(l.take_failure(0));
-  EXPECT_FALSE(l.take_failure(1));  // other direction untouched
-  EXPECT_TRUE(l.take_failure(0));
-  EXPECT_FALSE(l.take_failure(0));  // consumed
+  l.inject_failures(net::Direction::kAtoB, 2);
+  EXPECT_TRUE(l.take_failure(net::Direction::kAtoB));
+  EXPECT_FALSE(l.take_failure(net::Direction::kBtoA));  // other direction untouched
+  EXPECT_TRUE(l.take_failure(net::Direction::kAtoB));
+  EXPECT_FALSE(l.take_failure(net::Direction::kAtoB));  // consumed
 }
 
 TEST(LinkFailures, InjectionsAccumulate) {
   sim::Engine eng;
   Link l(eng, "l", 40.0, 100, 9000);
-  l.inject_failures(1, 1);
-  l.inject_failures(1, 1);
-  EXPECT_TRUE(l.take_failure(1));
-  EXPECT_TRUE(l.take_failure(1));
-  EXPECT_FALSE(l.take_failure(1));
+  l.inject_failures(net::Direction::kBtoA, 1);
+  l.inject_failures(net::Direction::kBtoA, 1);
+  EXPECT_TRUE(l.take_failure(net::Direction::kBtoA));
+  EXPECT_TRUE(l.take_failure(net::Direction::kBtoA));
+  EXPECT_FALSE(l.take_failure(net::Direction::kBtoA));
 }
 
 }  // namespace

@@ -243,7 +243,7 @@ TEST_F(QpRig, ReadSlowerThanWriteByEfficiencyFactor) {
 TEST_F(QpRig, InjectedFaultFailsCompletionAndDropsPayload) {
   auto sbuf = make_buffer(*rig.a, 1 << 20, 0);
   auto target = make_buffer(*rig.b, 1 << 20, 0);
-  rig.link->inject_failures(0, 1);
+  rig.link->inject_failures(net::Direction::kAtoB, 1);
   SendWr wr;
   wr.op = Opcode::kWrite;
   wr.wr_id = 1;
@@ -270,7 +270,7 @@ TEST_F(QpRig, InjectedFaultFailsCompletionAndDropsPayload) {
 TEST_F(QpRig, InjectedFaultOnReadResponse) {
   auto local = make_buffer(*rig.a, 1 << 20, 0);
   auto remote = make_buffer(*rig.b, 1 << 20, 0);
-  rig.link->inject_failures(1, 1);  // read responses ride the reverse dir
+  rig.link->inject_failures(net::Direction::kBtoA, 1);  // read responses ride the reverse dir
   SendWr wr;
   wr.op = Opcode::kRead;
   wr.wr_id = 7;

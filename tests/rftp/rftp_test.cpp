@@ -223,7 +223,7 @@ TEST_F(RftpRig, RetransmitsAfterInjectedWireFaults) {
   cfg.streams = 1;
   cfg.block_bytes = 1 << 20;
   auto sess = make_session(cfg);
-  rig.link->inject_failures(0, 5);  // corrupt five data messages
+  rig.link->inject_failures(net::Direction::kAtoB, 5);  // corrupt five data messages
   metrics::ThroughputMeter meter(rig.eng, sim::kMillisecond);
   ZeroSource src(20 << 20);
   NullSink dst;
@@ -234,6 +234,25 @@ TEST_F(RftpRig, RetransmitsAfterInjectedWireFaults) {
   EXPECT_EQ(sess->blocks_delivered(), 20u);
   // ...by retransmitting the corrupted blocks.
   EXPECT_EQ(sess->retransmissions, 5u);
+}
+
+TEST_F(RftpRig, FailedWireCompletionRetransmitsExactlyOnceAndIsTraced) {
+  trace::Tracer tracer(rig.eng);
+  tracer.install();
+  RftpConfig cfg;
+  cfg.streams = 1;
+  cfg.block_bytes = 1 << 20;
+  auto sess = make_session(cfg);
+  rig.link->inject_failures(net::Direction::kAtoB, 1);
+  ZeroSource src(8 << 20);
+  NullSink dst;
+  const auto r = exp::run_task(rig.eng, sess->run(src, dst, 8 << 20));
+  EXPECT_EQ(r.bytes, 8u << 20);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.integrity_ok);
+  // The corrupted block went out exactly twice: one failure, one retry.
+  EXPECT_EQ(sess->retransmissions, 1u);
+  EXPECT_EQ(tracer.counter_value("rftp/retransmissions"), 1u);
 }
 
 TEST_F(RftpRig, FaultFreeRunsHaveNoRetransmissions) {
@@ -252,7 +271,7 @@ TEST_F(RftpRig, SurvivesFaultBursts) {
   cfg.block_bytes = 512 << 10;
   cfg.credits_per_stream = 4;
   auto sess = make_session(cfg);
-  rig.link->inject_failures(0, 20);
+  rig.link->inject_failures(net::Direction::kAtoB, 20);
   ZeroSource src(30 << 20);
   NullSink dst;
   const auto r = exp::run_task(rig.eng, sess->run(src, dst, 30 << 20));

@@ -8,16 +8,20 @@
 //
 // Options: --gib N, --block N[k|m|g], --streams N, --credits N, --numa 0|1,
 //          --write, --duration SECONDS, --files N (multi-file e2e),
-//          --trace FILE (Perfetto JSON), --report FILE (run report)
+//          --trace FILE (Perfetto JSON), --report FILE (run report),
+//          --fault-plan SPEC (scripted faults), --fault-seed N (random plan)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/apps.hpp"
 #include "exp/exp.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "metrics/metrics.hpp"
 #include "rftp/rftp.hpp"
 #include "trace/trace.hpp"
@@ -38,6 +42,8 @@ struct Options {
   int files = 1;
   std::string trace_file;
   std::string report_file;
+  std::string fault_plan;       // scripted FaultPlan (see fault/plan.hpp)
+  std::uint64_t fault_seed = 0; // != 0: seeded random plan instead
 };
 
 [[noreturn]] void usage() {
@@ -52,7 +58,10 @@ struct Options {
       "  --duration S     measurement window in simulated seconds (san)\n"
       "  --files N        split the dataset into N files (e2e)\n"
       "  --trace FILE     write a Chrome/Perfetto trace-event JSON file\n"
-      "  --report FILE    write a flat run report (.csv -> CSV, else JSON)\n",
+      "  --report FILE    write a flat run report (.csv -> CSV, else JSON)\n"
+      "  --fault-plan S   inject scripted faults, e.g.\n"
+      "                   'loss@500ms:n=5;flap@1s:dur=20ms;qpkill@1500ms:qp=0'\n"
+      "  --fault-seed N   inject a seeded random fault plan (rftp scenarios)\n",
       stderr);
   std::exit(2);
 }
@@ -107,6 +116,10 @@ Options parse(int argc, char** argv) {
       o.trace_file = need("--trace");
     else if (!std::strcmp(argv[i], "--report"))
       o.report_file = need("--report");
+    else if (!std::strcmp(argv[i], "--fault-plan"))
+      o.fault_plan = need("--fault-plan");
+    else if (!std::strcmp(argv[i], "--fault-seed"))
+      o.fault_seed = std::strtoull(need("--fault-seed"), nullptr, 10);
     else
       usage();
   }
@@ -166,6 +179,51 @@ class TraceScope {
   std::unique_ptr<trace::Tracer> tracer_;
 };
 
+/// Optional fault injection for one rftp scenario run. Construct after the
+/// session (so a qpkill in the plan can map to kill_stream) and before the
+/// measured engine run; call summary() afterwards. With neither
+/// --fault-plan nor --fault-seed the scope is inert.
+class FaultScope {
+ public:
+  FaultScope(sim::Engine& eng, const Options& o,
+             const std::vector<net::Link*>& links,
+             rftp::RftpSession* sess, int streams) {
+    if (o.fault_plan.empty() && o.fault_seed == 0) return;
+    fault::FaultPlan plan;
+    if (!o.fault_plan.empty()) {
+      plan = fault::FaultPlan::parse(o.fault_plan);
+    } else {
+      fault::FaultPlan::RandomParams rp;
+      rp.links = static_cast<int>(links.size());
+      rp.qps = streams;
+      plan = fault::FaultPlan::random(o.fault_seed, rp);
+    }
+    std::printf("fault plan: %s\n", plan.to_string().c_str());
+    inj_ = std::make_unique<fault::FaultInjector>(eng, std::move(plan));
+    for (auto* l : links) inj_->attach(*l);
+    if (sess != nullptr && streams > 0)
+      inj_->set_qp_kill_handler(
+          [sess, streams](int qp) { sess->kill_stream(qp % streams); });
+    inj_->arm();
+  }
+
+  void summary(const rftp::RftpSession& sess,
+               const rftp::TransferResult& r) const {
+    if (!inj_) return;
+    std::printf(
+        "faults: %llu injected, %llu messages dropped; "
+        "%llu retransmits, %llu failovers; complete=%s integrity=%s\n",
+        static_cast<unsigned long long>(inj_->faults_injected()),
+        static_cast<unsigned long long>(inj_->messages_failed()),
+        static_cast<unsigned long long>(sess.retransmissions),
+        static_cast<unsigned long long>(sess.failovers),
+        r.complete ? "yes" : "NO", r.integrity_ok ? "ok" : "FAILED");
+  }
+
+ private:
+  std::unique_ptr<fault::FaultInjector> inj_;
+};
+
 int run_quick(const Options& o) {
   sim::Engine eng;
   numa::Host a(eng, model::front_end_lan_host("a"));
@@ -185,13 +243,15 @@ int run_quick(const Options& o) {
   rftp::MemorySource src(o.gib << 30, numa::Placement::on(0));
   rftp::MemorySink dst;
   TraceScope ts(eng, o);
+  FaultScope fs(eng, o, {link.get()}, &sess, cfg.streams);
   const auto r = exp::run_task(eng, sess.run(src, dst, o.gib << 30));
   if (auto* tr = ts.get()) tr->note("goodput_gbps", r.goodput_gbps);
   ts.finish();
   std::printf("quick: %llu GiB in %.2f s -> %.1f Gbps\n",
               static_cast<unsigned long long>(o.gib), r.elapsed_s,
               r.goodput_gbps);
-  return 0;
+  fs.summary(sess, r);
+  return r.complete && r.integrity_ok ? 0 : 1;
 }
 
 int run_e2e(const Options& o) {
@@ -214,6 +274,7 @@ int run_e2e(const Options& o) {
   // After tb.start(): the testbed's setup run has drained, so the sampler
   // armed here stays alive exactly for the measured transfer.
   TraceScope ts(tb.eng, o);
+  FaultScope fs(tb.eng, o, tb.links(), &sess, cfg.streams);
   rftp::TransferResult r;
   if (o.files > 1) {
     rftp::FileSet sset(*tb.src_fs);
@@ -236,7 +297,8 @@ int run_e2e(const Options& o) {
   std::printf("per-second series: ");
   for (double g : meter.series_gbps()) std::printf("%.0f ", g);
   std::printf("Gbps\n");
-  return 0;
+  fs.summary(sess, r);
+  return r.complete && r.integrity_ok ? 0 : 1;
 }
 
 int run_wan(const Options& o) {
@@ -251,6 +313,7 @@ int run_wan(const Options& o) {
   rftp::MemorySource src(o.gib << 30, numa::Placement::on(0));
   rftp::MemorySink dst;
   TraceScope ts(tb.eng, o);
+  FaultScope fs(tb.eng, o, {tb.link.get()}, &sess, cfg.streams);
   const auto r = exp::run_task(tb.eng, sess.run(src, dst, o.gib << 30));
   if (auto* tr = ts.get()) tr->note("goodput_gbps", r.goodput_gbps);
   ts.finish();
@@ -260,7 +323,8 @@ int run_wan(const Options& o) {
       r.goodput_gbps, 100.0 * r.goodput_gbps / 40.0,
       static_cast<double>(cfg.streams) * cfg.credits_per_stream *
           static_cast<double>(cfg.block_bytes) / 1e6);
-  return 0;
+  fs.summary(sess, r);
+  return r.complete && r.integrity_ok ? 0 : 1;
 }
 
 int run_san(const Options& o) {
