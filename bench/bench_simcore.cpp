@@ -1,0 +1,147 @@
+// Sim-core microbenchmarks: the event-dispatch hot path in isolation.
+//
+// Every scenario bench in this directory is bottlenecked by how fast
+// sim::Engine can schedule and dispatch events and how cheaply coroutines
+// suspend/resume through it. These benchmarks measure exactly that, with
+// trivial handlers, so regressions in the event core show up here first —
+// undiluted by protocol math.
+//
+// items_per_second == simulated events dispatched per wall-second (for the
+// coroutine benches: operations, each costing a couple of events).
+//
+// CI runs this with --benchmark_out=BENCH_simcore.json; the committed
+// BENCH_simcore.json at the repo root tracks before/after numbers across
+// perf-relevant PRs.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using e2e::sim::Channel;
+using e2e::sim::Delay;
+using e2e::sim::Engine;
+using e2e::sim::Resource;
+using e2e::sim::Task;
+
+// Self-rearming timer callback with a configurable capture footprint.
+// PayloadWords == 1 stays within std::function's inline buffer on libstdc++;
+// PayloadWords == 5 (56 bytes) matches the library's fattest real capture
+// (rdma delivery events) and forces the allocation path on any event-functor
+// implementation with less than 56 bytes of inline storage.
+template <std::size_t PayloadWords>
+struct Rearm {
+  Engine* eng;
+  std::uint64_t delay;
+  std::uint64_t payload[PayloadWords];
+  void operator()() {
+    payload[0]++;
+    eng->schedule_after(delay, *this);
+  }
+};
+
+template <std::size_t PayloadWords>
+void timer_churn(benchmark::State& state) {
+  const std::int64_t depth = state.range(0);
+  Engine eng;
+  // Co-prime delays spread the timers across the heap so sifts do real work.
+  for (std::int64_t i = 0; i < depth; ++i) {
+    const std::uint64_t d = 1 + static_cast<std::uint64_t>(i) % 61;
+    eng.schedule_after(d, Rearm<PayloadWords>{&eng, d, {}});
+  }
+  std::uint64_t events = 0;
+  for (auto _ : state) events += eng.run_for(64);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+// Schedule/dispatch throughput at a given steady-state heap depth.
+void BM_ScheduleDispatch(benchmark::State& state) { timer_churn<1>(state); }
+BENCHMARK(BM_ScheduleDispatch)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Same, with a 56-byte capture (the in-tree worst case).
+void BM_ScheduleDispatchFatCapture(benchmark::State& state) {
+  timer_churn<5>(state);
+}
+BENCHMARK(BM_ScheduleDispatchFatCapture)->Arg(1024);
+
+// One resource-acquire round trip: plan + schedule + coroutine resume.
+Task<> acquire_loop(Resource& r, int n) {
+  for (int i = 0; i < n; ++i) co_await r.acquire(64.0);
+}
+
+void BM_ResourceAcquire(benchmark::State& state) {
+  constexpr int kOpsPerRun = 1024;
+  Engine eng;
+  Resource link(eng, 40e9, "bench-link");
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    e2e::sim::co_spawn(acquire_loop(link, kOpsPerRun));
+    eng.run();
+    ops += kOpsPerRun;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_ResourceAcquire);
+
+// Channel ping-pong: send + suspended recv + engine-mediated wake, twice
+// per round trip. The waiter parks in the coroutine frame.
+Task<> echo_server(Channel<int>& in, Channel<int>& out) {
+  for (;;) {
+    auto v = co_await in.recv();
+    if (!v) co_return;
+    out.send(*v);
+  }
+}
+
+Task<> echo_client(Channel<int>& out, Channel<int>& in, int n) {
+  for (int i = 0; i < n; ++i) {
+    out.send(i);
+    co_await in.recv();
+  }
+  out.close();
+}
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  constexpr int kRoundTrips = 1024;
+  Engine eng;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    Channel<int> req(eng);
+    Channel<int> resp(eng);
+    e2e::sim::co_spawn(echo_server(req, resp));
+    e2e::sim::co_spawn(echo_client(req, resp, kRoundTrips));
+    eng.run();
+    ops += kRoundTrips;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_ChannelPingPong);
+
+// Frame allocate + schedule + resume + frame free for a short-lived task —
+// the lifecycle of the per-chunk tasks rftp/iser spawn by the hundred
+// thousand.
+Task<> sleeper(Engine& eng) { co_await Delay{eng, 1}; }
+
+void BM_CoroutineSpawn(benchmark::State& state) {
+  constexpr int kTasksPerRun = 256;
+  Engine eng;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kTasksPerRun; ++i)
+      e2e::sim::co_spawn(sleeper(eng));
+    eng.run();
+    ops += kTasksPerRun;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_CoroutineSpawn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

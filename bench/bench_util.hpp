@@ -1,6 +1,7 @@
 // Output helpers shared by the bench binaries.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -62,6 +63,54 @@ class ScopedTrace {
   std::string trace_file_;
   std::string report_file_;
   std::unique_ptr<trace::Tracer> tracer_;
+};
+
+/// Wall-clock mode output: collects per-scenario simulator-cost rows
+/// (events dispatched, host seconds, events/s) and writes them as JSON to
+/// the path named by E2E_BENCH_JSON. With the variable unset it is inert.
+/// The schema matches the committed BENCH_simcore.json perf baseline so CI
+/// artifacts and the in-repo before/after table stay comparable.
+class SimCostJson {
+ public:
+  SimCostJson() {
+    if (const char* p = std::getenv("E2E_BENCH_JSON")) path_ = p;
+  }
+  SimCostJson(const SimCostJson&) = delete;
+  SimCostJson& operator=(const SimCostJson&) = delete;
+
+  void add(const std::string& name, std::uint64_t sim_events,
+           double wall_seconds, double gbps = 0.0) {
+    rows_.push_back({name, sim_events, wall_seconds, gbps});
+  }
+
+  ~SimCostJson() {
+    if (path_.empty() || rows_.empty()) return;
+    std::ofstream os(path_);
+    if (!os) return;
+    os << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      const double eps =
+          r.wall_seconds > 0.0
+              ? static_cast<double>(r.sim_events) / r.wall_seconds
+              : 0.0;
+      os << "    {\"name\": \"" << r.name << "\", \"sim_events\": "
+         << r.sim_events << ", \"wall_seconds\": " << r.wall_seconds
+         << ", \"events_per_second\": " << eps << ", \"goodput_gbps\": "
+         << r.gbps << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::uint64_t sim_events;
+    double wall_seconds;
+    double gbps;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
 };
 
 struct PaperRow {

@@ -1,6 +1,7 @@
 #include "scenarios.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "apps/apps.hpp"
@@ -110,6 +111,25 @@ IserPoint run_iser_point(bool numa_tuned, bool write, std::uint64_t block,
 
 namespace {
 
+/// Wall-clock mode: brackets a scenario run and records the simulator's own
+/// cost — events dispatched and host-CPU seconds — alongside the modeled
+/// results, so the perf-regression harness can watch the event core.
+struct SimCostProbe {
+  explicit SimCostProbe(sim::Engine& eng)
+      : eng_(eng),
+        events0_(eng.events_processed()),
+        t0_(std::chrono::steady_clock::now()) {}
+  void finish(E2eResult& out) const {
+    out.sim_events = eng_.events_processed() - events0_;
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+  }
+  sim::Engine& eng_;
+  std::uint64_t events0_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
 E2eResult finish_e2e(exp::EndToEndTestbed& tb, rftp::TransferResult res,
                      const metrics::ThroughputMeter& meter,
                      sim::SimDuration window) {
@@ -142,10 +162,13 @@ E2eResult run_e2e_rftp(std::uint64_t dataset, bool numa_tuned) {
   metrics::ThroughputMeter meter(tb.eng, sim::kSecond);
   ScopedTrace ts(tb.eng);  // opt-in via E2E_TRACE / E2E_REPORT
   const sim::SimTime t0 = tb.eng.now();
+  const SimCostProbe probe(tb.eng);
   const auto res =
       exp::run_task(tb.eng, sess.run(src, dst, dataset, &meter));
   if (auto* tr = ts.get()) tr->note("goodput_gbps", res.goodput_gbps);
-  return finish_e2e(tb, res, meter, tb.eng.now() - t0);
+  auto out = finish_e2e(tb, res, meter, tb.eng.now() - t0);
+  probe.finish(out);
+  return out;
 }
 
 E2eResult run_e2e_gridftp(std::uint64_t dataset, int processes) {
@@ -159,12 +182,15 @@ E2eResult run_e2e_gridftp(std::uint64_t dataset, int processes) {
                      tb.dst_devs[i]->node()});
   metrics::ThroughputMeter meter(tb.eng, sim::kSecond);
   const sim::SimTime t0 = tb.eng.now();
+  const SimCostProbe probe(tb.eng);
   const auto res = exp::run_task(
       tb.eng,
       apps::gridftp_transfer({tb.src_fe.get(), tb.src_fs.get(), tb.src_file},
                              {tb.dst_fe.get(), tb.dst_fs.get(), tb.dst_file},
                              links, dataset, cfg, &meter));
-  return finish_e2e(tb, res, meter, tb.eng.now() - t0);
+  auto out = finish_e2e(tb, res, meter, tb.eng.now() - t0);
+  probe.finish(out);
+  return out;
 }
 
 BidirResult run_e2e_rftp_bidir(std::uint64_t dataset) {

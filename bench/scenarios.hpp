@@ -55,6 +55,10 @@ struct E2eResult {
   metrics::CpuUsage dst_usage;
   sim::SimDuration window = 0;
   double path_limit_gbps = 94.8;      // paper's fio write limit
+  // Simulator cost of the run (wall-clock mode): how many engine events the
+  // scenario dispatched and how long the host CPU took to chew through them.
+  std::uint64_t sim_events = 0;
+  double wall_seconds = 0.0;
 };
 E2eResult run_e2e_rftp(std::uint64_t dataset, bool numa_tuned = true);
 E2eResult run_e2e_gridftp(std::uint64_t dataset, int processes = 4);

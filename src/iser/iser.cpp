@@ -69,9 +69,8 @@ sim::Task<> IserEndpoint::send_pdu(numa::Thread& th, const iscsi::Pdu& pdu) {
   co_await qp_.post_send(th, wr);
   ++pdus_sent_;
   if (auto* tr = trace::of(proc_.host().engine())) {
-    tr->instant(trace_track(tr),
-                std::string("pdu:") + iscsi::to_string(pdu.type));
-    tr->counter("iser/pdus_sent").add(1);
+    tr->instant(trace_track(tr), pdu_name(tr, pdu.type));
+    ctr_pdus_sent_.get(tr, "iser/pdus_sent").add(1);
   }
 }
 
@@ -82,7 +81,7 @@ sim::Task<std::optional<iscsi::Pdu>> IserEndpoint::recv_pdu(
   co_await th.compute(th.host().costs().iscsi_pdu_cycles,
                       metrics::CpuCategory::kUserProto);
   if (auto* tr = trace::of(proc_.host().engine()))
-    tr->counter("iser/pdus_received").add(1);
+    ctr_pdus_received_.get(tr, "iser/pdus_received").add(1);
   co_return *pdu;
 }
 
@@ -93,8 +92,8 @@ sim::Task<> IserEndpoint::await_data_op(numa::Thread& th, rdma::SendWr wr,
   // spans keyed by wr_id.
   if (auto* tr = trace::of(eng)) {
     tr->async_begin(trace_track(tr), span_name, wr.wr_id);
-    tr->counter("iser/data_bytes").add(wr.bytes);
-    tr->counter("iser/data_ops").add(1);
+    ctr_data_bytes_.get(tr, "iser/data_bytes").add(wr.bytes);
+    ctr_data_ops_.get(tr, "iser/data_ops").add(1);
   }
   const std::uint64_t span_id = wr.wr_id;
   sim::SimDuration backoff = 100 * sim::kMicrosecond;
@@ -173,8 +172,8 @@ sim::Task<> IserEndpoint::put_data_nowait(numa::Thread& th,
   auto& eng = th.host().engine();
   if (auto* tr = trace::of(eng)) {
     tr->async_begin(trace_track(tr), "rdma-write", wr.wr_id);
-    tr->counter("iser/data_bytes").add(bytes);
-    tr->counter("iser/data_ops").add(1);
+    ctr_data_bytes_.get(tr, "iser/data_bytes").add(bytes);
+    ctr_data_ops_.get(tr, "iser/data_ops").add(1);
   }
   // Fire-and-forget Data-In: a failed completion still recycles the
   // staging buffer, but the payload never landed — count the loss and let

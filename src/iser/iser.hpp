@@ -87,8 +87,15 @@ class IserEndpoint final : public iscsi::Datamover {
 
   /// This endpoint's trace track ("<host>/iser#n"), minted lazily.
   trace::TrackId trace_track(trace::Tracer* tr) {
-    return trace_trk_.get(tr, trace::Layer::kIser,
-                          proc_.host().name() + "/iser");
+    return trace_trk_.get_lazy(
+        tr, trace::Layer::kIser,
+        [this] { return proc_.host().name() + "/iser"; });
+  }
+
+  /// Per-PDU-type "pdu:<type>" marker name, built and interned once.
+  trace::NameId pdu_name(trace::Tracer* tr, iscsi::PduType t) {
+    return pdu_names_[static_cast<std::size_t>(t)].get_lazy(
+        tr, [t] { return std::string("pdu:") + iscsi::to_string(t); });
   }
 
   rdma::QueuePair& qp_;
@@ -110,6 +117,11 @@ class IserEndpoint final : public iscsi::Datamover {
   int data_retry_limit_ = 12;
   bool started_ = false;
   trace::CachedTrack trace_trk_;
+  trace::CachedSeries pdu_names_[11];  // indexed by iscsi::PduType
+  trace::CachedCounter ctr_pdus_sent_;
+  trace::CachedCounter ctr_pdus_received_;
+  trace::CachedCounter ctr_data_bytes_;
+  trace::CachedCounter ctr_data_ops_;
 };
 
 }  // namespace e2e::iser

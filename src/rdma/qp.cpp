@@ -19,14 +19,25 @@ QueuePair::QueuePair(Device& dev, CompletionQueue& send_cq,
   ready_event_.set();
 }
 
+trace::TrackId QueuePair::tx_track(trace::Tracer* tr) {
+  return trace_tx_.get_lazy(tr, trace::Layer::kRdma, [this] {
+    return dev_.host().name() + "/qp-tx";
+  });
+}
+
+trace::TrackId QueuePair::rx_track(trace::Tracer* tr) {
+  return trace_rx_.get_lazy(tr, trace::Layer::kRdma, [this] {
+    return dev_.host().name() + "/qp-rx";
+  });
+}
+
 void QueuePair::kill() {
   if (state_ == QpState::kError) return;
   state_ = QpState::kError;
   ready_event_.reset();
   error_event_.set();
   if (auto* tr = trace::of(dev_.host().engine())) {
-    const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
-                                  dev_.host().name() + "/qp-tx");
+    const auto tk = tx_track(tr);
     tr->instant(tk, "qp-error");
     tr->counter("rdma/qp_errors").add(1);
   }
@@ -49,8 +60,7 @@ sim::Task<> QueuePair::recover(numa::Thread& th,
   error_event_.reset();
   ready_event_.set();
   if (auto* tr = trace::of(dev_.host().engine())) {
-    const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
-                                  dev_.host().name() + "/qp-tx");
+    const auto tk = tx_track(tr);
     tr->instant(tk, "qp-rts");
     tr->counter("rdma/qp_recoveries").add(1);
   }
@@ -85,7 +95,7 @@ sim::Task<> QueuePair::post_send(numa::Thread& th, const SendWr& wr) {
   co_await th.compute(th.host().costs().rdma_post_wr_cycles,
                       metrics::CpuCategory::kUserProto);
   if (auto* tr = trace::of(dev_.host().engine()))
-    tr->counter("rdma/wr_posted").add(1);
+    ctr_wr_posted_.get(tr, "rdma/wr_posted").add(1);
   send_q_.send(wr);
 }
 
@@ -117,8 +127,7 @@ void QueuePair::fail_send(const SendWr& wr, sim::SimDuration delay,
     scq_.push(wc);
   }
   if (auto* tr = trace::of(eng)) {
-    const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
-                                  dev_.host().name() + "/qp-tx");
+    const auto tk = tx_track(tr);
     tr->instant(tk, what);
     tr->counter("rdma/wire_failures").add(1);
     tr->counter("rdma/cq_completions").add(1);
@@ -136,8 +145,7 @@ sim::Task<> QueuePair::sender_loop() {
       ++sends_flushed_;
       scq_.push({wr->op, wr->wr_id, wr->bytes, 0, false, nullptr});
       if (auto* tr = trace::of(eng)) {
-        const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
-                                      dev_.host().name() + "/qp-tx");
+        const auto tk = tx_track(tr);
         tr->instant(tk, "flush-err");
         tr->counter("rdma/sends_flushed").add(1);
         tr->counter("rdma/cq_completions").add(1);
@@ -176,9 +184,8 @@ sim::Task<> QueuePair::sender_loop() {
                                  header_per_mtu()));
     if (fate.fail) {
       if (auto* tr = trace::of(eng)) {
-        const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
-                                      dev_.host().name() + "/qp-tx");
-        tr->complete(tk, to_string(wr->op), t0);
+        const auto tk = tx_track(tr);
+        tr->complete(tk, op_name(tr, wr->op), t0);
       }
       fail_send(*wr, fate.fail_delay, "wire-failure");
       continue;
@@ -186,11 +193,10 @@ sim::Task<> QueuePair::sender_loop() {
     bytes_sent_ += wr->bytes;
     scq_.push({wr->op, wr->wr_id, wr->bytes, 0, true, nullptr});
     if (auto* tr = trace::of(eng)) {
-      const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
-                                    dev_.host().name() + "/qp-tx");
-      tr->complete(tk, to_string(wr->op), t0);
-      tr->counter("rdma/bytes_posted").add(wr->bytes);
-      tr->counter("rdma/cq_completions").add(1);
+      const auto tk = tx_track(tr);
+      tr->complete(tk, op_name(tr, wr->op), t0);
+      ctr_bytes_posted_.get(tr, "rdma/bytes_posted").add(wr->bytes);
+      cq_completions(tr).add(1);
     }
     deliver_after_latency({wr->op, wr->bytes, wr->remote.buffer, wr->imm,
                            std::move(wr->payload), wr->content_tag},
@@ -209,8 +215,7 @@ sim::Task<> QueuePair::receiver_loop() {
     if (state_ == QpState::kError) {
       ++inbound_dropped_;
       if (auto* tr = trace::of(eng)) {
-        const auto tk = trace_rx_.get(tr, trace::Layer::kRdma,
-                                      dev_.host().name() + "/qp-rx");
+        const auto tk = rx_track(tr);
         tr->instant(tk, "drop-err");
         tr->counter("rdma/inbound_dropped").add(1);
       }
@@ -222,8 +227,7 @@ sim::Task<> QueuePair::receiver_loop() {
     if ((d->op == Opcode::kSend || d->op == Opcode::kWriteImm) &&
         recv_q_.size() == 0) {
       if (auto* tr = trace::of(eng)) {
-        const auto tk = trace_rx_.get(tr, trace::Layer::kRdma,
-                                      dev_.host().name() + "/qp-rx");
+        const auto tk = rx_track(tr);
         tr->instant(tk, "rnr");
         tr->counter("rdma/rnr_waits").add(1);
       }
@@ -268,11 +272,10 @@ sim::Task<> QueuePair::receiver_loop() {
         throw std::logic_error("read delivered to receiver loop");
     }
     if (auto* tr = trace::of(eng)) {
-      const auto tk = trace_rx_.get(tr, trace::Layer::kRdma,
-                                    dev_.host().name() + "/qp-rx");
-      tr->complete(tk, to_string(d->op), t0);
-      tr->counter("rdma/bytes_delivered").add(d->bytes);
-      if (d->op != Opcode::kWrite) tr->counter("rdma/cq_completions").add(1);
+      const auto tk = rx_track(tr);
+      tr->complete(tk, op_name(tr, d->op), t0);
+      ctr_bytes_delivered_.get(tr, "rdma/bytes_delivered").add(d->bytes);
+      if (d->op != Opcode::kWrite) cq_completions(tr).add(1);
     }
   }
 }
@@ -282,9 +285,7 @@ sim::Task<> QueuePair::serve_read(SendWr wr) {
   const auto& cm = dev_.host().costs();
   // Reads overlap each other, so they trace as async spans keyed by wr_id.
   if (auto* tr = trace::of(eng))
-    tr->async_begin(trace_tx_.get(tr, trace::Layer::kRdma,
-                                  dev_.host().name() + "/qp-tx"),
-                    "read", wr.wr_id);
+    tr->async_begin(tx_track(tr), "read", wr.wr_id);
 
   // Read request travels to the responder...
   co_await link_->dir(dir_).acquire(64.0);
@@ -310,8 +311,7 @@ sim::Task<> QueuePair::serve_read(SendWr wr) {
                                   header_per_mtu()));
   if (fate.fail) {
     if (auto* tr = trace::of(eng)) {
-      const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
-                                    dev_.host().name() + "/qp-tx");
+      const auto tk = tx_track(tr);
       tr->async_end(tk, "read", wr.wr_id);
     }
     fail_send(wr, fate.fail_delay, "wire-failure");
@@ -326,11 +326,10 @@ sim::Task<> QueuePair::serve_read(SendWr wr) {
   wr.local->content_tag = wr.remote.buffer->content_tag;
   scq_.push({Opcode::kRead, wr.wr_id, wr.bytes, 0, true, nullptr});
   if (auto* tr = trace::of(eng)) {
-    const auto tk = trace_tx_.get(tr, trace::Layer::kRdma,
-                                  dev_.host().name() + "/qp-tx");
+    const auto tk = tx_track(tr);
     tr->async_end(tk, "read", wr.wr_id);
-    tr->counter("rdma/bytes_posted").add(wr.bytes);
-    tr->counter("rdma/cq_completions").add(1);
+    ctr_bytes_posted_.get(tr, "rdma/bytes_posted").add(wr.bytes);
+    cq_completions(tr).add(1);
   }
 }
 

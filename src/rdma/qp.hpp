@@ -16,6 +16,7 @@
 // benches here do).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "net/link.hpp"
@@ -149,10 +150,26 @@ class QueuePair {
   std::uint64_t sends_flushed_ = 0;
   std::uint64_t inbound_dropped_ = 0;
   std::uint64_t recoveries_ = 0;
-  // Trace tracks for the NIC engine loops (null-tracer fast path skips all
-  // tracing; ids are minted lazily per tracer).
+  // Trace handles for the NIC engine loops (null-tracer fast path skips all
+  // tracing). Tracks, hot counters, and per-opcode span names resolve once
+  // per tracer, so the per-WR paths do no string building or hashing.
   trace::CachedTrack trace_tx_;
   trace::CachedTrack trace_rx_;
+  trace::CachedCounter ctr_wr_posted_;
+  trace::CachedCounter ctr_bytes_posted_;
+  trace::CachedCounter ctr_bytes_delivered_;
+  trace::CachedCounter ctr_cq_completions_;
+  trace::CachedName op_names_[4];  // indexed by Opcode
+  trace::CachedName read_name_;    // async "read" spans
+
+  trace::TrackId tx_track(trace::Tracer* tr);
+  trace::TrackId rx_track(trace::Tracer* tr);
+  trace::NameId op_name(trace::Tracer* tr, Opcode op) {
+    return op_names_[static_cast<std::size_t>(op)].get(tr, to_string(op));
+  }
+  trace::Counter& cq_completions(trace::Tracer* tr) {
+    return ctr_cq_completions_.get(tr, "rdma/cq_completions");
+  }
 };
 
 }  // namespace e2e::rdma

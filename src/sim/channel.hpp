@@ -4,6 +4,10 @@
 // scheduled through the engine at the current instant (deterministic).
 // Backpressure, where the modelled protocol needs it, is expressed with
 // explicit credits (sim::Semaphore) as in the real RDMA applications.
+//
+// Waiter bookkeeping is an intrusive FIFO list: each suspended recv() links
+// the Waiter node that lives in its own coroutine frame, so parking and
+// waking a receiver touches no allocator and no deque churn.
 #pragma once
 
 #include <coroutine>
@@ -28,9 +32,8 @@ class Channel {
   /// the channel is closed.
   bool send(T v) {
     if (closed_) return false;
-    if (!waiters_.empty()) {
-      Waiter* w = waiters_.front();
-      waiters_.pop_front();
+    if (wait_head_ != nullptr) {
+      Waiter* w = pop_waiter();
       w->result.emplace(std::move(v));
       detail::resume_via_engine(eng_, w->handle);
       return true;
@@ -43,9 +46,8 @@ class Channel {
   /// with std::nullopt.
   void close() {
     closed_ = true;
-    while (!waiters_.empty()) {
-      Waiter* w = waiters_.front();
-      waiters_.pop_front();
+    while (wait_head_ != nullptr) {
+      Waiter* w = pop_waiter();
       detail::resume_via_engine(eng_, w->handle);
     }
   }
@@ -70,7 +72,23 @@ class Channel {
   struct Waiter {
     std::coroutine_handle<> handle;
     std::optional<T> result;
+    Waiter* next = nullptr;
   };
+
+  void push_waiter(Waiter* w) noexcept {
+    if (wait_tail_ != nullptr)
+      wait_tail_->next = w;
+    else
+      wait_head_ = w;
+    wait_tail_ = w;
+  }
+  Waiter* pop_waiter() noexcept {
+    Waiter* w = wait_head_;
+    wait_head_ = w->next;
+    if (wait_head_ == nullptr) wait_tail_ = nullptr;
+    w->next = nullptr;
+    return w;
+  }
 
   struct RecvAwaiter {
     Channel& ch;
@@ -81,7 +99,7 @@ class Channel {
     }
     void await_suspend(std::coroutine_handle<> h) {
       self.handle = h;
-      ch.waiters_.push_back(&self);
+      ch.push_waiter(&self);
     }
     std::optional<T> await_resume() {
       if (self.result.has_value()) return std::move(self.result);
@@ -96,7 +114,8 @@ class Channel {
 
   Engine& eng_;
   std::deque<T> items_;
-  std::deque<Waiter*> waiters_;
+  Waiter* wait_head_ = nullptr;
+  Waiter* wait_tail_ = nullptr;
   bool closed_ = false;
 };
 

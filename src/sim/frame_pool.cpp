@@ -1,0 +1,88 @@
+#include "sim/frame_pool.hpp"
+
+#include <new>
+
+namespace e2e::sim::detail {
+
+namespace {
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+/// Per-thread pool state. The destructor returns cached blocks to the
+/// global allocator at thread exit; frames still live at that point (e.g.
+/// detached server coroutines suspended at teardown) were never freed and
+/// are outside the pool's custody, exactly as with plain operator new.
+struct Cache {
+  FreeNode* buckets[FramePool::kBuckets] = {};
+  FramePool::Stats stats;
+
+  ~Cache() { trim(); }
+
+  void trim() noexcept {
+    for (auto*& head : buckets) {
+      while (head != nullptr) {
+        FreeNode* n = head;
+        head = n->next;
+        ::operator delete(n);
+        --stats.cached;
+      }
+    }
+  }
+};
+
+Cache& cache() {
+  thread_local Cache c;
+  return c;
+}
+
+// bytes -> bucket index; callers have already excluded oversize requests.
+std::size_t bucket_of(std::size_t bytes) noexcept {
+  return (bytes + FramePool::kGranularity - 1) / FramePool::kGranularity - 1;
+}
+
+std::size_t bucket_bytes(std::size_t bucket) noexcept {
+  return (bucket + 1) * FramePool::kGranularity;
+}
+
+}  // namespace
+
+void* FramePool::allocate(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  Cache& c = cache();
+  if (bytes > kMaxPooledBytes) {
+    ++c.stats.oversize;
+    return ::operator new(bytes);
+  }
+  const std::size_t b = bucket_of(bytes);
+  if (FreeNode* n = c.buckets[b]) {
+    c.buckets[b] = n->next;
+    ++c.stats.reused;
+    --c.stats.cached;
+    return n;
+  }
+  ++c.stats.fresh;
+  return ::operator new(bucket_bytes(b));
+}
+
+void FramePool::deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxPooledBytes) {
+    ::operator delete(p);
+    return;
+  }
+  Cache& c = cache();
+  auto* n = static_cast<FreeNode*>(p);
+  const std::size_t b = bucket_of(bytes);
+  n->next = c.buckets[b];
+  c.buckets[b] = n;
+  ++c.stats.cached;
+}
+
+FramePool::Stats FramePool::stats() noexcept { return cache().stats; }
+
+void FramePool::trim() noexcept { cache().trim(); }
+
+}  // namespace e2e::sim::detail

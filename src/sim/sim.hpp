@@ -3,6 +3,8 @@
 
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
+#include "sim/event_fn.hpp"
+#include "sim/frame_pool.hpp"
 #include "sim/resource.hpp"
 #include "sim/rng.hpp"
 #include "sim/sync.hpp"

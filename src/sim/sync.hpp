@@ -4,12 +4,15 @@
 // instant) rather than resumed inline. This bounds stack depth and keeps
 // resume ordering deterministic: waiters wake in FIFO order at the same
 // simulated timestamp.
+//
+// Waiters are parked on intrusive FIFO lists whose nodes live in the
+// awaiting coroutine frames (valid for exactly as long as the coroutine is
+// suspended), so suspending and waking never allocates.
 #pragma once
 
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 
 #include "sim/engine.hpp"
 
@@ -19,6 +22,43 @@ namespace detail {
 inline void resume_via_engine(Engine& eng, std::coroutine_handle<> h) {
   eng.schedule_after(0, [h] { h.resume(); });
 }
+
+/// One parked coroutine. Lives in the awaiter object inside the suspended
+/// coroutine's frame.
+struct WaitNode {
+  std::coroutine_handle<> handle;
+  WaitNode* next = nullptr;
+};
+
+/// Intrusive FIFO of WaitNodes.
+class WaitList {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return head_ == nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void push(WaitNode* n) noexcept {
+    if (tail_ != nullptr)
+      tail_->next = n;
+    else
+      head_ = n;
+    tail_ = n;
+    ++size_;
+  }
+
+  WaitNode* pop() noexcept {
+    WaitNode* n = head_;
+    head_ = n->next;
+    if (head_ == nullptr) tail_ = nullptr;
+    n->next = nullptr;
+    --size_;
+    return n;
+  }
+
+ private:
+  WaitNode* head_ = nullptr;
+  WaitNode* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
 }  // namespace detail
 
 /// Suspends the awaiting coroutine for a simulated duration.
@@ -48,10 +88,8 @@ class ManualEvent {
 
   void set() {
     set_ = true;
-    while (!waiters_.empty()) {
-      detail::resume_via_engine(eng_, waiters_.front());
-      waiters_.pop_front();
-    }
+    while (!waiters_.empty())
+      detail::resume_via_engine(eng_, waiters_.pop()->handle);
   }
   void reset() noexcept { set_ = false; }
   [[nodiscard]] bool is_set() const noexcept { return set_; }
@@ -59,9 +97,11 @@ class ManualEvent {
   auto wait() {
     struct Awaiter {
       ManualEvent& ev;
+      detail::WaitNode self{};
       bool await_ready() const noexcept { return ev.set_; }
       void await_suspend(std::coroutine_handle<> h) {
-        ev.waiters_.push_back(h);
+        self.handle = h;
+        ev.waiters_.push(&self);
       }
       void await_resume() const noexcept {}
     };
@@ -70,7 +110,7 @@ class ManualEvent {
 
  private:
   Engine& eng_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  detail::WaitList waiters_;
   bool set_ = false;
 };
 
@@ -84,8 +124,7 @@ class Semaphore {
     count_ += n;
     while (count_ > 0 && !waiters_.empty()) {
       --count_;
-      detail::resume_via_engine(eng_, waiters_.front());
-      waiters_.pop_front();
+      detail::resume_via_engine(eng_, waiters_.pop()->handle);
     }
   }
 
@@ -93,14 +132,18 @@ class Semaphore {
   auto acquire() {
     struct Awaiter {
       Semaphore& s;
-      bool await_ready() const noexcept {
+      detail::WaitNode self{};
+      bool await_ready() noexcept {
         if (s.count_ > 0 && s.waiters_.empty()) {
           --s.count_;
           return true;
         }
         return false;
       }
-      void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        self.handle = h;
+        s.waiters_.push(&self);
+      }
       void await_resume() const noexcept {}
     };
     return Awaiter{*this};
@@ -115,12 +158,14 @@ class Semaphore {
   }
 
   [[nodiscard]] std::int64_t available() const noexcept { return count_; }
-  [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+  [[nodiscard]] std::size_t waiting() const noexcept {
+    return waiters_.size();
+  }
 
  private:
   Engine& eng_;
   std::int64_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  detail::WaitList waiters_;
 };
 
 /// Join-point for a dynamic set of tasks (Go-style WaitGroup).
@@ -131,19 +176,19 @@ class WaitGroup {
   void add(std::int64_t n = 1) noexcept { count_ += n; }
   void done() {
     if (--count_ <= 0) {
-      while (!waiters_.empty()) {
-        detail::resume_via_engine(eng_, waiters_.front());
-        waiters_.pop_front();
-      }
+      while (!waiters_.empty())
+        detail::resume_via_engine(eng_, waiters_.pop()->handle);
     }
   }
 
   auto wait() {
     struct Awaiter {
       WaitGroup& wg;
+      detail::WaitNode self{};
       bool await_ready() const noexcept { return wg.count_ <= 0; }
       void await_suspend(std::coroutine_handle<> h) {
-        wg.waiters_.push_back(h);
+        self.handle = h;
+        wg.waiters_.push(&self);
       }
       void await_resume() const noexcept {}
     };
@@ -155,7 +200,7 @@ class WaitGroup {
  private:
   Engine& eng_;
   std::int64_t count_ = 0;
-  std::deque<std::coroutine_handle<>> waiters_;
+  detail::WaitList waiters_;
 };
 
 }  // namespace e2e::sim

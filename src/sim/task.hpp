@@ -18,6 +18,8 @@
 #include <exception>
 #include <utility>
 
+#include "sim/frame_pool.hpp"
+
 namespace e2e::sim {
 
 template <typename T>
@@ -52,6 +54,18 @@ struct PromiseBase {
   std::suspend_always initial_suspend() noexcept { return {}; }
   FinalAwaiter final_suspend() noexcept { return {}; }
   void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+#if E2E_SIM_FRAME_POOL
+  // Coroutine frames route through the size-bucketed freelist: per-chunk
+  // tasks recycle their frames instead of hitting malloc. The sized delete
+  // is the one the coroutine machinery selects; the unsized form is the
+  // mandated fallback and simply forgoes recycling.
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FramePool::deallocate(p, n);
+  }
+  static void operator delete(void* p) noexcept { ::operator delete(p); }
+#endif
 };
 
 template <typename T>

@@ -59,10 +59,9 @@ sim::Task<> Connection::apply_window(Endpoint& ep, std::uint64_t bytes) {
       ep.cubic->on_loss();
       ep.last_loss_time = eng.now();
       if (auto* tr = trace::of(eng)) {
-        tr->instant(trace_track(tr, ep), "loss");
-        tr->counter("tcp/losses").add(1);
-        tr->value_sample("tcp/cwnd/" + ep.host->name(),
-                         ep.cubic->cwnd_bytes());
+        tr->instant(trace_track(tr, ep), ep.loss_name.get(tr, "loss"));
+        ep.losses.get(tr, "tcp/losses").add(1);
+        tr->value_sample(cwnd_series(tr, ep), ep.cubic->cwnd_bytes());
       }
     }
   }
@@ -78,10 +77,9 @@ sim::Task<> Connection::apply_window(Endpoint& ep, std::uint64_t bytes) {
     pep->cubic->on_ack(static_cast<double>(acked), since);
     pep->window->release();
     if (auto* tr = trace::of(pep->host->engine())) {
-      tr->instant(trace_track(tr, *pep), "ack");
-      tr->counter("tcp/acks").add(1);
-      tr->value_sample("tcp/cwnd/" + pep->host->name(),
-                       pep->cubic->cwnd_bytes());
+      tr->instant(trace_track(tr, *pep), pep->ack_name.get(tr, "ack"));
+      pep->acks.get(tr, "tcp/acks").add(1);
+      tr->value_sample(cwnd_series(tr, *pep), pep->cubic->cwnd_bytes());
     }
   });
 }
@@ -137,8 +135,8 @@ sim::Task<> Connection::send(numa::Thread& th, const numa::Placement& user_src,
   while (fate.fail) {
     if (ep.cubic) ep.cubic->on_loss();
     if (auto* tr = trace::of(eng)) {
-      tr->instant(trace_track(tr, ep), "retransmit");
-      tr->counter("tcp/retransmits").add(1);
+      tr->instant(trace_track(tr, ep), ep.rexmit_name.get(tr, "retransmit"));
+      ep.rexmits.get(tr, "tcp/retransmits").add(1);
     }
     ++retransmits_;
     co_await sim::Delay{eng, fate.fail_delay + rto};
@@ -150,8 +148,8 @@ sim::Task<> Connection::send(numa::Thread& th, const numa::Placement& user_src,
   ep.bytes_sent += bytes;
   ep.last_tx_done = tx_done;
   if (auto* tr = trace::of(eng)) {
-    tr->complete(trace_track(tr, ep), "send", trace_t0);
-    tr->counter("tcp/bytes_sent").add(bytes);
+    tr->complete(trace_track(tr, ep), ep.send_name.get(tr, "send"), trace_t0);
+    ep.tx_bytes.get(tr, "tcp/bytes_sent").add(bytes);
   }
   sim::Channel<Message>* dst = peer.inbound.get();
   eng.schedule_at(
@@ -198,8 +196,8 @@ sim::Task<Connection::Message> Connection::recv_raw(numa::Thread& th) {
                       metrics::CpuCategory::kKernelProto);
   ep.bytes_received += bytes;
   if (auto* tr = trace::of(th.host().engine())) {
-    tr->complete(trace_track(tr, ep), "recv", trace_t0);
-    tr->counter("tcp/bytes_received").add(bytes);
+    tr->complete(trace_track(tr, ep), ep.recv_name.get(tr, "recv"), trace_t0);
+    ep.rx_bytes.get(tr, "tcp/bytes_received").add(bytes);
   }
   co_return Message{bytes, std::move(chunk->payload)};
 }

@@ -127,12 +127,32 @@ class Connection {
     double loss_accum = 0.0;
     sim::SimTime last_loss_time = 0;
     sim::SimTime last_tx_done = 0;  // orders FIN behind queued data
-    trace::CachedTrack trk;         // this endpoint's trace track
+    // Per-endpoint trace handles, resolved once per tracer so the per-ACK/
+    // per-loss/per-chunk paths never build a name string or hash a lookup.
+    trace::CachedTrack trk;          // this endpoint's trace track
+    trace::CachedCounter acks;       // "tcp/acks"
+    trace::CachedCounter losses;     // "tcp/losses"
+    trace::CachedCounter rexmits;    // "tcp/retransmits"
+    trace::CachedCounter tx_bytes;   // "tcp/bytes_sent"
+    trace::CachedCounter rx_bytes;   // "tcp/bytes_received"
+    trace::CachedSeries cwnd;        // "tcp/cwnd/<host>"
+    trace::CachedName ack_name;      // "ack"
+    trace::CachedName loss_name;     // "loss"
+    trace::CachedName rexmit_name;   // "retransmit"
+    trace::CachedName send_name;     // "send"
+    trace::CachedName recv_name;     // "recv"
   };
 
   /// This endpoint's trace track ("<host>/tcp#n"), minted lazily.
   trace::TrackId trace_track(trace::Tracer* tr, Endpoint& ep) {
-    return ep.trk.get(tr, trace::Layer::kTcp, ep.host->name() + "/tcp");
+    return ep.trk.get_lazy(tr, trace::Layer::kTcp,
+                           [&ep] { return ep.host->name() + "/tcp"; });
+  }
+
+  /// This endpoint's cwnd series id ("tcp/cwnd/<host>"), interned lazily.
+  trace::NameId cwnd_series(trace::Tracer* tr, Endpoint& ep) {
+    return ep.cwnd.get_lazy(
+        tr, [&ep] { return "tcp/cwnd/" + ep.host->name(); });
   }
 
   sim::Task<> apply_window(Endpoint& ep, std::uint64_t bytes);

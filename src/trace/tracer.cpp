@@ -8,7 +8,7 @@
 namespace e2e::trace {
 
 NameId Tracer::intern(std::string_view s) {
-  auto it = name_ids_.find(std::string(s));
+  auto it = name_ids_.find(s);
   if (it != name_ids_.end()) return it->second;
   const NameId id = static_cast<NameId>(names_.size());
   names_.emplace_back(s);
@@ -52,6 +52,16 @@ void Tracer::instant(TrackId t, std::string_view name) {
   push({Event::Type::kInstant, t, intern(name), eng_.now(), 0, 0});
 }
 
+void Tracer::complete(TrackId t, NameId name, sim::SimTime start) {
+  const sim::SimTime now = eng_.now();
+  const sim::SimTime s = start > now ? now : start;
+  push({Event::Type::kComplete, t, name, s, now - s, 0});
+}
+
+void Tracer::instant(TrackId t, NameId name) {
+  push({Event::Type::kInstant, t, name, eng_.now(), 0, 0});
+}
+
 void Tracer::async_begin(TrackId t, std::string_view name, std::uint64_t id) {
   push({Event::Type::kAsyncBegin, t, intern(name), eng_.now(), 0, id});
 }
@@ -61,7 +71,7 @@ void Tracer::async_end(TrackId t, std::string_view name, std::uint64_t id) {
 }
 
 Counter& Tracer::counter(std::string_view name) {
-  auto it = counter_ids_.find(std::string(name));
+  auto it = counter_ids_.find(name);
   if (it != counter_ids_.end()) return counters_[it->second];
   counters_.push_back(Counter{std::string(name)});
   counter_ids_.emplace(std::string(name), counters_.size() - 1);
@@ -69,12 +79,16 @@ Counter& Tracer::counter(std::string_view name) {
 }
 
 std::uint64_t Tracer::counter_value(std::string_view name) const {
-  auto it = counter_ids_.find(std::string(name));
+  auto it = counter_ids_.find(name);
   return it == counter_ids_.end() ? 0 : counters_[it->second].value();
 }
 
 void Tracer::value_sample(std::string_view series, double value) {
   samples_.push_back({intern(series), eng_.now(), value});
+}
+
+void Tracer::value_sample(NameId series, double value) {
+  samples_.push_back({series, eng_.now(), value});
 }
 
 void Tracer::on_resource_service(const sim::Resource& r, sim::SimTime start,

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -121,6 +122,11 @@ class Tracer final : public sim::TraceHook {
   /// Zero-duration marker.
   void instant(TrackId t, std::string_view name);
 
+  // NameId overloads for pre-interned event names: hot call sites resolve
+  // the name once (see CachedName/CachedSeries) and log with no hashing.
+  void complete(TrackId t, NameId name, sim::SimTime start);
+  void instant(TrackId t, NameId name);
+
   /// Async span: may overlap other spans on the same track and may begin
   /// and end on different tracks. `id` pairs the begin with the end within
   /// the track's scope (e.g. a block index).
@@ -136,6 +142,11 @@ class Tracer final : public sim::TraceHook {
   /// Records one point of a free-form value series (e.g. a cwnd that can
   /// shrink); rendered as a Perfetto counter track.
   void value_sample(std::string_view series, double value);
+  void value_sample(NameId series, double value);
+
+  /// Interns `s` into the name table (idempotent). The returned id is valid
+  /// for this tracer's lifetime and is what the NameId overloads accept.
+  NameId name_id(std::string_view s) { return intern(s); }
 
   // --- resource sampler ---------------------------------------------------
 
@@ -222,10 +233,23 @@ class Tracer final : public sim::TraceHook {
   void sampler_tick();
   void push(Event e) { events_.push_back(e); }
 
+  /// Transparent hasher so the string-keyed maps can be probed with a
+  /// string_view — no temporary std::string per hot-path lookup.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+    std::size_t operator()(const std::string& s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   sim::Engine& eng_;
 
   std::vector<std::string> names_;
-  std::unordered_map<std::string, NameId> name_ids_;
+  std::unordered_map<std::string, NameId, StringHash, std::equal_to<>>
+      name_ids_;
 
   std::vector<Track> tracks_;
   std::unordered_map<std::string, TrackId> track_ids_;  // "<layer>/<actor>"
@@ -234,7 +258,8 @@ class Tracer final : public sim::TraceHook {
   std::vector<Event> events_;
 
   std::deque<Counter> counters_;  // stable addresses for handles
-  std::unordered_map<std::string, std::size_t> counter_ids_;
+  std::unordered_map<std::string, std::size_t, StringHash, std::equal_to<>>
+      counter_ids_;
   std::vector<Sample> samples_;
 
   // Per-resource sampler state: cached series name + busy_ns at last tick.
@@ -274,6 +299,59 @@ struct CachedTrack {
   TrackId named(Tracer* t, Layer layer, std::string_view actor) {
     if (owner != t) {
       id = t->track(layer, actor);
+      owner = t;
+    }
+    return id;
+  }
+  /// Like get(), but the base name is built only on the mint (first use),
+  /// so steady-state call sites skip the string concatenation entirely.
+  template <typename MakeBase>
+  TrackId get_lazy(Tracer* t, Layer layer, MakeBase&& make_base) {
+    if (owner != t) {
+      id = t->mint_track(layer, make_base());
+      owner = t;
+    }
+    return id;
+  }
+};
+
+/// Per-site counter cache: one hash lookup per tracer, then add() is an
+/// inlined integer bump.
+struct CachedCounter {
+  Tracer* owner = nullptr;
+  Counter* c = nullptr;
+  Counter& get(Tracer* t, std::string_view name) {
+    if (owner != t) {
+      c = &t->counter(name);
+      owner = t;
+    }
+    return *c;
+  }
+};
+
+/// Per-site event-name cache for the instant()/complete() NameId overloads.
+struct CachedName {
+  Tracer* owner = nullptr;
+  NameId id = 0;
+  NameId get(Tracer* t, std::string_view name) {
+    if (owner != t) {
+      id = t->name_id(name);
+      owner = t;
+    }
+    return id;
+  }
+};
+
+/// Per-site value-series cache. The series name is built lazily on first
+/// use (per tracer), so hot samplers skip both the string build and the
+/// intern lookup.
+struct CachedSeries {
+  Tracer* owner = nullptr;
+  NameId id = 0;
+  template <typename MakeName>
+  NameId get_lazy(Tracer* t, MakeName&& make_name) {
+    if (owner != t) {
+      id = t->name_id(make_name());
       owner = t;
     }
     return id;

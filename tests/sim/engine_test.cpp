@@ -125,6 +125,82 @@ TEST(TimeHelpers, Conversions) {
   EXPECT_EQ(2_min, 120ull * kSecond);
 }
 
+TEST(Engine, RunUntilCountsEventsWhenStopFiresMidRun) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(10, [&] { ++fired; });
+  eng.schedule_at(20, [&] {
+    ++fired;
+    eng.stop();
+  });
+  eng.schedule_at(30, [&] { ++fired; });
+  // The return value is an events_processed() delta, so stopping mid-run
+  // still reports both dispatched events.
+  EXPECT_EQ(eng.run_until(100), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), 20u);  // clock does not jump to the horizon
+  EXPECT_EQ(eng.run_until(100), 1u);
+  EXPECT_EQ(eng.now(), 100u);
+}
+
+TEST(Engine, RunUntilCountStaysCorrectWhenEventReentersRun) {
+  Engine eng;
+  int inner = 0;
+  eng.schedule_at(10, [&] {
+    eng.schedule_at(12, [&] { ++inner; });
+    eng.run_until(15);  // nested run dispatches the inner event
+  });
+  eng.schedule_at(20, [&] {});
+  const std::uint64_t n = eng.run_until(30);
+  EXPECT_EQ(inner, 1);
+  // Outer delta includes the nested dispatch exactly once.
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(eng.events_processed(), 3u);
+}
+
+TEST(Engine, PastScheduleDuringDispatchRunsSameInstant) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(50, [&] {
+    order.push_back(1);
+    eng.schedule_at(7, [&] { order.push_back(2); });  // clamped to now()=50
+  });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(eng.now(), 50u);
+}
+
+TEST(Engine, QueueCapacityIsReusedAcrossChurn) {
+  Engine eng;
+  eng.reserve(512);
+  const std::size_t cap = eng.queue_capacity();
+  EXPECT_GE(cap, 512u);
+  // Push/pop far more events than the reservation, never holding more than
+  // the reserved depth: steady-state churn must not grow the vector.
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 500; ++i) eng.schedule_after(1 + i % 13, [] {});
+    eng.run();
+  }
+  EXPECT_EQ(eng.queue_capacity(), cap);
+  EXPECT_EQ(eng.events_processed(), 20u * 500u);
+}
+
+TEST(Engine, ManyEventsAtOneInstantKeepSchedulingOrder) {
+  // Stresses the 4-ary heap's (t, seq) tie-break with a wide same-time
+  // cohort interleaved with earlier and later events.
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(200, [&] { order.push_back(-2); });
+  for (int i = 0; i < 100; ++i)
+    eng.schedule_at(100, [&order, i] { order.push_back(i); });
+  eng.schedule_at(50, [&] { order.push_back(-1); });
+  eng.run();
+  ASSERT_EQ(order.size(), 102u);
+  EXPECT_EQ(order.front(), -1);
+  EXPECT_EQ(order.back(), -2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i) + 1], i);
+}
+
 TEST(Engine, DeterministicAcrossRuns) {
   auto run_once = [] {
     Engine eng;

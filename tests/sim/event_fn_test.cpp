@@ -1,0 +1,108 @@
+#include "sim/event_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace e2e::sim {
+namespace {
+
+TEST(EventFn, DefaultConstructedIsEmpty) {
+  EventFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(EventFn, InvokesStoredCallable) {
+  int calls = 0;
+  EventFn fn([&calls] { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EventFn, MoveTransfersOwnership) {
+  int calls = 0;
+  EventFn a([&calls] { ++calls; });
+  EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EventFn, MoveAssignDestroysPreviousCallable) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> alive = token;
+  EventFn a([token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(alive.expired());  // capture keeps it alive
+  int calls = 0;
+  a = EventFn([&calls] { ++calls; });
+  EXPECT_TRUE(alive.expired());  // old capture destroyed on assignment
+  a();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EventFn, DestructorReleasesCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = token;
+  {
+    EventFn fn([token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(alive.expired());
+  }
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(EventFn, SelfMoveAssignIsSafe) {
+  int calls = 0;
+  EventFn fn([&calls] { ++calls; });
+  EventFn& self = fn;
+  fn = std::move(self);
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EventFn, HoldsLargestSupportedCapture) {
+  // A capture of exactly kInlineBytes must fit; one byte more is a compile
+  // error (so that case can't be spelled in a runtime test).
+  struct Fat {
+    std::uint64_t words[EventFn::kInlineBytes / sizeof(std::uint64_t) - 1];
+    std::uint64_t* out;
+  };
+  std::uint64_t seen = 0;
+  Fat fat{};
+  fat.words[0] = 41;
+  fat.out = &seen;
+  auto lambda = [fat]() mutable { *fat.out = ++fat.words[0]; };
+  static_assert(sizeof(lambda) == EventFn::kInlineBytes,
+                "capture sized to exercise the full inline buffer");
+  EventFn fn(std::move(lambda));
+  fn();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventFn, RelocationPreservesCaptureState) {
+  // Move an armed callable through several EventFn shells (as heap growth
+  // and slot recycling do) and verify the capture arrives intact.
+  auto token = std::make_shared<int>(5);
+  std::weak_ptr<int> alive = token;
+  int result = 0;
+  EventFn a([token, &result] { result = *token + 1; });
+  token.reset();
+  EventFn b(std::move(a));
+  EventFn c;
+  c = std::move(b);
+  EXPECT_FALSE(alive.expired());
+  c();
+  EXPECT_EQ(result, 6);
+  c = EventFn{};
+  EXPECT_TRUE(alive.expired());
+}
+
+}  // namespace
+}  // namespace e2e::sim
