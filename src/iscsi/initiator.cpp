@@ -33,10 +33,9 @@ sim::Task<> Initiator::dispatch_loop(numa::Thread& th) {
     if (!pdu) co_return;  // session closed
     if (pdu->type == PduType::kLogoutResponse) co_return;
     if (pdu->type != PduType::kScsiResponse) continue;  // NOPs etc.
-    auto it = pending_.find(pdu->itt);
-    if (it == pending_.end()) continue;  // late duplicate after a retry
-    std::shared_ptr<Pending> p = it->second;
-    pending_.erase(it);
+    Pending* p = pending_.find(pdu->itt);
+    if (p == nullptr || p->completed) continue;  // late dup after a retry
+    p->completed = true;
     p->status = pdu->status;
     ++tasks_completed_;
     p->wake.send(true);
@@ -63,8 +62,9 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
   cmd.rkey = rdma::RemoteKey{&data};
 
   auto& eng = th.host().engine();
-  auto pending = std::make_shared<Pending>(eng);
-  pending_.emplace(cmd.itt, pending);
+  Pending* pending = &pending_.emplace(cmd.itt, eng);
+  pending->reset();  // the slot (and its channel) may be recycled
+  const auto pending_ref = pending_.ref_of(cmd.itt);
 
   // Concurrent SCSI tasks overlap, so each traces as an async span keyed
   // by its initiator task tag, from submission to response.
@@ -88,14 +88,17 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
       (void)co_await pending->wake.recv();
       break;
     }
-    // Arm a (jittered) timeout; the shared_ptr keeps the rendezvous alive
-    // even if the timer outlives this task.
+    // Arm a (jittered) timeout. The timer holds a generation-counted Ref:
+    // once the rendezvous is erased (or its slot recycled for a later
+    // command), a late firing resolves to null instead of waking anyone.
     sim::SimDuration armed = timeout;
     if (policy_.jitter > 0.0)
       armed += static_cast<sim::SimDuration>(
           jitter_rng_.uniform(0.0, policy_.jitter) *
           static_cast<double>(timeout));
-    eng.schedule_after(armed, [pending] { pending->wake.send(false); });
+    eng.schedule_after(armed, [tbl = &pending_, pending_ref] {
+      if (Pending* p = tbl->get(pending_ref)) p->wake.send(false);
+    });
     const auto woke = co_await pending->wake.recv();
     if (woke && *woke) break;  // genuine response
     if (attempt >= std::max(policy_.max_attempts, 1)) {
@@ -134,7 +137,12 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
     tr->counter(terminal ? "iscsi/tasks_failed" : "iscsi/tasks_completed")
         .add(1);
   }
-  co_return terminal ? scsi::Status::kTransportError : pending->status;
+  if (terminal) co_return scsi::Status::kTransportError;
+  // Release the rendezvous slot for recycling only after the status is out
+  // of it (the terminal path released it when it abandoned the task).
+  const scsi::Status status = pending->status;
+  pending_.erase(cmd.itt);
+  co_return status;
 }
 
 sim::Task<scsi::Status> Initiator::submit_read(numa::Thread& th,
@@ -149,7 +157,7 @@ sim::Task<scsi::Status> Initiator::submit_read(numa::Thread& th,
   // range tag. A lost Data-In delivery leaves the tag short even when the
   // control path replays a GOOD response, so mismatches re-drive the whole
   // I/O under a fresh task tag (a fresh ITT defeats the replay cache).
-  const std::uint64_t expected = fault::block_range_tag(lba, blocks);
+  const std::uint64_t expected = fault::block_range_tag_cached(lba, blocks);
   auto& eng = th.host().engine();
   for (int attempt = 0;; ++attempt) {
     data.content_tag = 0;
@@ -180,7 +188,7 @@ sim::Task<scsi::Status> Initiator::submit_write(numa::Thread& th,
                                                 mem::Buffer& data) {
   // Stamp the source buffer's identity so one-sided pulls propagate it;
   // write-path integrity is verified against the LUN's written digest.
-  data.content_tag = fault::block_range_tag(lba, blocks);
+  data.content_tag = fault::block_range_tag_cached(lba, blocks);
   return submit_io(th, scsi::OpCode::kWrite16, lun, lba, blocks, data);
 }
 

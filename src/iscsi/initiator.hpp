@@ -7,12 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
 
 #include "iscsi/datamover.hpp"
 #include "iscsi/pdu.hpp"
 #include "mem/buffer.hpp"
+#include "mem/flat_table.hpp"
 #include "numa/process.hpp"
 #include "sim/channel.hpp"
 #include "sim/rng.hpp"
@@ -103,13 +102,27 @@ class Initiator {
     return digest_errors_;
   }
   [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
+  /// Rendezvous slots ever allocated (tests: recycling keeps this at the
+  /// concurrency high-water mark, not the command count).
+  [[nodiscard]] std::size_t pending_slots() const noexcept {
+    return pending_.slot_count();
+  }
 
  private:
   struct Pending {
     // true = response arrived; false = timeout fired.
     sim::Channel<bool> wake;
     scsi::Status status = scsi::Status::kGood;
+    // Response consumed: further responses for the tag are duplicates.
+    bool completed = false;
     explicit Pending(sim::Engine& eng) : wake(eng) {}
+    /// Clears recycled-slot state (the table reuses Pending objects).
+    void reset() {
+      status = scsi::Status::kGood;
+      completed = false;
+      while (wake.try_recv()) {
+      }
+    }
   };
 
   sim::Task<scsi::Status> submit_io(numa::Thread& th, scsi::OpCode op,
@@ -130,7 +143,10 @@ class Initiator {
   std::uint64_t command_retries_ = 0;
   std::uint64_t command_failures_ = 0;
   std::uint64_t digest_errors_ = 0;
-  std::map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+  // Flat slot-indexed rendezvous: Pending objects (and their channels) are
+  // recycled across commands; timers hold generation-counted Refs that go
+  // stale on erase instead of keeping the object alive.
+  mem::PendingTable<Pending> pending_;
   trace::CachedTrack trace_trk_;
 };
 

@@ -8,7 +8,7 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <type_traits>
 
 #include "rdma/verbs.hpp"
 #include "scsi/scsi.hpp"
@@ -56,8 +56,11 @@ struct LoginParams {
   bool immediate_data = true;
   bool header_digest = false;  // CRC32C off, as on the paper's testbed
   bool data_digest = false;
-  std::string initiator_name = "iqn.2013-08.edu.stonybrook:init";
-  std::string target_name = "iqn.2013-08.gov.bnl:target";
+  // Fixed-size names keep LoginParams (and with it every Pdu) trivially
+  // copyable: PDUs ride the hot path by value, and a heap-allocating
+  // std::string per copy dominated the protocol layer's malloc count.
+  char initiator_name[40] = "iqn.2013-08.edu.stonybrook:init";
+  char target_name[40] = "iqn.2013-08.gov.bnl:target";
 };
 
 struct Pdu {
@@ -79,5 +82,9 @@ struct Pdu {
                : 76.0;   // BHS + iSER header
   }
 };
+
+// The data path copies PDUs freely (channels, wires, replay cache); keeping
+// them trivially copyable means those copies are memcpys, not allocations.
+static_assert(std::is_trivially_copyable_v<Pdu>);
 
 }  // namespace e2e::iscsi

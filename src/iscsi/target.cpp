@@ -15,7 +15,7 @@ Target::Target(numa::Process& proc, Datamover& dm,
       pool_(pool),
       sched_(sched),
       requests_(proc.host().engine()) {
-  for (auto* l : luns) luns_[l->id()] = l;
+  for (auto* l : luns) luns_.insert(l->id(), l);
   if (sched_ == TargetSched::kNumaRouted)
     for (int n = 0; n < proc.host().node_count(); ++n)
       node_requests_.push_back(
@@ -45,9 +45,8 @@ sim::Channel<Pdu>& Target::route(const Pdu& cmd) {
   // libnuma-style dispatch: send the task to a worker on the node that
   // holds the LUN's backing pages; unknown/interleaved LUNs fall back to
   // a round-robin choice by task tag.
-  auto it = luns_.find(cmd.lun);
-  if (it != luns_.end()) {
-    const auto& placement = it->second->backing().placement;
+  if (scsi::Lun* const* l = luns_.find(cmd.lun)) {
+    const auto& placement = (*l)->backing().placement;
     if (placement.extents.size() == 1)
       return *node_requests_[static_cast<std::size_t>(
           placement.extents[0].node)];
@@ -61,8 +60,8 @@ void Target::stop() {
 }
 
 scsi::Lun* Target::find_lun(std::uint32_t id) {
-  auto it = luns_.find(id);
-  return it == luns_.end() ? nullptr : it->second;
+  scsi::Lun* const* l = luns_.find(id);
+  return l == nullptr ? nullptr : *l;
 }
 
 sim::Task<> Target::rx_loop(numa::Thread& th) {
@@ -85,18 +84,17 @@ sim::Task<> Target::rx_loop(numa::Thread& th) {
         break;
       }
       case PduType::kScsiCommand: {
-        if (in_progress_.count(pdu->itt)) break;  // retry of a live task
-        auto done = completed_.find(pdu->itt);
-        if (done != completed_.end()) {
+        if (in_progress_.contains(pdu->itt)) break;  // retry of a live task
+        if (const scsi::Status* done = completed_.find(pdu->itt)) {
           // Replay the response for an already-executed task.
           Pdu resp;
           resp.type = PduType::kScsiResponse;
           resp.itt = pdu->itt;
-          resp.status = done->second;
+          resp.status = *done;
           co_await dm_.send_pdu(th, resp);
           break;
         }
-        in_progress_.insert(pdu->itt);
+        in_progress_.insert(pdu->itt, 1);
         route(*pdu).send(*pdu);
         break;
       }
@@ -160,7 +158,7 @@ sim::Task<> Target::serve_task(numa::Thread& th, Pdu cmd) {
           if (resp.status == scsi::Status::kGood) {
             // Stamp the staging chunk's payload identity; the datamover
             // carries it to the initiator buffer for digest verification.
-            staging->content_tag = fault::block_range_tag(lba, blocks);
+            staging->content_tag = fault::block_range_tag_cached(lba, blocks);
             // Data-In rides the ordered session QP ahead of the response;
             // the staging buffer recycles on the send completion, and the
             // worker moves on immediately (completion-driven pipeline).
@@ -188,7 +186,7 @@ sim::Task<> Target::serve_task(numa::Thread& th, Pdu cmd) {
 
   ++tasks_served_;
   in_progress_.erase(cmd.itt);
-  completed_.emplace(cmd.itt, resp.status);
+  completed_.insert(cmd.itt, resp.status);
   completed_order_.push_back(cmd.itt);
   if (completed_order_.size() > kCompletedHistory) {
     completed_.erase(completed_order_.front());

@@ -9,15 +9,14 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "iscsi/datamover.hpp"
 #include "iscsi/pdu.hpp"
 #include "mem/buffer_pool.hpp"
+#include "mem/flat_table.hpp"
+#include "sim/ring_queue.hpp"
 #include "numa/process.hpp"
 #include "scsi/scsi.hpp"
 #include "sim/channel.hpp"
@@ -70,13 +69,14 @@ class Target {
 
   numa::Process& proc_;
   Datamover& dm_;
-  std::map<std::uint32_t, scsi::Lun*> luns_;
+  mem::FlatMap<scsi::Lun*> luns_;
   // Duplicate suppression for initiator command retries: tasks being
   // served are dropped on re-arrival; completed tasks get their response
-  // replayed (bounded history, FIFO eviction).
-  std::set<std::uint64_t> in_progress_;
-  std::map<std::uint64_t, scsi::Status> completed_;
-  std::deque<std::uint64_t> completed_order_;
+  // replayed (bounded history, FIFO eviction). Flat tables: the replay
+  // cache is consulted per command, so it must not churn map nodes.
+  mem::FlatMap<char> in_progress_;  // flat set (values unused)
+  mem::FlatMap<scsi::Status> completed_;
+  sim::RingQueue<std::uint64_t> completed_order_;
   static constexpr std::size_t kCompletedHistory = 4096;
   mem::BufferPool& pool_;
   TargetSched sched_;

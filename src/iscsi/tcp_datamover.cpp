@@ -20,18 +20,27 @@ void TcpDatamover::start(numa::Thread& rx, numa::Thread& tx) {
   sim::co_spawn(demux_loop(rx));
 }
 
+mem::MsgPtr TcpDatamover::fresh_wire() {
+  if (wire_cache_ && wire_cache_.unique())
+    *wire_cache_.mutable_as<Wire>() = Wire{};
+  else
+    wire_cache_ = mem::make_msg<Wire>();
+  return wire_cache_;
+}
+
 sim::Task<> TcpDatamover::send_pdu(numa::Thread& th, const Pdu& pdu) {
   if (!started_) throw std::logic_error("send_pdu before start()");
   co_await th.compute(th.host().costs().iscsi_pdu_cycles,
                       metrics::CpuCategory::kUserProto);
-  auto wire = std::make_shared<Wire>();
-  wire->kind = Wire::Kind::kControl;
-  wire->pdu = pdu;
+  auto wire = fresh_wire();
+  auto* w = wire.mutable_as<Wire>();
+  w->kind = Wire::Kind::kControl;
+  w->pdu = pdu;
   // The initiator remembers each WRITE command's I/O buffer so it can
   // answer the target's R2T later.
   if (!is_target_ && pdu.type == PduType::kScsiCommand &&
       pdu.cdb.op == scsi::OpCode::kWrite16)
-    io_buffers_[pdu.itt] = pdu.rkey.buffer;
+    io_buffers_.insert(pdu.itt, pdu.rkey.buffer);
   co_await conn_.send(th, ctrl_,
                       static_cast<std::uint64_t>(pdu.wire_bytes()),
                       /*src_in_cache=*/true, std::move(wire));
@@ -54,11 +63,12 @@ sim::Task<> TcpDatamover::put_data(numa::Thread& th, mem::Buffer& staging,
   std::uint64_t sent = 0;
   while (sent < bytes) {
     const std::uint64_t chunk = std::min(kDataSegmentBytes, bytes - sent);
-    auto wire = std::make_shared<Wire>();
-    wire->kind = Wire::Kind::kDataIn;
-    wire->bytes = chunk;
-    wire->dest = rkey.buffer;
-    wire->tag = sent == 0 ? staging.content_tag : 0;
+    auto wire = fresh_wire();
+    auto* w = wire.mutable_as<Wire>();
+    w->kind = Wire::Kind::kDataIn;
+    w->bytes = chunk;
+    w->dest = rkey.buffer;
+    w->tag = sent == 0 ? staging.content_tag : 0;
     ++data_pdus_;
     co_await conn_.send(th, staging.placement, chunk, false,
                         std::move(wire));
@@ -88,7 +98,7 @@ sim::Task<> TcpDatamover::get_data(numa::Thread& th, mem::Buffer& staging,
   const std::uint64_t tag = next_tag++;
   PendingDataOut pending(th.host().engine());
   pending.remaining = bytes;
-  pending_out_.emplace(tag, &pending);
+  pending_out_.insert(tag, &pending);
 
   Pdu r2t;
   r2t.type = PduType::kR2T;
@@ -96,12 +106,13 @@ sim::Task<> TcpDatamover::get_data(numa::Thread& th, mem::Buffer& staging,
   r2t.data_len = bytes;
   r2t.buffer_offset = offset;
   r2t.rkey = rkey;  // names the initiator I/O buffer to pull from
-  auto wire = std::make_shared<Wire>();
-  wire->kind = Wire::Kind::kR2T;
-  wire->pdu = r2t;
-  wire->itt = tag;
-  wire->bytes = bytes;
-  wire->dest = &staging;
+  auto wire = fresh_wire();
+  auto* w = wire.mutable_as<Wire>();
+  w->kind = Wire::Kind::kR2T;
+  w->pdu = r2t;
+  w->itt = tag;
+  w->bytes = bytes;
+  w->dest = &staging;
   co_await th.compute(th.host().costs().iscsi_pdu_cycles,
                       metrics::CpuCategory::kUserProto);
   co_await conn_.send(th, ctrl_,
@@ -118,11 +129,12 @@ sim::Task<> TcpDatamover::answer_r2t(std::uint64_t itt, std::uint64_t bytes,
   std::uint64_t sent = 0;
   while (sent < bytes) {
     const std::uint64_t chunk = std::min(kDataSegmentBytes, bytes - sent);
-    auto wire = std::make_shared<Wire>();
-    wire->kind = Wire::Kind::kDataOut;
-    wire->itt = itt;
-    wire->bytes = chunk;
-    wire->dest = staging;
+    auto wire = fresh_wire();
+    auto* w = wire.mutable_as<Wire>();
+    w->kind = Wire::Kind::kDataOut;
+    w->itt = itt;
+    w->bytes = chunk;
+    w->dest = staging;
     ++data_pdus_;
     co_await conn_.send(*tx_,
                         io != nullptr ? io->placement : ctrl_, chunk, false,
@@ -138,7 +150,7 @@ sim::Task<> TcpDatamover::demux_loop(numa::Thread& th) {
       rx_pdus_.close();
       co_return;
     }
-    const auto* w = static_cast<const Wire*>(m.payload.get());
+    const auto* w = m.payload.as<Wire>();
     switch (w->kind) {
       case Wire::Kind::kControl:
         // On the initiator, a SCSI response retires the task's buffer.
@@ -163,11 +175,9 @@ sim::Task<> TcpDatamover::demux_loop(numa::Thread& th) {
       case Wire::Kind::kDataOut: {
         if (w->dest != nullptr)
           co_await conn_.copy_from_kernel(th, m.bytes, w->dest->placement);
-        auto it = pending_out_.find(w->itt);
-        if (it != pending_out_.end()) {
-          it->second->remaining -=
-              std::min(it->second->remaining, m.bytes);
-          if (it->second->remaining == 0) it->second->done.set();
+        if (PendingDataOut** p = pending_out_.find(w->itt)) {
+          (*p)->remaining -= std::min((*p)->remaining, m.bytes);
+          if ((*p)->remaining == 0) (*p)->done.set();
         }
         break;
       }

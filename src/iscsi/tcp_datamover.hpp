@@ -16,11 +16,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
 
 #include "iscsi/datamover.hpp"
 #include "iscsi/pdu.hpp"
+#include "mem/flat_table.hpp"
+#include "mem/msg_pool.hpp"
 #include "numa/process.hpp"
 #include "sim/channel.hpp"
 #include "sim/sync.hpp"
@@ -78,14 +78,21 @@ class TcpDatamover final : public Datamover {
   sim::Task<> answer_r2t(std::uint64_t itt, std::uint64_t bytes,
                          mem::Buffer* staging, mem::Buffer* io);
 
+  /// A zeroed wire message ready to fill: reuses the datamover's cached
+  /// block when its previous send has drained (steady-state fast path),
+  /// else pulls a pooled one. The cache keeps one reference; mutating the
+  /// returned message is safe because no consumer holds it yet.
+  mem::MsgPtr fresh_wire();
+
   tcp::Connection& conn_;
   numa::Process& proc_;
   bool is_target_;
   numa::Placement ctrl_;  // tiny header staging for control sends
   numa::Thread* tx_ = nullptr;
   sim::Channel<Pdu> rx_pdus_;
-  std::map<std::uint64_t, mem::Buffer*> io_buffers_;       // initiator
-  std::map<std::uint64_t, PendingDataOut*> pending_out_;   // target
+  mem::MsgPtr wire_cache_;  // one reusable wire per datamover
+  mem::FlatMap<mem::Buffer*> io_buffers_;           // initiator
+  mem::FlatMap<PendingDataOut*> pending_out_;       // target
   std::uint64_t data_pdus_ = 0;
   bool started_ = false;
 };

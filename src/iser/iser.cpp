@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "mem/msg_pool.hpp"
+
 namespace e2e::iser {
 
 namespace {
@@ -36,11 +38,29 @@ sim::Task<> IserEndpoint::start(numa::Thread& cq_thread) {
 sim::Task<> IserEndpoint::send_cq_loop(numa::Thread& th) {
   for (;;) {
     auto wc = co_await qp_.send_cq().wait(th);
-    auto it = pending_.find(wc.wr_id);
-    if (it != pending_.end()) {
-      auto on_complete = std::move(it->second);
-      pending_.erase(it);
-      on_complete(wc.success);
+    if (SendCompletion* pc = pending_.find(wc.wr_id)) {
+      SendCompletion sc = std::move(*pc);
+      pending_.erase(wc.wr_id);
+      if (sc.nowait) {
+        // Fire-and-forget Data-In: a failed completion still recycles the
+        // staging buffer, but the payload never landed — count the loss
+        // and let the initiator's digest verification re-drive the I/O.
+        // Retrying here would risk double-delivery when the initiator also
+        // retries.
+        if (!wc.success) {
+          ++data_losses_;
+          if (auto* tr = trace::of(proc_.host().engine())) {
+            tr->instant(trace_track(tr), "data-loss");
+            tr->counter("iser/data_losses").add(1);
+          }
+        }
+        if (auto* tr = trace::of(proc_.host().engine()))
+          tr->async_end(trace_track(tr), "rdma-write", sc.span_id);
+        sc.on_complete();
+      } else {
+        *sc.ok = wc.success;
+        sc.done->set();
+      }
     }
     // Control-send completions (wr_id 0) just recycle the shared buffer.
     // A lost control PDU is healed by the initiator's command retransmit.
@@ -65,7 +85,7 @@ sim::Task<> IserEndpoint::send_pdu(numa::Thread& th, const iscsi::Pdu& pdu) {
   wr.wr_id = 0;  // control send: fire-and-forget
   wr.local = &ctrl_buf_;
   wr.bytes = static_cast<std::uint64_t>(pdu.wire_bytes());
-  wr.payload = std::make_shared<iscsi::Pdu>(pdu);
+  wr.payload = mem::make_msg<iscsi::Pdu>(pdu);
   co_await qp_.post_send(th, wr);
   ++pdus_sent_;
   if (auto* tr = trace::of(proc_.host().engine())) {
@@ -101,10 +121,10 @@ sim::Task<> IserEndpoint::await_data_op(numa::Thread& th, rdma::SendWr wr,
   for (int attempt = 0;; ++attempt) {
     bool ok = false;
     sim::ManualEvent done(eng);
-    pending_.emplace(wr.wr_id, [&done, &ok](bool success) {
-      ok = success;
-      done.set();
-    });
+    SendCompletion sc;
+    sc.done = &done;
+    sc.ok = &ok;
+    pending_.insert(wr.wr_id, std::move(sc));
     co_await qp_.post_send(th, wr);
     co_await done.wait();
     if (ok) break;
@@ -175,24 +195,13 @@ sim::Task<> IserEndpoint::put_data_nowait(numa::Thread& th,
     ctr_data_bytes_.get(tr, "iser/data_bytes").add(bytes);
     ctr_data_ops_.get(tr, "iser/data_ops").add(1);
   }
-  // Fire-and-forget Data-In: a failed completion still recycles the
-  // staging buffer, but the payload never landed — count the loss and let
-  // the initiator's digest verification re-drive the I/O. Retrying here
-  // would risk double-delivery when the initiator also retries.
-  pending_.emplace(
-      wr.wr_id,
-      [this, wr_id = wr.wr_id, cb = std::move(on_complete)](bool success) {
-        if (!success) {
-          ++data_losses_;
-          if (auto* t2 = trace::of(proc_.host().engine())) {
-            t2->instant(trace_track(t2), "data-loss");
-            t2->counter("iser/data_losses").add(1);
-          }
-        }
-        if (auto* t2 = trace::of(proc_.host().engine()))
-          t2->async_end(trace_track(t2), "rdma-write", wr_id);
-        cb();
-      });
+  // Loss accounting and the span close happen in send_cq_loop when this
+  // record is consumed (see SendCompletion).
+  SendCompletion sc;
+  sc.on_complete = std::move(on_complete);
+  sc.span_id = wr.wr_id;
+  sc.nowait = true;
+  pending_.insert(wr.wr_id, std::move(sc));
   co_await qp_.post_send(th, wr);
 }
 

@@ -15,11 +15,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
+#include <functional>
 
 #include "iscsi/datamover.hpp"
 #include "iscsi/pdu.hpp"
+#include "mem/flat_table.hpp"
 #include "numa/process.hpp"
 #include "rdma/qp.hpp"
 #include "sim/channel.hpp"
@@ -98,6 +98,18 @@ class IserEndpoint final : public iscsi::Datamover {
         tr, [t] { return std::string("pdu:") + iscsi::to_string(t); });
   }
 
+  /// What to do when a data op's send completion arrives. Awaited ops park
+  /// on an event; fire-and-forget (nowait) ops carry their release callback
+  /// (small captures only — it must fit std::function's inline storage to
+  /// keep the hot path allocation-free) and the async span to close.
+  struct SendCompletion {
+    sim::ManualEvent* done = nullptr;  // awaited: event to set
+    bool* ok = nullptr;                // awaited: receives wc.success
+    std::function<void()> on_complete;  // nowait: buffer release callback
+    std::uint64_t span_id = 0;          // nowait: "rdma-write" span key
+    bool nowait = false;
+  };
+
   rdma::QueuePair& qp_;
   numa::Process& proc_;
   rdma::ProtectionDomain pd_;
@@ -105,9 +117,9 @@ class IserEndpoint final : public iscsi::Datamover {
   mem::Buffer ctrl_buf_;   // shared descriptor for control sends
   mem::Buffer recv_buf_;   // shared descriptor for the receive ring
   sim::Channel<iscsi::Pdu> rx_pdus_;
-  // Completion callbacks keyed by wr_id; invoked with wc.success so data
-  // paths can distinguish delivered from lost.
-  std::map<std::uint64_t, std::function<void(bool)>> pending_;
+  // Completion records keyed by wr_id (flat table: steady-state churn
+  // stops allocating once the probe array has grown).
+  mem::FlatMap<SendCompletion> pending_;
   std::uint64_t next_wr_ = 1;
   std::uint64_t pdus_sent_ = 0;
   std::uint64_t data_ops_ = 0;

@@ -1,6 +1,7 @@
 #include "numa/thread.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "numa/process.hpp"
 #include "sim/sync.hpp"
@@ -14,9 +15,52 @@ Thread::Thread(Host& host, Process* proc, CoreId pinned)
     : host_(host), proc_(proc), core_(pinned) {}
 
 double Thread::locality_penalty(const Placement& p) const noexcept {
-  const double remote = p.remote_fraction(node());
+  const double remote = plan_for(p).remote_fraction;
   const double pen = host_.costs().numa_remote_penalty;
   return 1.0 + remote * (pen - 1.0);
+}
+
+void Thread::build_plan(CostPlan& plan, const Placement& p) const {
+  const NodeId me = node();
+  plan.traffic.clear();
+  plan.coherence.clear();
+  plan.traffic.reserve(p.extents.size());
+  for (const auto& e : p.extents) {
+    if (e.fraction <= 0.0) continue;  // can never produce a positive share
+    CostPlan::Traffic t;
+    t.channel = &host_.channel(e.node);
+    t.fraction = e.fraction;
+    if (e.node != me) {
+      t.channel_factor = host_.costs().numa_remote_channel_factor;
+      // Reads pull toward the thread's node, writes push away from it.
+      t.qpi_read = &host_.interconnect(e.node, me);
+      t.qpi_write = &host_.interconnect(me, e.node);
+      plan.coherence.push_back({&host_.interconnect(e.node, me), e.fraction});
+    }
+    plan.traffic.push_back(t);
+  }
+  plan.remote_fraction = p.remote_fraction(me);
+  plan.built = true;
+#ifndef NDEBUG
+  plan.dbg_extents.assign(p.extents.begin(), p.extents.end());
+#endif
+}
+
+const Thread::CostPlan& Thread::plan_for(const Placement& p) const {
+  const std::uint32_t key = p.plan_key.get();
+  if (key >= plans_.size()) plans_.resize(key + 1);
+  CostPlan& plan = plans_[key];
+  if (!plan.built) build_plan(plan, p);
+#ifndef NDEBUG
+  // A keyed placement's extents must not change in place — the plan would
+  // silently go stale. Copy/rebuild placements instead of editing them.
+  assert(plan.dbg_extents.size() == p.extents.size());
+  for (std::size_t i = 0; i < p.extents.size(); ++i) {
+    assert(plan.dbg_extents[i].node == p.extents[i].node);
+    assert(plan.dbg_extents[i].fraction == p.extents[i].fraction);
+  }
+#endif
+  return plan;
 }
 
 void Thread::account(metrics::CpuCategory cat, sim::SimDuration ns) {
@@ -37,41 +81,39 @@ sim::SimTime Thread::book(double cycles, std::uint64_t read_bytes,
     account(cat, core.cycles->service_time(cycles));
   }
 
-  const NodeId me = node();
-  auto book_traffic = [&](const Placement& p, std::uint64_t bytes,
+  // Placement costs come from the cached plan: channel/interconnect
+  // handles and per-extent factors were resolved on the first booking of
+  // this (thread, placement) pair; the arithmetic below is bit-identical
+  // to the uncached per-extent walk it replaced.
+  auto book_traffic = [&](const CostPlan& plan, std::uint64_t bytes,
                           bool write) {
-    for (const auto& e : p.extents) {
-      const double share = static_cast<double>(bytes) * e.fraction;
+    for (const auto& t : plan.traffic) {
+      const double share = static_cast<double>(bytes) * t.fraction;
       if (share <= 0.0) continue;
-      const bool remote = e.node != me;
-      const double channel_share =
-          remote ? share * host_.costs().numa_remote_channel_factor : share;
-      done = std::max(done, host_.channel(e.node).charge(channel_share));
-      if (remote) {
-        // Data crosses the socket interconnect: reads pull toward the
-        // thread's node, writes push away from it.
-        auto& qpi = write ? host_.interconnect(me, e.node)
-                          : host_.interconnect(e.node, me);
-        done = std::max(done, qpi.charge(share));
-      }
+      // share * 1.0 is bitwise `share` for the non-negative doubles here,
+      // so local extents charge exactly what they used to.
+      done = std::max(done, t.channel->charge(share * t.channel_factor));
+      if (sim::Resource* qpi = write ? t.qpi_write : t.qpi_read)
+        done = std::max(done, qpi->charge(share));
     }
   };
 
-  if (src && read_bytes) book_traffic(*src, read_bytes, /*write=*/false);
+  if (src && read_bytes)
+    book_traffic(plan_for(*src), read_bytes, /*write=*/false);
   if (dst && write_bytes) {
-    book_traffic(*dst, write_bytes, /*write=*/true);
+    const CostPlan& plan = plan_for(*dst);
+    book_traffic(plan, write_bytes, /*write=*/true);
     if (dst_coherence == Coherence::kSharedRemote) {
       // Write-invalidate: every written line round-trips ownership over the
       // interconnect. Model as extra interconnect traffic (both directions
       // relative to the remote extents) — the stall cycles were added by
       // the caller via the coherence cycle constant.
       const double factor = host_.costs().coherence_interconnect_bytes_factor;
-      for (const auto& e : dst->extents) {
-        if (e.node == me) continue;
+      for (const auto& c : plan.coherence) {
         const double share =
-            static_cast<double>(write_bytes) * e.fraction * factor;
+            static_cast<double>(write_bytes) * c.fraction * factor;
         if (share <= 0.0) continue;
-        done = std::max(done, host_.interconnect(e.node, me).charge(share));
+        done = std::max(done, c.qpi->charge(share));
       }
     }
   }

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "metrics/cpu_usage.hpp"
 #include "numa/host.hpp"
@@ -68,23 +69,59 @@ class Thread {
   sim::Task<> zero_fill(std::uint64_t bytes, const Placement& dst,
                         metrics::CpuCategory cat);
 
- private:
-  friend class Process;
-
-  /// CPU penalty multiplier for touching `p` from this thread's node.
-  [[nodiscard]] double locality_penalty(const Placement& p) const noexcept;
-
   /// Books CPU cycles and memory traffic; returns overall completion time.
+  /// Placement costs come from a per-thread cached plan (see CostPlan) —
+  /// resolved once per (thread, placement) identity, bit-identical to the
+  /// uncached arithmetic.
   sim::SimTime book(double cycles, std::uint64_t read_bytes,
                     const Placement* src, std::uint64_t write_bytes,
                     const Placement* dst, metrics::CpuCategory cat,
                     Coherence dst_coherence);
+
+ private:
+  friend class Process;
+
+  /// Cost ingredients for one placement, resolved against this thread's
+  /// node: per-extent channel/interconnect handles and factors, coherence
+  /// hops, and the summed remote fraction. Built once per (thread,
+  /// placement identity); a placement's identity changes on copy (see
+  /// PlanKeyTag), so steady-state bookings recompute nothing.
+  struct CostPlan {
+    struct Traffic {
+      sim::Resource* channel = nullptr;
+      sim::Resource* qpi_read = nullptr;   // remote extents only
+      sim::Resource* qpi_write = nullptr;  // remote extents only
+      double fraction = 0.0;
+      double channel_factor = 1.0;  // numa_remote_channel_factor if remote
+    };
+    struct CoherenceHop {
+      sim::Resource* qpi = nullptr;
+      double fraction = 0.0;
+    };
+    std::vector<Traffic> traffic;
+    std::vector<CoherenceHop> coherence;
+    double remote_fraction = 0.0;
+    bool built = false;
+#ifndef NDEBUG
+    // Guards against in-place extent mutation after the first booking.
+    std::vector<Placement::Extent> dbg_extents;
+#endif
+  };
+
+  /// CPU penalty multiplier for touching `p` from this thread's node.
+  [[nodiscard]] double locality_penalty(const Placement& p) const noexcept;
+
+  const CostPlan& plan_for(const Placement& p) const;
+  void build_plan(CostPlan& plan, const Placement& p) const;
 
   void account(metrics::CpuCategory cat, sim::SimDuration ns);
 
   Host& host_;
   Process* proc_;
   CoreId core_;
+  // Plans indexed by PlanKeyTag id; grown lazily. Mutable: plan caching is
+  // invisible to callers (locality_penalty stays const).
+  mutable std::vector<CostPlan> plans_;
 };
 
 }  // namespace e2e::numa

@@ -2,10 +2,108 @@
 // and memory Placement descriptors.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <initializer_list>
+#include <memory>
+#include <type_traits>
+#include <utility>
 
 namespace e2e::numa {
+
+/// Vector with inline storage for the first `N` elements. Placements are
+/// copied on every modeled I/O (into buffers, coroutine frames, plan
+/// lookups); with the common 1–2 extent layouts held inline, those copies
+/// never touch the allocator. Spills to the heap above `N` (wide
+/// interleave) and stays there.
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) data_[size_++] = v;
+  }
+  SmallVec(const SmallVec& o) { assign(o); }
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) {
+      size_ = 0;
+      assign(o);
+    }
+    return *this;
+  }
+  SmallVec(SmallVec&& o) noexcept { steal(std::move(o)); }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      size_ = 0;
+      steal(std::move(o));
+    }
+    return *this;
+  }
+  ~SmallVec() = default;
+
+  void reserve(std::size_t n) {
+    if (n <= cap_) return;
+    std::size_t cap = cap_;
+    while (cap < n) cap *= 2;
+    auto fresh = std::make_unique<T[]>(cap);
+    for (std::size_t i = 0; i < size_; ++i) fresh[i] = data_[i];
+    heap_ = std::move(fresh);
+    data_ = heap_.get();
+    cap_ = cap;
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) reserve(size_ + 1);
+    data_[size_++] = v;
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] T& front() noexcept { return data_[0]; }
+  [[nodiscard]] const T& front() const noexcept { return data_[0]; }
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void assign(const SmallVec& o) {
+    reserve(o.size_);
+    for (std::size_t i = 0; i < o.size_; ++i) data_[i] = o.data_[i];
+    size_ = o.size_;
+  }
+  // Steals heap storage when the source spilled; inline contents copy.
+  void steal(SmallVec&& o) noexcept {
+    if (o.heap_ != nullptr) {
+      heap_ = std::move(o.heap_);
+      data_ = heap_.get();
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.data_ = o.inline_;
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      for (std::size_t i = 0; i < o.size_; ++i) data_[i] = o.data_[i];
+      size_ = o.size_;
+      o.size_ = 0;
+    }
+  }
+
+  T inline_[N] = {};
+  std::unique_ptr<T[]> heap_;
+  T* data_ = inline_;
+  std::size_t cap_ = N;
+  std::size_t size_ = 0;
+};
 
 using NodeId = int;
 using CoreId = int;
@@ -35,6 +133,43 @@ enum class Coherence : std::uint8_t {
   kSharedRemote,  // pages cached/shared by other nodes: writes invalidate
 };
 
+/// Identity tag threads key their cached cost plans on (numa/thread.hpp).
+/// A fresh or copied Placement starts untagged (0); the first cost booking
+/// assigns it a process-wide id lazily. Copying yields a NEW identity
+/// (the copy may be edited before use); moving keeps the id and untags the
+/// source. Extents must not be mutated in place after the first booking —
+/// build a new Placement instead (debug builds assert this).
+struct PlanKeyTag {
+  mutable std::uint32_t v = 0;
+
+  PlanKeyTag() = default;
+  PlanKeyTag(const PlanKeyTag&) noexcept {}
+  PlanKeyTag& operator=(const PlanKeyTag&) noexcept {
+    v = 0;
+    return *this;
+  }
+  PlanKeyTag(PlanKeyTag&& o) noexcept : v(o.v) { o.v = 0; }
+  PlanKeyTag& operator=(PlanKeyTag&& o) noexcept {
+    v = o.v;
+    o.v = 0;
+    return *this;
+  }
+
+  /// The tag, assigned on first use. Ids are minted from a process-wide
+  /// counter; the engine is single-threaded, so plain increments are
+  /// deterministic.
+  [[nodiscard]] std::uint32_t get() const noexcept {
+    if (v == 0) v = next_id();
+    return v;
+  }
+
+ private:
+  static std::uint32_t next_id() noexcept {
+    static std::uint32_t counter = 0;
+    return ++counter;
+  }
+};
+
 /// Where a block of memory physically lives, as fractions per NUMA node.
 /// An interleaved 1 MiB buffer on a 2-node host is {{0,0.5},{1,0.5}}.
 struct Placement {
@@ -42,9 +177,12 @@ struct Placement {
     NodeId node = 0;
     double fraction = 1.0;
   };
-  std::vector<Extent> extents;
+  // Inline capacity 4: node counts modeled in-tree (2- and 4-socket hosts)
+  // interleave without spilling.
+  SmallVec<Extent, 4> extents;
+  PlanKeyTag plan_key;
 
-  static Placement on(NodeId node) { return Placement{{{node, 1.0}}}; }
+  static Placement on(NodeId node) { return Placement{{{node, 1.0}}, {}}; }
 
   static Placement interleaved(int nodes) {
     Placement p;

@@ -115,7 +115,7 @@ class QueuePair {
     std::uint64_t bytes;
     mem::Buffer* target;  // for kWrite/kWriteImm
     std::uint32_t imm;
-    std::shared_ptr<const void> payload;
+    mem::MsgPtr payload;
     std::uint64_t content_tag;  // integrity tag XORed into `target`
   };
 

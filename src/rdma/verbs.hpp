@@ -9,11 +9,11 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <stdexcept>
 
 #include "mem/buffer.hpp"
+#include "mem/msg_pool.hpp"
 #include "metrics/cpu_usage.hpp"
 #include "numa/thread.hpp"
 #include "sim/channel.hpp"
@@ -54,7 +54,7 @@ struct SendWr {
   std::uint32_t imm = 0;         // for kSend/kWriteImm (app header word)
   // Message content carried to the peer's completion (the simulation moves
   // no real bytes; protocol layers ship their headers/PDUs through this).
-  std::shared_ptr<const void> payload;
+  mem::MsgPtr payload;
   // Integrity tag describing the payload identity (fault/integrity.hpp).
   // For kWrite/kWriteImm it is XORed into the remote buffer's content_tag
   // on delivery, so sinks can verify what actually landed.
@@ -73,12 +73,12 @@ struct WorkCompletion {
   std::uint32_t imm = 0;
   bool success = true;
   // For receive completions of kSend/kWriteImm: the message content.
-  std::shared_ptr<const void> payload;
+  mem::MsgPtr payload;
 
   /// Typed view of the payload.
   template <typename T>
   [[nodiscard]] const T* as() const noexcept {
-    return static_cast<const T*>(payload.get());
+    return payload.as<T>();
   }
 };
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fault/integrity.hpp"
+#include "mem/msg_pool.hpp"
 
 namespace e2e::rftp {
 
@@ -125,7 +126,7 @@ sim::Task<> RftpSession::setup_stream(Stream& s) {
     wr.local = &s.tiny_rx;
     wr.bytes = static_cast<std::uint64_t>(
         rth.host().costs().rftp_control_msg_bytes);
-    wr.payload = std::make_shared<GrantMsg>(GrantMsg{t});
+    wr.payload = mem::make_msg<GrantMsg>(GrantMsg{t});
     co_await s.pair->b().post_send(rth, wr);
   }
 }
@@ -196,7 +197,8 @@ sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
 
 void RftpSession::build_block_plan(DataSource& src) {
   const int nodes = sender_.proc->host().node_count();
-  block_queues_.assign(static_cast<std::size_t>(nodes) + 1, {});
+  block_queues_.resize(static_cast<std::size_t>(nodes) + 1);
+  for (auto& q : block_queues_) q.clear();
   streams_on_node_.assign(static_cast<std::size_t>(nodes), 0);
   for (const auto& s : streams_)
     ++streams_on_node_[static_cast<std::size_t>(s->pair->a().device().node())];
@@ -346,11 +348,11 @@ sim::Task<> RftpSession::wire_sender(Stream& s, numa::Thread& th) {
     wr.remote = rdma::RemoteKey{credit->remote};
     wr.imm = credit->token;
     wr.content_tag = sum;  // lands in the remote buffer with the write
-    wr.payload = std::make_shared<DataHeader>(
+    wr.payload = mem::make_msg<DataHeader>(
         DataHeader{credit->token, blk->block_idx, blk->bytes, sum});
-    s.inflight.emplace(wr.wr_id,
-                       Stream::InflightBlock{blk->buf, blk->block_idx,
-                                             blk->bytes, *credit});
+    s.inflight.insert(wr.wr_id,
+                      Stream::InflightBlock{blk->buf, blk->block_idx,
+                                            blk->bytes, *credit});
     co_await s.pair->a().post_send(th, wr);
   }
 }
@@ -359,14 +361,14 @@ sim::Task<> RftpSession::send_reaper(Stream& s, numa::Thread& th) {
   const auto& cm = th.host().costs();
   for (;;) {
     auto wc = co_await s.pair->a().send_cq().wait(th);
-    auto it = s.inflight.find(wc.wr_id);
-    if (it == s.inflight.end()) continue;
-    const Stream::InflightBlock blk = it->second;
-    s.inflight.erase(it);
+    Stream::InflightBlock* found = s.inflight.find(wc.wr_id);
+    if (found == nullptr) continue;
+    const Stream::InflightBlock blk = *found;
+    s.inflight.erase(wc.wr_id);
     if (wc.success) {
       // The wire accepted it; only a drain at the sink confirms delivery
       // (the receiver QP may still drop it if it errors meanwhile).
-      s.sent_unconfirmed.insert(blk.block_idx);
+      s.sent_unconfirmed.insert(blk.block_idx, 1);
       s.send_pool->release(blk.buf);
       continue;
     }
@@ -397,9 +399,9 @@ sim::Task<> RftpSession::send_reaper(Stream& s, numa::Thread& th) {
     wr.remote = rdma::RemoteKey{blk.credit.remote};
     wr.imm = blk.credit.token;
     wr.content_tag = sum;
-    wr.payload = std::make_shared<DataHeader>(
+    wr.payload = mem::make_msg<DataHeader>(
         DataHeader{blk.credit.token, blk.block_idx, blk.bytes, sum});
-    s.inflight.emplace(wr.wr_id, blk);
+    s.inflight.insert(wr.wr_id, blk);
     co_await s.pair->a().post_send(th, wr);
   }
 }
@@ -444,7 +446,7 @@ sim::Task<> RftpSession::grant_reaper(Stream& s, numa::Thread& th) {
     grant.wr_id = wc.wr_id;
     grant.local = &s.tiny_rx;
     grant.bytes = static_cast<std::uint64_t>(cm.rftp_control_msg_bytes);
-    grant.payload = std::make_shared<GrantMsg>(
+    grant.payload = mem::make_msg<GrantMsg>(
         GrantMsg{static_cast<std::uint32_t>(wc.wr_id)});
     co_await s.pair->b().post_send(th, grant);
   }
@@ -522,7 +524,7 @@ sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
     grant.wr_id = a->token;
     grant.local = &s.tiny_rx;
     grant.bytes = static_cast<std::uint64_t>(cm.rftp_control_msg_bytes);
-    grant.payload = std::make_shared<GrantMsg>(GrantMsg{a->token});
+    grant.payload = mem::make_msg<GrantMsg>(GrantMsg{a->token});
     co_await s.pair->b().post_send(th, grant);
 
     if (fresh) {
@@ -577,12 +579,16 @@ void RftpSession::handle_stream_death(Stream& s) {
   // Reassign everything this stream still owed: blocks posted but not
   // completed, and blocks the wire acked that the sink never confirmed
   // (the dying receiver QP may have dropped them on the floor).
-  for (auto& [wr_id, blk] : s.inflight) {
-    s.send_pool->release(blk.buf);
-    requeue_block(blk.block_idx);
-  }
+  // (Ascending-key order: the flat tables hash, but faulted-run traces
+  // must match the std::map/std::set iteration order they replaced.)
+  s.inflight.for_each_sorted(
+      [&](std::uint64_t, const Stream::InflightBlock& blk) {
+        s.send_pool->release(blk.buf);
+        requeue_block(blk.block_idx);
+      });
   s.inflight.clear();
-  for (const std::uint64_t idx : s.sent_unconfirmed) requeue_block(idx);
+  s.sent_unconfirmed.for_each_sorted(
+      [&](std::uint64_t idx, char) { requeue_block(idx); });
   s.sent_unconfirmed.clear();
 
   // Wake the stream's pipeline: queued fill work drains through the

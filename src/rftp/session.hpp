@@ -25,14 +25,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "mem/buffer_pool.hpp"
+#include "mem/flat_table.hpp"
 #include "metrics/throughput.hpp"
 #include "net/link.hpp"
 #include "numa/process.hpp"
@@ -40,6 +38,7 @@
 #include "rftp/config.hpp"
 #include "rftp/source_sink.hpp"
 #include "sim/channel.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/sync.hpp"
 #include "trace/tracer.hpp"
 
@@ -126,7 +125,7 @@ class RftpSession {
       std::uint64_t bytes = 0;
       Credit credit;
     };
-    std::map<std::uint64_t, InflightBlock> inflight;  // wr_id -> block
+    mem::FlatMap<InflightBlock> inflight;  // wr_id -> block
     std::vector<mem::Buffer*> token_buffers;            // receiver side
     mem::Buffer tiny_tx;   // sender's posted-receive target for grants
     mem::Buffer tiny_rx;   // receiver's posted-receive target for data imm
@@ -136,8 +135,9 @@ class RftpSession {
     bool dead = false;
     /// Blocks acked by a send CQE but not yet seen draining at the sink —
     /// the receiver may still have dropped them (QP error), so a dying
-    /// stream requeues these alongside its in-flight blocks.
-    std::set<std::uint64_t> sent_unconfirmed;
+    /// stream requeues these alongside its in-flight blocks. Flat set
+    /// (values unused); the death path drains it in key order.
+    mem::FlatMap<char> sent_unconfirmed;
     // Shared per-stream track: block lifetimes trace as async spans from
     // fill-claim (sender) to drain (receiver), keyed by block index.
     trace::CachedTrack trk;
@@ -178,7 +178,7 @@ class RftpSession {
   std::uint64_t total_blocks_ = 0;
   // block_queues_[node] holds blocks homed on that node; the last entry
   // holds blocks with no known home.
-  std::vector<std::deque<std::uint64_t>> block_queues_;
+  std::vector<sim::RingQueue<std::uint64_t>> block_queues_;
   std::vector<int> streams_on_node_;
 
  public:

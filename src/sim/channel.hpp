@@ -7,16 +7,18 @@
 //
 // Waiter bookkeeping is an intrusive FIFO list: each suspended recv() links
 // the Waiter node that lives in its own coroutine frame, so parking and
-// waking a receiver touches no allocator and no deque churn.
+// waking a receiver touches no allocator. Queued items live in a
+// RingQueue, which keeps its high-water storage instead of churning
+// deque nodes at steady state.
 #pragma once
 
 #include <coroutine>
 #include <cstddef>
-#include <deque>
 #include <optional>
 #include <utility>
 
 #include "sim/engine.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/sync.hpp"
 
 namespace e2e::sim {
@@ -113,7 +115,7 @@ class Channel {
   };
 
   Engine& eng_;
-  std::deque<T> items_;
+  RingQueue<T> items_;
   Waiter* wait_head_ = nullptr;
   Waiter* wait_tail_ = nullptr;
   bool closed_ = false;

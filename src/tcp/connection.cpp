@@ -86,7 +86,7 @@ sim::Task<> Connection::apply_window(Endpoint& ep, std::uint64_t bytes) {
 
 sim::Task<> Connection::send(numa::Thread& th, const numa::Placement& user_src,
                              std::uint64_t bytes, bool src_in_cache,
-                             std::shared_ptr<const void> payload) {
+                             mem::MsgPtr payload) {
   Endpoint& ep = ep_[endpoint_of(th.host())];
   Endpoint& peer = ep_[1 - endpoint_of(th.host())];
   const auto& cm = th.host().costs();

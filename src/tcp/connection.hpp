@@ -23,6 +23,7 @@
 #include <string>
 #include <utility>
 
+#include "mem/msg_pool.hpp"
 #include "metrics/cpu_usage.hpp"
 #include "net/link.hpp"
 #include "numa/host.hpp"
@@ -66,7 +67,7 @@ class Connection {
   /// the simulation moves no real bytes).
   struct Message {
     std::uint64_t bytes = 0;
-    std::shared_ptr<const void> payload;
+    mem::MsgPtr payload;
   };
 
   /// Sends `bytes` from a user buffer at `user_src`. `src_in_cache` models
@@ -75,7 +76,7 @@ class Connection {
   /// message to the peer's recv.
   sim::Task<> send(numa::Thread& th, const numa::Placement& user_src,
                    std::uint64_t bytes, bool src_in_cache = false,
-                   std::shared_ptr<const void> payload = nullptr);
+                   mem::MsgPtr payload = nullptr);
 
   /// Receives one inbound chunk into a user buffer at `user_dst`;
   /// returns its size (0 on connection close).

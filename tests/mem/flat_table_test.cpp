@@ -1,0 +1,196 @@
+// Flat rendezvous tables (mem/flat_table.hpp): hashing, backward-shift
+// deletion, tag wraparound, out-of-order completion patterns, and slot
+// recycling with generation-counted handles.
+#include "mem/flat_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace e2e::mem {
+namespace {
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7), nullptr);
+  m.insert(7, 70);
+  m.insert(8, 80);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 70);
+  EXPECT_EQ(*m.find(8), 80);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.erase(7));
+  EXPECT_FALSE(m.erase(7));
+  EXPECT_EQ(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(8), 80);
+}
+
+TEST(FlatMap, InsertOverwritesExistingKey) {
+  FlatMap<int> m;
+  m.insert(3, 1);
+  m.insert(3, 2);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.find(3), 2);
+}
+
+TEST(FlatMap, MatchesStdMapUnderSequentialTagChurn) {
+  // The protocol shape: sequential tags inserted and erased out of order,
+  // with a bounded live window. Mirror against std::map.
+  FlatMap<std::uint64_t> m;
+  std::map<std::uint64_t, std::uint64_t> ref;
+  std::uint64_t next_tag = 1;
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  auto rand = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int step = 0; step < 20000; ++step) {
+    if (ref.size() < 64 && (rand() & 1)) {
+      const std::uint64_t t = next_tag++;
+      m.insert(t, t * 3);
+      ref.emplace(t, t * 3);
+    } else if (!ref.empty()) {
+      // Erase a pseudo-random live key: completions arrive out of order.
+      auto it = ref.begin();
+      std::advance(it, static_cast<long>(rand() % ref.size()));
+      EXPECT_TRUE(m.erase(it->first));
+      ref.erase(it);
+    }
+    EXPECT_EQ(m.size(), ref.size());
+  }
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.find(k), nullptr);
+    EXPECT_EQ(*m.find(k), v);
+  }
+}
+
+TEST(FlatMap, TagWraparoundKeepsLookupsExact) {
+  // A 32-bit wr_id counter that wraps: tags near UINT32_MAX coexist with
+  // restarted small tags, and re-used tag values after a full cycle land
+  // on a table that has long erased the first incarnation.
+  FlatMap<int> m;
+  std::uint32_t tag = 0xFFFFFFF0u;
+  for (int i = 0; i < 64; ++i) {
+    m.insert(tag, i);
+    ASSERT_NE(m.find(tag), nullptr);
+    EXPECT_EQ(*m.find(tag), i);
+    EXPECT_TRUE(m.erase(tag));
+    ++tag;  // wraps through 0
+  }
+  EXPECT_TRUE(m.empty());
+  // Second full pass over the same (wrapped) tag values.
+  tag = 0xFFFFFFF0u;
+  for (int i = 0; i < 64; ++i) {
+    m.insert(tag, i + 100);
+    EXPECT_EQ(*m.find(tag), i + 100);
+    EXPECT_TRUE(m.erase(tag++));
+  }
+  // And 64-bit extremes.
+  m.insert(0, 1);
+  m.insert(UINT64_MAX, 2);
+  m.insert(UINT64_MAX - 1, 3);
+  EXPECT_EQ(*m.find(0), 1);
+  EXPECT_EQ(*m.find(UINT64_MAX), 2);
+  EXPECT_EQ(*m.find(UINT64_MAX - 1), 3);
+}
+
+TEST(FlatMap, BackwardShiftDeletionPreservesProbeChains) {
+  // Build long probe chains by filling past several growths, then erase
+  // every other key and verify all survivors are still reachable.
+  FlatMap<std::uint64_t> m;
+  for (std::uint64_t k = 0; k < 1000; ++k) m.insert(k, k + 1);
+  for (std::uint64_t k = 0; k < 1000; k += 2) EXPECT_TRUE(m.erase(k));
+  for (std::uint64_t k = 1; k < 1000; k += 2) {
+    ASSERT_NE(m.find(k), nullptr) << k;
+    EXPECT_EQ(*m.find(k), k + 1);
+  }
+  for (std::uint64_t k = 0; k < 1000; k += 2) EXPECT_EQ(m.find(k), nullptr);
+}
+
+TEST(FlatMap, ForEachSortedVisitsAscendingKeys) {
+  FlatMap<int> m;
+  for (const std::uint64_t k : {9ull, 2ull, 55ull, 1ull, 30ull})
+    m.insert(k, static_cast<int>(k) * 10);
+  std::vector<std::uint64_t> keys;
+  m.for_each_sorted([&](std::uint64_t k, int v) {
+    keys.push_back(k);
+    EXPECT_EQ(v, static_cast<int>(k) * 10);
+  });
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 2, 9, 30, 55}));
+}
+
+TEST(FlatMap, ClearResetsValuesButKeepsCapacity) {
+  FlatMap<std::string> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m.insert(k, "x");
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(5), nullptr);
+  m.insert(5, "y");
+  EXPECT_EQ(*m.find(5), "y");
+}
+
+struct Tracked {
+  int value = 0;
+  int constructions = 0;
+  explicit Tracked(int v) : value(v), constructions(1) {}
+};
+
+TEST(SlotArena, ReusesSlotsWithoutReconstructing) {
+  SlotArena<Tracked> a;
+  const auto r1 = a.acquire(7);
+  EXPECT_EQ(a.at(r1).value, 7);
+  a.release(r1);
+  const auto r2 = a.acquire(99);  // recycled: ctor args ignored
+  EXPECT_EQ(r2.slot, r1.slot);
+  EXPECT_NE(r2.gen, r1.gen);
+  EXPECT_EQ(a.at(r2).value, 7) << "recycled object must keep prior state";
+  EXPECT_EQ(a.at(r2).constructions, 1);
+  EXPECT_EQ(a.slot_count(), 1u);
+}
+
+TEST(SlotArena, StaleRefsResolveNull) {
+  SlotArena<Tracked> a;
+  const auto r1 = a.acquire(1);
+  a.release(r1);
+  EXPECT_EQ(a.get(r1), nullptr);  // released
+  const auto r2 = a.acquire(2);
+  EXPECT_EQ(a.get(r1), nullptr);  // slot reoccupied by a newer generation
+  EXPECT_NE(a.get(r2), nullptr);
+  EXPECT_EQ(a.get(SlotArena<Tracked>::Ref{}), nullptr);  // null handle
+}
+
+TEST(PendingTable, OutOfOrderCompletionAndSlotReuse) {
+  PendingTable<Tracked> t;
+  // Submit 8, complete out of order, resubmit — the arena footprint must
+  // stay at the high-water mark (8 slots), never grow with churn.
+  for (std::uint64_t round = 0; round < 50; ++round) {
+    for (std::uint64_t i = 0; i < 8; ++i)
+      t.emplace(round * 8 + i, static_cast<int>(i));
+    const std::uint64_t order[] = {5, 2, 7, 0, 6, 1, 4, 3};
+    for (const std::uint64_t i : order)
+      EXPECT_TRUE(t.erase(round * 8 + i));
+  }
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.slot_count(), 8u);
+}
+
+TEST(PendingTable, RefsGoStaleOnEraseAndOnSlotRecycle) {
+  PendingTable<Tracked> t;
+  t.emplace(42, 1);
+  const auto ref = t.ref_of(42);
+  ASSERT_NE(t.get(ref), nullptr);
+  EXPECT_TRUE(t.erase(42));
+  EXPECT_EQ(t.get(ref), nullptr);  // the timer-held handle is now inert
+  t.emplace(43, 2);                // recycles slot 0
+  EXPECT_EQ(t.get(ref), nullptr) << "old ref must not see the new occupant";
+  ASSERT_NE(t.find(43), nullptr);
+}
+
+}  // namespace
+}  // namespace e2e::mem

@@ -1,0 +1,109 @@
+// Pooled message payloads (mem/msg_pool.hpp): refcounting semantics,
+// in-place reuse via unique(), and freelist recycling. The recycling
+// assertions are skipped under ASan, where pooling is compiled out so the
+// sanitizer keeps byte-exact use-after-free coverage (same pattern as the
+// coroutine frame pool).
+#include "mem/msg_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace e2e::mem {
+namespace {
+
+using detail::MsgPool;
+
+struct Header {
+  std::uint64_t tag = 0;
+  std::uint64_t bytes = 0;
+};
+
+TEST(MsgPtr, RefcountingSharesOnePayload) {
+  MsgPtr a = make_msg<Header>(Header{7, 100});
+  EXPECT_TRUE(a.unique());
+  MsgPtr b = a;
+  EXPECT_FALSE(a.unique());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.as<Header>(), b.as<Header>());
+  EXPECT_EQ(b.as<Header>()->tag, 7u);
+  b.reset();
+  EXPECT_TRUE(a.unique());
+  EXPECT_EQ(b, nullptr);
+}
+
+TEST(MsgPtr, MoveTransfersOwnership) {
+  MsgPtr a = make_msg<int>(5);
+  MsgPtr b = std::move(a);
+  EXPECT_EQ(a, nullptr);  // NOLINT(bugprone-use-after-move)
+  ASSERT_NE(b.as<int>(), nullptr);
+  EXPECT_EQ(*b.as<int>(), 5);
+}
+
+TEST(MsgPtr, UniqueGatesInPlaceReuse) {
+  // The fresh_wire() pattern: reuse the cached block only when no send
+  // path still references it.
+  MsgPtr cache = make_msg<Header>(Header{1, 1});
+  {
+    MsgPtr in_flight = cache;  // the "send path" still holds it
+    EXPECT_FALSE(cache.unique());
+  }
+  EXPECT_TRUE(cache.unique());
+  *cache.mutable_as<Header>() = Header{2, 2};
+  EXPECT_EQ(cache.as<Header>()->tag, 2u);
+}
+
+TEST(MsgPtr, NonTrivialPayloadsDestructExactlyOnce) {
+  static int live = 0;
+  struct Counted {
+    Counted() { ++live; }
+    Counted(const Counted&) { ++live; }
+    ~Counted() { --live; }
+  };
+  {
+    MsgPtr a = make_msg<Counted>();
+    MsgPtr b = a;
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(MsgPool, SameBucketBlocksRecycle) {
+  if (!detail::kMsgPoolEnabled) GTEST_SKIP() << "pooling compiled out (ASan)";
+  MsgPool::trim();
+  const auto before = MsgPool::stats();
+  { MsgPtr a = make_msg<Header>(Header{1, 1}); }
+  { MsgPtr b = make_msg<Header>(Header{2, 2}); }  // must reuse a's block
+  const auto after = MsgPool::stats();
+  EXPECT_EQ(after.fresh, before.fresh + 1);
+  EXPECT_GE(after.reused, before.reused + 1);
+  EXPECT_EQ(after.cached, 1u);
+  MsgPool::trim();
+  EXPECT_EQ(MsgPool::stats().cached, 0u);
+}
+
+TEST(MsgPool, SteadyStateChurnStopsAllocatingFresh) {
+  if (!detail::kMsgPoolEnabled) GTEST_SKIP() << "pooling compiled out (ASan)";
+  MsgPool::trim();
+  { MsgPtr warm = make_msg<Header>(Header{}); }
+  const auto warm_stats = MsgPool::stats();
+  for (int i = 0; i < 1000; ++i) MsgPtr p = make_msg<Header>(Header{});
+  const auto after = MsgPool::stats();
+  EXPECT_EQ(after.fresh, warm_stats.fresh) << "churn must hit the freelist";
+  EXPECT_EQ(after.reused, warm_stats.reused + 1000);
+}
+
+TEST(MsgPool, OversizePayloadsFallThroughToHeap) {
+  struct Big {
+    char data[MsgPool::kMaxPooledBytes + 1] = {};
+  };
+  const auto before = MsgPool::stats();
+  { MsgPtr p = make_msg<Big>(); }
+  const auto after = MsgPool::stats();
+  EXPECT_EQ(after.oversize, before.oversize + 1);
+  EXPECT_EQ(after.cached, before.cached);  // not parked on a freelist
+}
+
+}  // namespace
+}  // namespace e2e::mem

@@ -1,0 +1,162 @@
+// Thread::book's cached cost plan must be bit-identical to the uncached
+// per-extent arithmetic it replaced. A twin host (same profile, separate
+// engine) runs a reference implementation of the original booking code;
+// every combination of placement locality and coherence mode must produce
+// exactly the same completion times — including repeat bookings served
+// from the cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "metrics/cpu_usage.hpp"
+#include "numa/host.hpp"
+#include "numa/process.hpp"
+#include "numa/thread.hpp"
+#include "testutil.hpp"
+
+namespace e2e::numa {
+namespace {
+
+using metrics::CpuCategory;
+
+/// The pre-cache booking arithmetic, verbatim: walks placement extents and
+/// charges `host`'s resources directly. Kept in lockstep with Thread::book
+/// so any drift in the cached plan shows up as a time mismatch.
+sim::SimTime ref_book(Host& host, CoreId core_id, double cycles,
+                      std::uint64_t read_bytes, const Placement* src,
+                      std::uint64_t write_bytes, const Placement* dst,
+                      Coherence dst_coherence) {
+  auto& eng = host.engine();
+  auto& core = host.core(core_id);
+  sim::SimTime done = eng.now();
+  if (cycles > 0.0) done = std::max(done, core.cycles->charge(cycles));
+
+  const NodeId me = core.node;
+  auto book_traffic = [&](const Placement& p, std::uint64_t bytes,
+                          bool write) {
+    for (const auto& e : p.extents) {
+      const double share = static_cast<double>(bytes) * e.fraction;
+      if (share <= 0.0) continue;
+      const bool remote = e.node != me;
+      const double channel_share =
+          remote ? share * host.costs().numa_remote_channel_factor : share;
+      done = std::max(done, host.channel(e.node).charge(channel_share));
+      if (remote) {
+        auto& qpi = write ? host.interconnect(me, e.node)
+                          : host.interconnect(e.node, me);
+        done = std::max(done, qpi.charge(share));
+      }
+    }
+  };
+  if (src && read_bytes) book_traffic(*src, read_bytes, /*write=*/false);
+  if (dst && write_bytes) {
+    book_traffic(*dst, write_bytes, /*write=*/true);
+    if (dst_coherence == Coherence::kSharedRemote) {
+      const double factor = host.costs().coherence_interconnect_bytes_factor;
+      for (const auto& e : dst->extents) {
+        if (e.node == me) continue;
+        const double share =
+            static_cast<double>(write_bytes) * e.fraction * factor;
+        if (share <= 0.0) continue;
+        done = std::max(done, host.interconnect(e.node, me).charge(share));
+      }
+    }
+  }
+  return done;
+}
+
+struct CostPlanRig : ::testing::Test {
+  sim::Engine eng;        // cached side
+  sim::Engine ref_eng;    // twin running the reference arithmetic
+  Host host{eng, test::tiny_host("h")};
+  Host ref_host{ref_eng, test::tiny_host("h")};
+  Process proc{host, "p", NumaBinding::bound(0)};
+};
+
+TEST_F(CostPlanRig, BookMatchesUncachedReferenceAcrossPlacements) {
+  Thread& th = proc.spawn_pinned_thread(0);  // node 0
+  const Placement local = Placement::on(0);
+  const Placement remote = Placement::on(1);
+  const Placement mixed = Placement::interleaved(2);
+  const std::vector<const Placement*> placements{&local, &remote, &mixed};
+  const std::vector<Coherence> modes{Coherence::kPrivate,
+                                     Coherence::kSharedRemote};
+
+  // Three passes over every (src, dst, coherence) combination: the first
+  // builds each plan, the rest are served from the cache. Both hosts see
+  // the identical charge sequence, so identical resource-queue evolution
+  // is part of the check.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const Placement* src : placements) {
+      for (const Placement* dst : placements) {
+        for (const Coherence mode : modes) {
+          const std::uint64_t bytes = 1 << 20;
+          const sim::SimTime got = th.book(1000.0, bytes, src, bytes, dst,
+                                           CpuCategory::kCopy, mode);
+          const sim::SimTime want = ref_book(ref_host, th.core_id(), 1000.0,
+                                             bytes, src, bytes, dst, mode);
+          ASSERT_EQ(got, want)
+              << "pass=" << pass << " mode=" << static_cast<int>(mode);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CostPlanRig, ReadOnlyAndWriteOnlyBookingsMatch) {
+  Thread& th = proc.spawn_pinned_thread(0);
+  const Placement mixed = Placement::interleaved(2);
+  for (int pass = 0; pass < 2; ++pass) {
+    ASSERT_EQ(th.book(0.0, 4096, &mixed, 0, nullptr, CpuCategory::kLoad,
+                      Coherence::kPrivate),
+              ref_book(ref_host, th.core_id(), 0.0, 4096, &mixed, 0, nullptr,
+                       Coherence::kPrivate));
+    ASSERT_EQ(th.book(0.0, 0, nullptr, 4096, &mixed, CpuCategory::kOffload,
+                      Coherence::kSharedRemote),
+              ref_book(ref_host, th.core_id(), 0.0, 0, nullptr, 4096, &mixed,
+                       Coherence::kSharedRemote));
+  }
+}
+
+TEST_F(CostPlanRig, CopiedPlacementGetsItsOwnIdentity) {
+  Thread& th = proc.spawn_pinned_thread(0);
+  Placement a = Placement::on(1);
+  (void)th.book(0.0, 4096, &a, 0, nullptr, CpuCategory::kLoad,
+                Coherence::kPrivate);
+  (void)ref_book(ref_host, th.core_id(), 0.0, 4096, &a, 0, nullptr,
+                 Coherence::kPrivate);
+  // Copy, then legitimately edit the copy before its first booking: the
+  // copy must not inherit a's cached plan.
+  Placement b = a;
+  b.extents[0].node = 0;
+  ASSERT_EQ(th.book(0.0, 4096, &b, 0, nullptr, CpuCategory::kLoad,
+                    Coherence::kPrivate),
+            ref_book(ref_host, th.core_id(), 0.0, 4096, &b, 0, nullptr,
+                     Coherence::kPrivate));
+}
+
+TEST_F(CostPlanRig, PerThreadPlansResolveAgainstEachThreadsNode) {
+  // The same placement booked from threads on different nodes must charge
+  // different interconnect directions — plans are per (thread, placement),
+  // not global per placement.
+  Thread& t0 = proc.spawn_pinned_thread(0);  // node 0
+  Process proc1{host, "p1", NumaBinding::bound(1)};
+  Thread& t1 = proc1.spawn_thread();
+  ASSERT_EQ(t1.node(), 1);
+  const Placement on0 = Placement::on(0);
+  for (int pass = 0; pass < 2; ++pass) {
+    ASSERT_EQ(t0.book(0.0, 4096, &on0, 0, nullptr, CpuCategory::kLoad,
+                      Coherence::kPrivate),
+              ref_book(ref_host, t0.core_id(), 0.0, 4096, &on0, 0, nullptr,
+                       Coherence::kPrivate));
+    ASSERT_EQ(t1.book(0.0, 4096, &on0, 0, nullptr, CpuCategory::kLoad,
+                      Coherence::kPrivate),
+              ref_book(ref_host, t1.core_id(), 0.0, 4096, &on0, 0, nullptr,
+                       Coherence::kPrivate));
+  }
+}
+
+}  // namespace
+}  // namespace e2e::numa

@@ -144,7 +144,7 @@ TEST(Placement, RemoteFraction) {
 TEST(Placement, Validity) {
   EXPECT_TRUE(Placement::on(0).valid());
   EXPECT_TRUE(Placement::interleaved(3).valid());
-  Placement bad{{{0, 0.4}}};
+  Placement bad{{{0, 0.4}}, {}};
   EXPECT_FALSE(bad.valid());
   Placement empty;
   EXPECT_FALSE(empty.valid());

@@ -29,7 +29,7 @@ struct QpRig : ::testing::Test {
 
 sim::Task<> send_one(QueuePair& qp, numa::Thread& th, mem::Buffer* buf,
                      std::uint64_t bytes, std::uint32_t imm,
-                     std::shared_ptr<const void> payload = nullptr) {
+                     mem::MsgPtr payload = nullptr) {
   SendWr wr;
   wr.op = Opcode::kSend;
   wr.wr_id = 1;
@@ -71,7 +71,7 @@ TEST_F(QpRig, PayloadTravelsToReceiver) {
   auto rbuf = make_buffer(*rig.b, 256, 0);
   exp::run_task(rig.eng, pair->b().post_recv(*thb, RecvWr{1, &rbuf}));
   exp::run_task(rig.eng, send_one(pair->a(), *tha, &sbuf, 64, 0,
-                                  std::make_shared<int>(42)));
+                                  mem::make_msg<int>(42)));
   rig.eng.run();
   auto wc = pair->b().recv_cq().try_poll();
   ASSERT_TRUE(wc.has_value());

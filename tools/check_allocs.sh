@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Allocation-budget regression check (ctest -L perf).
+#
+# Runs the e2e transfer scenario at two dataset sizes under the
+# libcount_allocs.so LD_PRELOAD counter and derives the steady-state
+# allocation cost per simulated GiB from the delta — fixed setup cost
+# (engine, hosts, pools, trace interning) cancels out. Fails when the
+# per-GiB cost exceeds the pinned budget.
+#
+#   check_allocs.sh <libcount_allocs.so> <e2e_transfer_sim> <budget-per-gib>
+set -eu
+
+LIB=$1
+BIN=$2
+BUDGET=$3
+
+SMALL_GIB=1
+LARGE_GIB=3
+
+OUT_SMALL=$(mktemp)
+OUT_LARGE=$(mktemp)
+trap 'rm -f "$OUT_SMALL" "$OUT_LARGE"' EXIT
+
+COUNT_ALLOCS_OUT="$OUT_SMALL" LD_PRELOAD="$LIB" \
+    "$BIN" e2e --gib "$SMALL_GIB" > /dev/null
+COUNT_ALLOCS_OUT="$OUT_LARGE" LD_PRELOAD="$LIB" \
+    "$BIN" e2e --gib "$LARGE_GIB" > /dev/null
+
+SMALL=$(cat "$OUT_SMALL")
+LARGE=$(cat "$OUT_LARGE")
+PER_GIB=$(( (LARGE - SMALL) / (LARGE_GIB - SMALL_GIB) ))
+
+echo "allocs @${SMALL_GIB}GiB=$SMALL @${LARGE_GIB}GiB=$LARGE"
+echo "steady-state allocations per simulated GiB: $PER_GIB (budget $BUDGET)"
+
+if [ "$PER_GIB" -gt "$BUDGET" ]; then
+    echo "FAIL: allocation budget exceeded" >&2
+    exit 1
+fi
+echo "OK"
