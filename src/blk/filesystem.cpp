@@ -63,7 +63,7 @@ sim::Task<> FileSystem::flusher_loop(numa::Thread& th) {
         item->file->reserved,
         round_up(item->offset + item->len, scsi::Cdb::kBlockSize));
     co_await dev_.write(th, item->file->base + begin, end - begin,
-                        item->pages, metrics::CpuCategory::kOffload);
+                        *item->pages, metrics::CpuCategory::kOffload);
     cache_->complete_writeback(item->file, item->len);
   }
 }
@@ -109,7 +109,7 @@ sim::Task<std::uint64_t> FileSystem::read(numa::Thread& th, File& f,
 
   // Buffered path. A sequential reader finds its chunk already in flight
   // from readahead; a cold start pays the device read synchronously.
-  const numa::Placement pages = cache_->page_placement(th);
+  const numa::Placement& pages = cache_->page_placement(th);
   auto it = prefetches_.find({&f, offset});
   if (it != prefetches_.end()) {
     auto pf = std::move(it->second);
@@ -160,14 +160,14 @@ sim::Task<std::uint64_t> FileSystem::write(numa::Thread& th, File& f,
 
   // Buffered: user->kernel copy, dirty accounting (throttles when the
   // flushers fall behind), asynchronous writeback.
-  const numa::Placement pages = cache_->page_placement(th);
+  const numa::Placement& pages = cache_->page_placement(th);
   co_await th.copy(len, buf, pages, metrics::CpuCategory::kCopy);
   co_await th.compute(static_cast<double>(len) *
                           cm.page_cache_insert_cycles_per_byte,
                       metrics::CpuCategory::kKernelProto);
   cache_->insert(&f, len);
   co_await cache_->mark_dirty(&f, len);
-  writeback_q_->send(WritebackItem{&f, offset, len, pages});
+  writeback_q_->send(WritebackItem{&f, offset, len, &pages});
   f.size = std::max(f.size, offset + len);
   co_return len;
 }

@@ -90,7 +90,9 @@ class FileSystem {
     File* file;
     std::uint64_t offset;
     std::uint64_t len;
-    numa::Placement pages;
+    // Host-owned canonical placement (outlives the filesystem); a by-value
+    // Placement here would mint a fresh plan-cache identity per writeback.
+    const numa::Placement* pages;
   };
   struct Prefetch {
     explicit Prefetch(sim::Engine& eng) : done(eng) {}

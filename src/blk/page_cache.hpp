@@ -36,9 +36,14 @@ class PageCache {
   };
 
   /// Kernel pages for this file, allocated near the accessing thread
-  /// (first-touch); charged as a normal placement by callers.
-  [[nodiscard]] numa::Placement page_placement(numa::Thread& th) const {
-    return numa::Placement::on(th.node());
+  /// (first-touch); charged as a normal placement by callers. Returns the
+  /// host's canonical per-node placement: its identity is stable, so the
+  /// per-thread cost-plan cache hits on every buffered I/O instead of
+  /// minting a fresh plan per call (callers must bind by reference, not
+  /// copy — a copy gets a new identity).
+  [[nodiscard]] const numa::Placement& page_placement(
+      numa::Thread& th) const {
+    return host_.node_placement(th.node());
   }
 
   FileState& state(const void* file_key) { return files_[file_key]; }

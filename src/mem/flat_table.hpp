@@ -151,7 +151,7 @@ class FlatMap {
   void grow() {
     const std::size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
     std::vector<Slot> old = std::move(slots_);
-    slots_.assign(cap, Slot{});
+    slots_ = std::vector<Slot>(cap);  // default-insert: V may be move-only
     mask_ = cap - 1;
     count_ = 0;
     for (auto& s : old)
@@ -248,10 +248,17 @@ class PendingTable {
   using Ref = typename SlotArena<T>::Ref;
 
   /// Registers `key`, reusing a recycled T when available (caller resets
-  /// its state). Asserts the key is not already present.
+  /// its state). A duplicate key is a protocol bug: debug builds assert;
+  /// release builds retire the old entry (its slot recycles, outstanding
+  /// Refs go stale) rather than leaking the slot and silently handing two
+  /// callers the same object.
   template <typename... Args>
   T& emplace(std::uint64_t key, Args&&... args) {
-    assert(index_.find(key) == nullptr);
+    if (Ref* existing = index_.find(key); existing != nullptr) {
+      assert(false && "PendingTable::emplace: duplicate key");
+      arena_.release(*existing);
+      index_.erase(key);
+    }
     const Ref r = arena_.acquire(std::forward<Args>(args)...);
     index_.insert(key, r);
     return arena_.at(r);

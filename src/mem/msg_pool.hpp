@@ -135,7 +135,7 @@ class MsgPool {
   /// Counters for this thread's pool (tests, diagnostics).
   static Stats stats() noexcept { return instance().stats_; }
 
-  /// Returns every cached block to the global allocator.
+  /// Returns every cached block to the global allocator (tests).
   static void trim() noexcept {
     auto& pool = instance();
     for (auto*& head : pool.free_) {
@@ -148,6 +148,17 @@ class MsgPool {
     pool.stats_.cached = 0;
   }
 
+  // Deliberately no teardown work: the pool must be trivially destructible
+  // so the thread_local never registers a destructor. A MsgPtr with static
+  // or thread-local storage duration (e.g. a datamover's cached wire held
+  // by a static rig) may release after ordinary thread_local destructors
+  // have run; with a trivial pool that release still finds valid freelist
+  // storage instead of a destroyed object. Blocks parked at thread exit
+  // are reclaimed by the OS with the process; under ASan/LSan pooling is
+  // compiled out, so leak checking never sees parked blocks. (Public so
+  // the triviality static_assert below can check it.)
+  ~MsgPool() = default;
+
  private:
   struct FreeBlock {
     FreeBlock* next = nullptr;
@@ -155,7 +166,6 @@ class MsgPool {
   static_assert(sizeof(FreeBlock) <= sizeof(MsgHeader));
 
   MsgPool() = default;
-  ~MsgPool() { trim(); }
 
   static MsgPool& instance() noexcept {
     thread_local MsgPool pool;
@@ -165,6 +175,9 @@ class MsgPool {
   FreeBlock* free_[kBuckets] = {};
   Stats stats_;
 };
+
+static_assert(std::is_trivially_destructible_v<MsgPool>,
+              "late MsgPtr releases rely on the pool never being destroyed");
 
 }  // namespace detail
 

@@ -35,6 +35,10 @@ Host::Host(sim::Engine& eng, model::HostProfile profile)
                 profile_.name + "/qpi" + std::to_string(a) + "-" +
                     std::to_string(b));
 
+  node_placements_.reserve(static_cast<std::size_t>(nodes));
+  for (NodeId n = 0; n < nodes; ++n)
+    node_placements_.push_back(Placement::on(n));
+
   used_bytes_.assign(static_cast<std::size_t>(nodes), 0);
   rr_node_.assign(static_cast<std::size_t>(nodes), 0);
 }

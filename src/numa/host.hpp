@@ -62,6 +62,16 @@ class Host {
   /// Interconnect direction `from` -> `to` (from != to).
   [[nodiscard]] sim::Resource& interconnect(NodeId from, NodeId to);
 
+  /// Canonical single-node placement for `n`, with stable identity for the
+  /// host's whole lifetime. Hot paths that describe "memory on node n" per
+  /// operation (e.g. kernel page-cache pages) must use this instead of
+  /// minting a fresh Placement::on(n) — every fresh placement gets a new
+  /// plan-cache identity on first booking (see PlanKeyTag), so per-op
+  /// placements would grow threads' cost-plan caches without bound.
+  [[nodiscard]] const Placement& node_placement(NodeId n) const {
+    return node_placements_.at(static_cast<std::size_t>(n));
+  }
+
   // --- allocation ---
 
   /// Allocates `bytes` under `policy`. `preferred` is the bind target for
@@ -104,6 +114,7 @@ class Host {
   std::vector<std::unique_ptr<sim::Resource>> channels_;
   // interconnect_[from * nodes + to], empty Resource for from==to unused.
   std::vector<std::unique_ptr<sim::Resource>> interconnect_;
+  std::vector<Placement> node_placements_;  // one canonical Placement per node
   std::vector<std::uint64_t> used_bytes_;
   int rr_all_ = 0;
   std::vector<int> rr_node_;

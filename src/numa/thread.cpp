@@ -1,7 +1,9 @@
 #include "numa/thread.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <memory>
 
 #include "numa/process.hpp"
 #include "sim/sync.hpp"
@@ -40,27 +42,41 @@ void Thread::build_plan(CostPlan& plan, const Placement& p) const {
     plan.traffic.push_back(t);
   }
   plan.remote_fraction = p.remote_fraction(me);
-  plan.built = true;
-#ifndef NDEBUG
-  plan.dbg_extents.assign(p.extents.begin(), p.extents.end());
-#endif
+  plan.extents = p.extents;
 }
 
-const Thread::CostPlan& Thread::plan_for(const Placement& p) const {
-  const std::uint32_t key = p.plan_key.get();
-  if (key >= plans_.size()) plans_.resize(key + 1);
-  CostPlan& plan = plans_[key];
-  if (!plan.built) build_plan(plan, p);
-#ifndef NDEBUG
-  // A keyed placement's extents must not change in place — the plan would
-  // silently go stale. Copy/rebuild placements instead of editing them.
-  assert(plan.dbg_extents.size() == p.extents.size());
-  for (std::size_t i = 0; i < p.extents.size(); ++i) {
-    assert(plan.dbg_extents[i].node == p.extents[i].node);
-    assert(plan.dbg_extents[i].fraction == p.extents[i].fraction);
+namespace {
+
+/// Bitwise layout equality — the notion the content hash is built on
+/// (double compared by bit pattern, so a hit means the hash inputs match).
+bool same_extents(const SmallVec<Placement::Extent, 4>& a,
+                  const SmallVec<Placement::Extent, 4>& b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].node != b[i].node) return false;
+    if (std::bit_cast<std::uint64_t>(a[i].fraction) !=
+        std::bit_cast<std::uint64_t>(b[i].fraction))
+      return false;
   }
-#endif
-  return plan;
+  return true;
+}
+
+}  // namespace
+
+const Thread::CostPlan& Thread::plan_for(const Placement& p) const {
+  const std::uint64_t key = p.plan_key_value();
+  auto* bucket = plans_.find(key);
+  if (bucket == nullptr)
+    bucket = &plans_.insert(key, {});
+  // Verify the stored layout: a cache hit must mean "same extent bytes",
+  // never "same hash". Buckets hold one plan outside of collisions.
+  for (const auto& plan : *bucket)
+    if (same_extents(plan->extents, p.extents)) return *plan;
+  auto fresh = std::make_unique<CostPlan>();
+  build_plan(*fresh, p);
+  const CostPlan& ref = *fresh;
+  bucket->push_back(std::move(fresh));
+  return ref;
 }
 
 void Thread::account(metrics::CpuCategory cat, sim::SimDuration ns) {

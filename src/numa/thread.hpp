@@ -17,9 +17,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "mem/flat_table.hpp"
 #include "metrics/cpu_usage.hpp"
 #include "numa/host.hpp"
 #include "numa/types.hpp"
@@ -71,7 +73,7 @@ class Thread {
 
   /// Books CPU cycles and memory traffic; returns overall completion time.
   /// Placement costs come from a per-thread cached plan (see CostPlan) —
-  /// resolved once per (thread, placement) identity, bit-identical to the
+  /// resolved once per (thread, extent layout), bit-identical to the
   /// uncached arithmetic.
   sim::SimTime book(double cycles, std::uint64_t read_bytes,
                     const Placement* src, std::uint64_t write_bytes,
@@ -81,11 +83,13 @@ class Thread {
  private:
   friend class Process;
 
-  /// Cost ingredients for one placement, resolved against this thread's
-  /// node: per-extent channel/interconnect handles and factors, coherence
-  /// hops, and the summed remote fraction. Built once per (thread,
-  /// placement identity); a placement's identity changes on copy (see
-  /// PlanKeyTag), so steady-state bookings recompute nothing.
+  /// Cost ingredients for one memory layout, resolved against this
+  /// thread's node: per-extent channel/interconnect handles and factors,
+  /// coherence hops, and the summed remote fraction. Built once per
+  /// (thread, extent layout); plans are keyed by a content hash of the
+  /// extents (see PlanKeyTag) and verified against the stored `extents` on
+  /// every lookup, so any number of Placement copies of the same layout
+  /// share one plan and steady-state bookings recompute nothing.
   struct CostPlan {
     struct Traffic {
       sim::Resource* channel = nullptr;
@@ -101,11 +105,10 @@ class Thread {
     std::vector<Traffic> traffic;
     std::vector<CoherenceHop> coherence;
     double remote_fraction = 0.0;
-    bool built = false;
-#ifndef NDEBUG
-    // Guards against in-place extent mutation after the first booking.
-    std::vector<Placement::Extent> dbg_extents;
-#endif
+    // The layout this plan was built from; checked on every cache hit so a
+    // key collision or post-booking extent edit can never alias two
+    // layouts to one plan.
+    SmallVec<Placement::Extent, 4> extents;
   };
 
   /// CPU penalty multiplier for touching `p` from this thread's node.
@@ -119,9 +122,13 @@ class Thread {
   Host& host_;
   Process* proc_;
   CoreId core_;
-  // Plans indexed by PlanKeyTag id; grown lazily. Mutable: plan caching is
-  // invisible to callers (locality_penalty stays const).
-  mutable std::vector<CostPlan> plans_;
+  // Plans keyed by extent-content hash, one bucket per key (the bucket
+  // scan verifies extents, so a 64-bit collision degrades to a two-entry
+  // bucket instead of wrong costs). Sized by distinct layouts this thread
+  // books — a handful per run — never by I/O count. The unique_ptr keeps
+  // each plan's address stable across table growth. Mutable: plan caching
+  // is invisible to callers (locality_penalty stays const).
+  mutable mem::FlatMap<std::vector<std::unique_ptr<CostPlan>>> plans_;
 };
 
 }  // namespace e2e::numa

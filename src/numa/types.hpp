@@ -2,6 +2,7 @@
 // and memory Placement descriptors.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
@@ -133,14 +134,21 @@ enum class Coherence : std::uint8_t {
   kSharedRemote,  // pages cached/shared by other nodes: writes invalidate
 };
 
-/// Identity tag threads key their cached cost plans on (numa/thread.hpp).
-/// A fresh or copied Placement starts untagged (0); the first cost booking
-/// assigns it a process-wide id lazily. Copying yields a NEW identity
-/// (the copy may be edited before use); moving keeps the id and untags the
-/// source. Extents must not be mutated in place after the first booking —
-/// build a new Placement instead (debug builds assert this).
+/// Memoized content key for threads' cached cost plans (numa/thread.hpp).
+/// The key is a deterministic hash of the extent list, computed lazily on
+/// the first cost booking and cached in the placement. Keying plans by
+/// CONTENT (not object identity) means the per-thread plan cache is
+/// bounded by the number of distinct memory layouts in the model — code
+/// that copies a Placement per operation (per-I/O buffer descriptors,
+/// staging structs) converges on one shared cached plan instead of
+/// growing the cache without bound. Copying resets the memo (the copy may
+/// be edited before use; the hash is simply recomputed on its next
+/// booking); moving keeps it. Plan lookups re-verify the stored extents
+/// on every hit (numa/thread.cpp), so neither a hash collision nor an
+/// in-place extent edit after booking can silently alias two layouts to
+/// one plan.
 struct PlanKeyTag {
-  mutable std::uint32_t v = 0;
+  mutable std::uint64_t v = 0;
 
   PlanKeyTag() = default;
   PlanKeyTag(const PlanKeyTag&) noexcept {}
@@ -155,18 +163,32 @@ struct PlanKeyTag {
     return *this;
   }
 
-  /// The tag, assigned on first use. Ids are minted from a process-wide
-  /// counter; the engine is single-threaded, so plain increments are
-  /// deterministic.
-  [[nodiscard]] std::uint32_t get() const noexcept {
-    if (v == 0) v = next_id();
+  /// The key, hashed from `extents` on first use and memoized. Pure
+  /// function of the extent bytes — deterministic across runs.
+  template <typename Extents>
+  [[nodiscard]] std::uint64_t get(const Extents& extents) const noexcept {
+    if (v == 0) v = hash(extents);
     return v;
   }
 
  private:
-  static std::uint32_t next_id() noexcept {
-    static std::uint32_t counter = 0;
-    return ++counter;
+  /// splitmix64 finalizer.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  template <typename Extents>
+  [[nodiscard]] static std::uint64_t hash(const Extents& extents) noexcept {
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (const auto& e : extents) {
+      h = mix(h ^ static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(e.node)));
+      h = mix(h ^ std::bit_cast<std::uint64_t>(e.fraction));
+    }
+    return h == 0 ? 1 : h;  // 0 is the "not yet hashed" sentinel
   }
 };
 
@@ -190,6 +212,12 @@ struct Placement {
     for (NodeId n = 0; n < nodes; ++n)
       p.extents.push_back({n, 1.0 / nodes});
     return p;
+  }
+
+  /// Content key for the cost-plan cache (see PlanKeyTag): hashed from the
+  /// extents on first use, memoized afterwards.
+  [[nodiscard]] std::uint64_t plan_key_value() const noexcept {
+    return plan_key.get(extents);
   }
 
   /// Fraction of the memory that is NOT on `node`.

@@ -1,6 +1,7 @@
 #include "sim/frame_pool.hpp"
 
 #include <new>
+#include <type_traits>
 
 namespace e2e::sim::detail {
 
@@ -10,15 +11,15 @@ struct FreeNode {
   FreeNode* next;
 };
 
-/// Per-thread pool state. The destructor returns cached blocks to the
-/// global allocator at thread exit; frames still live at that point (e.g.
-/// detached server coroutines suspended at teardown) were never freed and
-/// are outside the pool's custody, exactly as with plain operator new.
+/// Per-thread pool state. Deliberately trivially destructible (no teardown
+/// hook): a frame freed after thread_local destructors have run — e.g. a
+/// Task with static storage duration destroyed during static destruction —
+/// must still find valid freelist storage, not a destroyed cache. Blocks
+/// parked at thread exit are reclaimed by the OS with the process; under
+/// ASan/LSan the pool is compiled out, so leak checking never sees them.
 struct Cache {
   FreeNode* buckets[FramePool::kBuckets] = {};
   FramePool::Stats stats;
-
-  ~Cache() { trim(); }
 
   void trim() noexcept {
     for (auto*& head : buckets) {
@@ -31,6 +32,9 @@ struct Cache {
     }
   }
 };
+
+static_assert(std::is_trivially_destructible_v<Cache>,
+              "late frame frees rely on the cache never being destroyed");
 
 Cache& cache() {
   thread_local Cache c;

@@ -101,8 +101,25 @@ TEST_F(CacheRig, PagePlacementIsThreadLocalNode) {
   PageCache pc(host, 1 << 20, 1 << 20);
   numa::Process p(host, "k", numa::NumaBinding::bound(1));
   numa::Thread& th = p.spawn_thread();
-  const auto placement = pc.page_placement(th);
+  const auto& placement = pc.page_placement(th);
   EXPECT_EQ(placement.extents[0].node, 1);
+}
+
+TEST_F(CacheRig, PagePlacementHasStableIdentity) {
+  // Buffered I/O resolves the kernel-page placement once per operation; it
+  // must be the host's canonical per-node placement, not a fresh Placement
+  // per call — fresh placements mint a new cost-plan identity on every
+  // booking, growing threads' plan caches without bound (one CostPlan per
+  // I/O) and never hitting the cache.
+  PageCache pc(host, 1 << 20, 1 << 20);
+  numa::Process p(host, "k", numa::NumaBinding::bound(0));
+  numa::Thread& th = p.spawn_thread();
+  const numa::Placement& a = pc.page_placement(th);
+  const numa::Placement& b = pc.page_placement(th);
+  EXPECT_EQ(&a, &b) << "placement must be a stable host-owned object";
+  EXPECT_EQ(&a, &host.node_placement(th.node()));
+  EXPECT_EQ(a.plan_key_value(), b.plan_key_value())
+      << "repeated buffered I/O must reuse one plan-cache key";
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -179,6 +180,46 @@ TEST(PendingTable, OutOfOrderCompletionAndSlotReuse) {
   EXPECT_EQ(t.size(), 0u);
   EXPECT_EQ(t.slot_count(), 8u);
 }
+
+TEST(FlatMap, SupportsMoveOnlyValuesAcrossGrowth) {
+  // Thread cost-plan caches key unique_ptrs by plan id; growth must
+  // default-insert slots rather than copy-fill them.
+  FlatMap<std::unique_ptr<int>> m;
+  for (std::uint64_t k = 1; k <= 64; ++k)
+    m.insert(k, std::make_unique<int>(static_cast<int>(k)));
+  for (std::uint64_t k = 1; k <= 64; ++k) {
+    auto* p = m.find(k);
+    ASSERT_NE(p, nullptr);
+    ASSERT_NE(p->get(), nullptr);
+    EXPECT_EQ(**p, static_cast<int>(k));
+  }
+  EXPECT_TRUE(m.erase(33));
+  EXPECT_EQ(m.find(33), nullptr);
+  EXPECT_EQ(m.size(), 63u);
+}
+
+#ifdef NDEBUG
+TEST(PendingTable, DuplicateKeyRetiresOldEntryInReleaseBuilds) {
+  // A duplicate emplace is a protocol bug (debug builds assert), but in
+  // release builds it must not leak the old slot or hand two callers the
+  // same object: the old entry retires (refs go stale) and the new caller
+  // gets its own entry.
+  PendingTable<Tracked> t;
+  t.emplace(7, 1);
+  const auto old_ref = t.ref_of(7);
+  ASSERT_NE(t.get(old_ref), nullptr);
+  Tracked& fresh = t.emplace(7, 2);
+  EXPECT_EQ(t.get(old_ref), nullptr) << "old entry's refs must go stale";
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(7), &fresh);
+  // The retired slot recycles: churning the same key must not grow the
+  // arena beyond the two slots ever occupied at once.
+  for (int i = 0; i < 100; ++i) t.emplace(7, i);
+  EXPECT_LE(t.slot_count(), 2u);
+  EXPECT_TRUE(t.erase(7));
+  EXPECT_EQ(t.size(), 0u);
+}
+#endif
 
 TEST(PendingTable, RefsGoStaleOnEraseAndOnSlotRecycle) {
   PendingTable<Tracked> t;
