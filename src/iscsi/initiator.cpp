@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/audit.hpp"
 #include "fault/integrity.hpp"
 
 namespace e2e::iscsi {
@@ -38,6 +39,8 @@ sim::Task<> Initiator::dispatch_loop(numa::Thread& th) {
     p->completed = true;
     p->status = pdu->status;
     ++tasks_completed_;
+    if (auto* au = check::of(th.host().engine()))
+      au->flow_out(this, "iscsi.tasks", 1);
     p->wake.send(true);
   }
 }
@@ -65,6 +68,7 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
   Pending* pending = &pending_.emplace(cmd.itt, eng);
   pending->reset();  // the slot (and its channel) may be recycled
   const auto pending_ref = pending_.ref_of(cmd.itt);
+  if (auto* au = check::of(eng)) au->flow_in(this, "iscsi.tasks", 1);
 
   // Concurrent SCSI tasks overlap, so each traces as an async span keyed
   // by its initiator task tag, from submission to response.

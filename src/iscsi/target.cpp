@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/audit.hpp"
 #include "fault/integrity.hpp"
 
 namespace e2e::iscsi {
@@ -95,6 +96,12 @@ sim::Task<> Target::rx_loop(numa::Thread& th) {
           break;
         }
         in_progress_.insert(pdu->itt, 1);
+        if (auto* au = check::of(proc_.host().engine())) {
+          if (pdu->cdb.op == scsi::OpCode::kWrite16)
+            au->flow_in(this, "iscsi.write", pdu->cdb.byte_count());
+          else if (pdu->cdb.op == scsi::OpCode::kRead16)
+            au->flow_in(this, "iscsi.read", pdu->cdb.byte_count());
+        }
         route(*pdu).send(*pdu);
         break;
       }
@@ -169,11 +176,15 @@ sim::Task<> Target::serve_task(numa::Thread& th, Pdu cmd) {
             staging = nullptr;
           }
           bytes_out_ += chunk;
+          if (auto* au = check::of(th.host().engine()))
+            au->flow_out(this, "iscsi.read", chunk);
         } else {
           co_await dm_.get_data(th, *staging, chunk, cmd.rkey, offset);
           resp.status =
               co_await lun->write(th, lba, blocks, staging->placement);
           bytes_in_ += chunk;
+          if (auto* au = check::of(th.host().engine()))
+            au->flow_out(this, "iscsi.write", chunk);
         }
         if (staging != nullptr) pool_.release(staging);
         remaining -= chunk;

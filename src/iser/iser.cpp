@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/audit.hpp"
 #include "mem/msg_pool.hpp"
 
 namespace e2e::iser {
@@ -47,6 +48,10 @@ sim::Task<> IserEndpoint::send_cq_loop(numa::Thread& th) {
         // and let the initiator's digest verification re-drive the I/O.
         // Retrying here would risk double-delivery when the initiator also
         // retries.
+        if (wc.success) {
+          if (auto* au = check::of(proc_.host().engine()))
+            au->flow_out(this, "iser.data", wc.byte_len);
+        }
         if (!wc.success) {
           ++data_losses_;
           if (auto* tr = trace::of(proc_.host().engine())) {
@@ -115,6 +120,7 @@ sim::Task<> IserEndpoint::await_data_op(numa::Thread& th, rdma::SendWr wr,
     ctr_data_bytes_.get(tr, "iser/data_bytes").add(wr.bytes);
     ctr_data_ops_.get(tr, "iser/data_ops").add(1);
   }
+  if (auto* au = check::of(eng)) au->flow_in(this, "iser.data", wr.bytes);
   const std::uint64_t span_id = wr.wr_id;
   sim::SimDuration backoff = 100 * sim::kMicrosecond;
   constexpr sim::SimDuration kBackoffCap = 10 * sim::kMillisecond;
@@ -127,7 +133,10 @@ sim::Task<> IserEndpoint::await_data_op(numa::Thread& th, rdma::SendWr wr,
     pending_.insert(wr.wr_id, std::move(sc));
     co_await qp_.post_send(th, wr);
     co_await done.wait();
-    if (ok) break;
+    if (ok) {
+      if (auto* au = check::of(eng)) au->flow_out(this, "iser.data", wr.bytes);
+      break;
+    }
     if (attempt >= data_retry_limit_) {
       // Give up rather than hang: the missing data surfaces end-to-end
       // (READ digest mismatch at the initiator, write-ledger divergence at
@@ -195,6 +204,7 @@ sim::Task<> IserEndpoint::put_data_nowait(numa::Thread& th,
     ctr_data_bytes_.get(tr, "iser/data_bytes").add(bytes);
     ctr_data_ops_.get(tr, "iser/data_ops").add(1);
   }
+  if (auto* au = check::of(eng)) au->flow_in(this, "iser.data", bytes);
   // Loss accounting and the span close happen in send_cq_loop when this
   // record is consumed (see SendCompletion).
   SendCompletion sc;

@@ -4,6 +4,7 @@
 // and all headline Gbps numbers.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -28,11 +29,21 @@ class ThroughputMeter {
         name_(std::move(name)) {}
 
   /// Records `bytes` delivered at the current simulated time.
+  ///
+  /// Bins are stored sparsely (one entry per bin that saw traffic), so a
+  /// record arriving after a long idle gap appends one entry instead of
+  /// zero-filling every empty bin in between — a multi-hour WAN sim with
+  /// 1 ms bins would otherwise allocate gigabytes. Engine time is
+  /// non-decreasing, so the append-or-accumulate-at-tail fast path covers
+  /// every call.
   void record(std::uint64_t bytes) {
-    const std::size_t bin =
-        static_cast<std::size_t>(eng_.now() / bin_width_);
-    if (bins_.size() <= bin) bins_.resize(bin + 1, 0);
-    bins_[bin] += bytes;
+    const std::uint64_t bin = eng_.now() / bin_width_;
+    if (!bins_.empty() && bins_.back().index == bin) {
+      bins_.back().bytes += bytes;
+    } else {
+      assert(bins_.empty() || bin > bins_.back().index);
+      bins_.push_back({bin, bytes});
+    }
     total_ += bytes;
     if (first_ == sim::kTimeInfinity) first_ = eng_.now();
     last_ = eng_.now();
@@ -51,12 +62,22 @@ class ThroughputMeter {
     return gbps(total_, last_ - first_);
   }
 
-  /// Per-bin throughput series in Gbps.
+  /// Per-bin throughput series in Gbps, dense from bin 0 through the last
+  /// bin that saw traffic (idle bins read 0, exactly as the old dense
+  /// storage reported them).
   [[nodiscard]] std::vector<double> series_gbps() const {
-    std::vector<double> out;
-    out.reserve(bins_.size());
-    for (auto b : bins_) out.push_back(gbps(b, bin_width_));
+    std::vector<double> out(
+        bins_.empty() ? 0 : static_cast<std::size_t>(bins_.back().index) + 1,
+        0.0);
+    for (const auto& b : bins_)
+      out[static_cast<std::size_t>(b.index)] = gbps(b.bytes, bin_width_);
     return out;
+  }
+
+  /// Number of bins that actually saw traffic (the sparse storage size —
+  /// bounded by record() calls, not by idle time).
+  [[nodiscard]] std::size_t active_bin_count() const noexcept {
+    return bins_.size();
   }
 
   [[nodiscard]] sim::SimDuration bin_width() const noexcept {
@@ -65,10 +86,15 @@ class ThroughputMeter {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
  private:
+  struct Bin {
+    std::uint64_t index;
+    std::uint64_t bytes;
+  };
+
   sim::Engine& eng_;
   sim::SimDuration bin_width_;
   std::string name_;
-  std::vector<std::uint64_t> bins_;
+  std::vector<Bin> bins_;  // sparse, index strictly increasing
   std::uint64_t total_ = 0;
   sim::SimTime first_ = sim::kTimeInfinity;
   sim::SimTime last_ = 0;

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <memory>
 
+#include "check/audit.hpp"
 #include "numa/process.hpp"
 #include "sim/sync.hpp"
 
@@ -80,8 +81,11 @@ const Thread::CostPlan& Thread::plan_for(const Placement& p) const {
 }
 
 void Thread::account(metrics::CpuCategory cat, sim::SimDuration ns) {
-  host_.core(core_).usage.add(cat, ns);
+  Core& core = host_.core(core_);
+  core.usage.add(cat, ns);
   if (proc_) proc_->usage().add(cat, ns);
+  if (auto* au = check::of(host_.engine()))
+    au->on_cpu_charge(core.cycles.get(), cat, ns);
 }
 
 sim::SimTime Thread::book(double cycles, std::uint64_t read_bytes,

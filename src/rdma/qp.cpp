@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/audit.hpp"
 #include "sim/sync.hpp"
 
 namespace e2e::rdma {
@@ -96,6 +97,23 @@ sim::Task<> QueuePair::post_send(numa::Thread& th, const SendWr& wr) {
                       metrics::CpuCategory::kUserProto);
   if (auto* tr = trace::of(dev_.host().engine()))
     ctr_wr_posted_.get(tr, "rdma/wr_posted").add(1);
+  // Posting to an error-state QP is legal but the WR must flush with a
+  // failed completion right away and never reach the wire — queueing it
+  // would let a recover() racing ahead of the NIC engine transmit a stale
+  // WR, which verbs forbids.
+  if (state_ == QpState::kError) {
+    ++sends_flushed_;
+    if (auto* au = check::of(dev_.host().engine()))
+      au->on_qp_post_dead(this, dev_.host().name());
+    scq_.push({wr.op, wr.wr_id, wr.bytes, 0, false, nullptr});
+    if (auto* tr = trace::of(dev_.host().engine())) {
+      const auto tk = tx_track(tr);
+      tr->instant(tk, "flush-err");
+      tr->counter("rdma/sends_flushed").add(1);
+      tr->counter("rdma/cq_completions").add(1);
+    }
+    co_return;
+  }
   send_q_.send(wr);
 }
 
@@ -191,6 +209,8 @@ sim::Task<> QueuePair::sender_loop() {
       continue;
     }
     bytes_sent_ += wr->bytes;
+    if (auto* au = check::of(eng))
+      au->on_qp_tx(peer_, peer_->dev_.host().name(), wr->bytes);
     scq_.push({wr->op, wr->wr_id, wr->bytes, 0, true, nullptr});
     if (auto* tr = trace::of(eng)) {
       const auto tk = tx_track(tr);
@@ -214,6 +234,8 @@ sim::Task<> QueuePair::receiver_loop() {
     // completion on its side).
     if (state_ == QpState::kError) {
       ++inbound_dropped_;
+      if (auto* au = check::of(eng))
+        au->on_qp_drop(this, dev_.host().name(), d->bytes);
       if (auto* tr = trace::of(eng)) {
         const auto tk = rx_track(tr);
         tr->instant(tk, "drop-err");
@@ -240,10 +262,15 @@ sim::Task<> QueuePair::receiver_loop() {
         if (!rwr) co_return;
         if (rwr->buf->bytes < d->bytes)
           throw std::length_error("posted receive smaller than inbound send");
+        if (auto* au = check::of(eng))
+          au->on_dma_check(this, dev_.host().name(), rwr->buf->registered,
+                           "send landing in posted receive");
         const sim::SimTime done =
             dev_.charge_dma(rwr->buf->placement, d->bytes, /*to_wire=*/false);
         co_await sim::until(eng, done);
         bytes_delivered_ += d->bytes;
+        if (auto* au = check::of(eng))
+          au->on_qp_rx(this, dev_.host().name(), d->bytes);
         rcq_.push({Opcode::kSend, rwr->wr_id, d->bytes, d->imm, true,
                    std::move(d->payload)});
         break;
@@ -251,20 +278,30 @@ sim::Task<> QueuePair::receiver_loop() {
       case Opcode::kWriteImm: {
         auto rwr = co_await recv_q_.recv();
         if (!rwr) co_return;
+        if (auto* au = check::of(eng))
+          au->on_dma_check(this, dev_.host().name(), d->target->registered,
+                           "write-imm target region");
         const sim::SimTime done =
             dev_.charge_dma(d->target->placement, d->bytes, /*to_wire=*/false);
         co_await sim::until(eng, done);
         bytes_delivered_ += d->bytes;
+        if (auto* au = check::of(eng))
+          au->on_qp_rx(this, dev_.host().name(), d->bytes);
         d->target->content_tag ^= d->content_tag;
         rcq_.push({Opcode::kWriteImm, rwr->wr_id, d->bytes, d->imm, true,
                    std::move(d->payload)});
         break;
       }
       case Opcode::kWrite: {
+        if (auto* au = check::of(eng))
+          au->on_dma_check(this, dev_.host().name(), d->target->registered,
+                           "write target region");
         const sim::SimTime done =
             dev_.charge_dma(d->target->placement, d->bytes, /*to_wire=*/false);
         co_await sim::until(eng, done);
         bytes_delivered_ += d->bytes;
+        if (auto* au = check::of(eng))
+          au->on_qp_rx(this, dev_.host().name(), d->bytes);
         d->target->content_tag ^= d->content_tag;
         break;  // silent at the responder
       }
@@ -294,6 +331,9 @@ sim::Task<> QueuePair::serve_read(SendWr wr) {
   // ...whose NIC fetches the remote region with zero remote CPU and streams
   // the response. RDMA Read sustains only `rdma_read_efficiency` of the
   // line rate (request/response turnaround), per the paper's observation.
+  if (auto* au = check::of(eng))
+    au->on_dma_check(this, dev_.host().name(), wr.remote.buffer->registered,
+                     "read source region");
   const sim::SimTime fetch_done = peer_->dev_.charge_dma(
       wr.remote.buffer->placement, wr.bytes, /*to_wire=*/true);
   co_await link_->dir(1 - dir_).acquire(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/audit.hpp"
 #include "fault/integrity.hpp"
 #include "mem/msg_pool.hpp"
 
@@ -120,6 +121,7 @@ sim::Task<> RftpSession::setup_stream(Stream& s) {
 
   // Initial credit grants flow as real control messages.
   for (std::uint32_t t = 0; t < s.token_buffers.size(); ++t) {
+    if (auto* au = check::of(eng_)) au->rftp_grant_sent(this, s.id, t);
     rdma::SendWr wr;
     wr.op = rdma::Opcode::kSend;
     wr.wr_id = t;  // grant wr_ids carry the token so a reaper can re-send
@@ -147,6 +149,12 @@ sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
   transfer_failed_ = false;
   done_ = std::make_unique<sim::WaitGroup>(eng_);
   done_->add(static_cast<std::int64_t>(total_blocks_));
+  if (auto* au = check::of(eng_)) {
+    au->rftp_begin(this, total_bytes_, cfg_.block_bytes, total_blocks_,
+                   cfg_.streams);
+    for (const auto& s : streams_)
+      if (s->dead) au->rftp_stream_dead(this, s->id);
+  }
   if (alive_streams_ == 0) fail_transfer();  // every stream killed pre-run
 
   for (auto& s : streams_) co_await setup_stream(*s);
@@ -190,6 +198,8 @@ sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
                                        total_bytes_ - offset));
     }
   r.integrity_ok = sink_digest_ == expect && checksum_failures == 0;
+  if (auto* au = check::of(eng_))
+    au->rftp_end(this, r.complete, delivered_bytes_, sink_digest_);
   running_ = false;
   src_ = nullptr;
   co_return r;
@@ -282,6 +292,8 @@ sim::Task<> RftpSession::filler(Stream& s, numa::Thread& th,
         std::min<std::uint64_t>(cfg_.block_bytes, total_bytes_ - offset);
     const sim::SimTime fill_t0 = eng_.now();
     const std::uint64_t got = co_await src.fill(th, *buf, offset, want);
+    if (auto* au = check::of(eng_))
+      if (got > 0) au->rftp_fill(this, idx, got);
     if (auto* tr = trace::of(eng_)) {
       tr->complete(fill_trk.get(tr, trace::Layer::kRftp,
                                 "s" + std::to_string(s.id) + "/fill"),
@@ -325,6 +337,8 @@ sim::Task<> RftpSession::wire_sender(Stream& s, numa::Thread& th) {
       // drain through the requeue branch above before recv() says nullopt.
       continue;
     }
+    if (auto* au = check::of(eng_))
+      au->rftp_credit_consumed(this, s.id, credit->token);
     if (auto* tr = trace::of(eng_)) {
       // A filled block that had to sit waiting for a credit token means
       // the receiver (or the wire) is the bottleneck right now.
@@ -416,6 +430,8 @@ sim::Task<> RftpSession::grant_receiver(Stream& s, numa::Thread& th) {
                         metrics::CpuCategory::kUserProto);
     ++control_msgs_;
     if (auto* tr = trace::of(eng_)) tr->counter("rftp/grants").add(1);
+    if (auto* au = check::of(eng_))
+      au->rftp_credit_received(this, s.id, g->token);
     s.credits->send(Credit{g->token, s.token_buffers.at(g->token)});
     co_await s.pair->a().post_recv(th, rdma::RecvWr{0, &s.tiny_tx});
   }
@@ -426,6 +442,8 @@ sim::Task<> RftpSession::grant_reaper(Stream& s, numa::Thread& th) {
   for (;;) {
     auto wc = co_await s.pair->b().send_cq().wait(th);
     if (wc.success || s.dead) continue;
+    if (auto* au = check::of(eng_))
+      au->rftp_grant_lost(this, s.id, static_cast<std::uint32_t>(wc.wr_id));
     // A grant lost on the wire is a leaked credit: the sender can never
     // learn the token is free again, and with enough leaks the stream
     // starves. Re-send (paced by a control-message gap so a flap window
@@ -441,6 +459,8 @@ sim::Task<> RftpSession::grant_reaper(Stream& s, numa::Thread& th) {
     }
     co_await th.compute(cm.rftp_control_msg_cycles,
                         metrics::CpuCategory::kUserProto);
+    if (auto* au = check::of(eng_))
+      au->rftp_grant_sent(this, s.id, static_cast<std::uint32_t>(wc.wr_id));
     rdma::SendWr grant;
     grant.op = rdma::Opcode::kSend;
     grant.wr_id = wc.wr_id;
@@ -478,6 +498,9 @@ sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
     const std::uint64_t landed = buf->content_tag;
     buf->content_tag = 0;
     const bool dup = drained_[a->block_idx] != 0;
+    if (auto* au = check::of(eng_))
+      au->rftp_drain(this, s.id, a->token, a->block_idx, a->bytes, landed,
+                     dup, landed == a->checksum);
     bool fresh = false;
     if (dup) {
       // A failover re-send of a block the original stream had delivered.
@@ -519,6 +542,8 @@ sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
     // (duplicates and checksum rejects recycle the token too).
     co_await th.compute(cm.rftp_control_msg_cycles,
                         metrics::CpuCategory::kUserProto);
+    if (auto* au = check::of(eng_))
+      au->rftp_grant_sent(this, s.id, a->token);
     rdma::SendWr grant;
     grant.op = rdma::Opcode::kSend;
     grant.wr_id = a->token;
@@ -569,6 +594,8 @@ void RftpSession::handle_stream_death(Stream& s) {
   s.dead = true;
   --alive_streams_;
   ++failovers;
+  if (running_)
+    if (auto* au = check::of(eng_)) au->rftp_stream_dead(this, s.id);
   if (auto* tr = trace::of(eng_)) {
     tr->instant(s.trk.named(tr, trace::Layer::kRftp,
                             "stream" + std::to_string(s.id)),

@@ -42,6 +42,34 @@ class TraceHook {
                                    SimTime end, double units) = 0;
 };
 
+/// Observer interface the engine exposes to the invariant-audit layer
+/// (check/). Sibling of TraceHook with the same contract: the engine never
+/// calls it, instrumented components check Engine::audit_hook() and skip
+/// all audit work when it is null. Methods default to no-ops so an auditor
+/// overrides only the invariants it tracks. Implementations must observe
+/// only — never schedule events — so an installed auditor cannot perturb
+/// the simulated timeline.
+class AuditHook {
+ public:
+  virtual ~AuditHook() = default;
+  /// One FIFO service window [start, end) booked on `r` for `units` work.
+  virtual void on_resource_service(const Resource& r, SimTime start,
+                                   SimTime end, double units) {
+    (void)r, (void)start, (void)end, (void)units;
+  }
+  /// `r` re-planned its queued backlog after a rate change: the drain time
+  /// moves from `old_busy_until` to `new_busy_until` (see
+  /// Resource::set_rate for the semantics).
+  virtual void on_resource_replan(const Resource& r, SimTime old_busy_until,
+                                  SimTime new_busy_until) {
+    (void)r, (void)old_busy_until, (void)new_busy_until;
+  }
+  /// `r` is being destroyed; its counters are still readable. Auditors
+  /// reconcile and drop per-resource state here so they never hold a
+  /// dangling pointer.
+  virtual void on_resource_destroyed(const Resource& r) { (void)r; }
+};
+
 class Engine {
  public:
   Engine() { heap_.reserve(kInitialReserve); }
@@ -118,6 +146,11 @@ class Engine {
   [[nodiscard]] TraceHook* trace_hook() const noexcept { return trace_hook_; }
   void set_trace_hook(TraceHook* h) noexcept { trace_hook_ = h; }
 
+  /// The installed invariant auditor (null when auditing is disabled — the
+  /// default).
+  [[nodiscard]] AuditHook* audit_hook() const noexcept { return audit_hook_; }
+  void set_audit_hook(AuditHook* h) noexcept { audit_hook_ = h; }
+
   /// Every live Resource built on this engine, in construction order.
   /// Deterministic: construction order is program order.
   [[nodiscard]] const std::vector<Resource*>& resources() const noexcept {
@@ -125,6 +158,7 @@ class Engine {
   }
   void register_resource(Resource* r) { resources_.push_back(r); }
   void deregister_resource(Resource* r) noexcept {
+    if (audit_hook_) audit_hook_->on_resource_destroyed(*r);
     for (auto it = resources_.begin(); it != resources_.end(); ++it)
       if (*it == r) {
         resources_.erase(it);
@@ -160,6 +194,7 @@ class Engine {
   std::vector<EventFn> slots_;             // payloads, indexed by Event::slot
   std::vector<std::uint32_t> free_slots_;  // recycled slot indices
   TraceHook* trace_hook_ = nullptr;
+  AuditHook* audit_hook_ = nullptr;
   std::vector<Resource*> resources_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;

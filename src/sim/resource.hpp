@@ -33,12 +33,39 @@ class Resource {
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
 
-  /// Changes the service rate. Applies to requests issued after the call;
-  /// already-queued service times are not re-planned.
+  /// Changes the service rate.
+  ///
+  /// Semantics under queued work (e.g. a fault-injected rate flap while
+  /// acquirers are backed up): the un-drained backlog in [now, busy_until)
+  /// is re-planned at the new rate — the server now drains
+  /// `backlog * old_rate / new_rate` ns from now — and busy_time() is
+  /// adjusted by the same delta, so utilization accounting stays exact
+  /// through flaps. Completion events for already-issued acquires keep
+  /// their originally scheduled wakeup times (engine events are immutable
+  /// once posted); only the queue tail moves, which requests issued after
+  /// the call observe. Non-positive rates throw.
   void set_rate(double units_per_second) {
     if (units_per_second <= 0.0)
       throw std::invalid_argument("Resource rate must be positive: " + name_);
-    rate_per_ns_ = units_per_second / 1e9;
+    const double new_rate = units_per_second / 1e9;
+    const SimTime now = eng_.now();
+    if (busy_until_ > now && new_rate != rate_per_ns_) {
+      const SimDuration backlog = busy_until_ - now;
+      const double scaled =
+          static_cast<double>(backlog) * (rate_per_ns_ / new_rate);
+      const SimDuration replanned =
+          scaled < 1.0 ? 1 : static_cast<SimDuration>(scaled);
+      const SimTime new_until = Engine::saturating_add(now, replanned);
+      const SimDuration drain = new_until - now;
+      // busy_ns_ already counts the backlog at the old rate; shift it to
+      // the re-planned drain time. backlog <= busy_ns_ by construction.
+      busy_ns_ += drain;
+      busy_ns_ -= backlog;
+      if (AuditHook* a = eng_.audit_hook())
+        a->on_resource_replan(*this, busy_until_, new_until);
+      busy_until_ = new_until;
+    }
+    rate_per_ns_ = new_rate;
   }
 
   [[nodiscard]] double rate_per_second() const noexcept {
@@ -105,6 +132,8 @@ class Resource {
     units_served_ += units;
     if (TraceHook* h = eng_.trace_hook())
       h->on_resource_service(*this, start, busy_until_, units);
+    if (AuditHook* a = eng_.audit_hook())
+      a->on_resource_service(*this, start, busy_until_, units);
     return busy_until_;
   }
 

@@ -4,6 +4,7 @@
 // are reproducible; nothing in the library reads global entropy.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <random>
 
@@ -31,8 +32,13 @@ class Rng {
   /// Bernoulli with probability p.
   bool chance(double p) { return std::bernoulli_distribution(p)(gen_); }
 
-  /// Uniform index in [0, n).
+  /// Uniform index in [0, n). n must be > 0: there is no valid index into
+  /// an empty range, so n == 0 asserts in debug builds and clamps to 0 in
+  /// release builds (previously `uniform_u64(0, n - 1)` wrapped to a
+  /// full-range uniform and returned a wild index).
   std::size_t index(std::size_t n) {
+    assert(n > 0 && "Rng::index called with an empty range");
+    if (n == 0) return 0;
     return static_cast<std::size_t>(uniform_u64(0, n - 1));
   }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/audit.hpp"
+
 namespace e2e::tcp {
 
 Connection::Connection(numa::Host& host_a, numa::NodeId node_a,
@@ -147,6 +149,7 @@ sim::Task<> Connection::send(numa::Thread& th, const numa::Placement& user_src,
 
   ep.bytes_sent += bytes;
   ep.last_tx_done = tx_done;
+  if (auto* au = check::of(eng)) au->flow_in(&ep, "tcp", bytes);
   if (auto* tr = trace::of(eng)) {
     tr->complete(trace_track(tr, ep), ep.send_name.get(tr, "send"), trace_t0);
     ep.tx_bytes.get(tr, "tcp/bytes_sent").add(bytes);
@@ -174,7 +177,8 @@ sim::Task<Connection::Message> Connection::recv_msg(
 }
 
 sim::Task<Connection::Message> Connection::recv_raw(numa::Thread& th) {
-  Endpoint& ep = ep_[endpoint_of(th.host())];
+  const int idx = endpoint_of(th.host());
+  Endpoint& ep = ep_[idx];
   const auto& cm = th.host().costs();
 
   auto chunk = co_await ep.inbound->recv();
@@ -195,6 +199,8 @@ sim::Task<Connection::Message> Connection::recv_raw(numa::Thread& th) {
                               kern_penalty,
                       metrics::CpuCategory::kKernelProto);
   ep.bytes_received += bytes;
+  if (auto* au = check::of(th.host().engine()))
+    au->flow_out(&ep_[1 - idx], "tcp", bytes);
   if (auto* tr = trace::of(th.host().engine())) {
     tr->complete(trace_track(tr, ep), ep.recv_name.get(tr, "recv"), trace_t0);
     ep.rx_bytes.get(tr, "tcp/bytes_received").add(bytes);

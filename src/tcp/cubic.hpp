@@ -17,11 +17,16 @@ namespace e2e::tcp {
 
 class Cubic {
  public:
-  Cubic(double mss_bytes, double max_window_bytes)
+  /// `initial_ssthresh_bytes` caps slow start before the first loss
+  /// (<= 0 means "no cap": ssthresh starts at the max window, the
+  /// pre-existing default).
+  Cubic(double mss_bytes, double max_window_bytes,
+        double initial_ssthresh_bytes = 0.0)
       : mss_(mss_bytes),
         max_window_(max_window_bytes),
         cwnd_(10.0 * mss_bytes),  // RFC 6928 initial window
-        ssthresh_(max_window_bytes) {}
+        ssthresh_(initial_ssthresh_bytes > 0.0 ? initial_ssthresh_bytes
+                                               : max_window_bytes) {}
 
   /// Bytes allowed in flight right now.
   [[nodiscard]] double cwnd_bytes() const noexcept {
@@ -32,6 +37,11 @@ class Cubic {
   void on_ack(double bytes, sim::SimDuration since_last_loss) {
     if (cwnd_ < ssthresh_) {
       cwnd_ = std::min(cwnd_ + bytes, max_window_);  // slow start
+      // Exiting slow start without a prior loss leaves w_max_ at 0 and the
+      // cubic target would grow from Wmax = 0 (i.e. barely at all). Seed
+      // the plateau at the exit window, as if the ssthresh cap were a loss
+      // at this level.
+      if (cwnd_ >= ssthresh_ && w_max_ <= 0.0) w_max_ = cwnd_;
       return;
     }
     // W(t) = C*(t-K)^3 + Wmax, K = cbrt(Wmax*beta/C); t in seconds.

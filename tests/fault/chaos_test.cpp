@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "exp/runner.hpp"
 #include "fault/injector.hpp"
 #include "fault/integrity.hpp"
@@ -29,6 +30,12 @@ namespace {
 
 using e2e::test::TinyRig;
 using e2e::test::make_buffer;
+
+std::string audit_report(const check::Auditor& au) {
+  std::ostringstream os;
+  au.report(os);
+  return os.str();
+}
 
 std::uint64_t chaos_seed() {
   const char* s = std::getenv("E2E_CHAOS_SEED");
@@ -70,6 +77,9 @@ struct RftpChaosOutcome {
 RftpChaosOutcome run_rftp_chaos(std::uint64_t seed, std::uint64_t total,
                                 bool with_trace) {
   TinyRig rig;
+  // Full invariant audit rides along on every chaos run: faulted paths are
+  // exactly where conservation bugs hide.
+  check::Auditor audit(rig.eng);
   trace::Tracer tracer(rig.eng);
   if (with_trace) tracer.install();
 
@@ -98,6 +108,8 @@ RftpChaosOutcome run_rftp_chaos(std::uint64_t seed, std::uint64_t total,
   out.failovers = sess.failovers;
   out.retransmissions = sess.retransmissions;
   out.faults_injected = inj.faults_injected();
+  audit.finalize();
+  EXPECT_TRUE(audit.ok()) << audit_report(audit);
   if (with_trace) {
     std::ostringstream os;
     tracer.write_chrome_trace(os);
@@ -152,6 +164,7 @@ sim::Task<int> drive_writes(iscsi::Initiator& init, numa::Thread& th,
 
 TEST(ChaosIser, MultiGbWriteWorkloadSurvivesSeededPlan) {
   TinyRig rig;
+  check::Auditor audit(rig.eng);
   auto tgt_fs = std::make_unique<mem::Tmpfs>(*rig.b);
   auto& f = tgt_fs->create("lun0", 2ull << 30, numa::MemPolicy::kBind, 0);
   scsi::Lun lun(0, *tgt_fs, f);
@@ -202,10 +215,13 @@ TEST(ChaosIser, MultiGbWriteWorkloadSurvivesSeededPlan) {
   // XOR ledger composes segment tags back to the per-command range tag.
   EXPECT_EQ(lun.writes_executed(), 4u * static_cast<std::uint64_t>(n_cmds));
   EXPECT_EQ(lun.written_digest(), expected);
+  audit.finalize();
+  EXPECT_TRUE(audit.ok()) << audit_report(audit);
 }
 
 TEST(ChaosTcp, MultiGbWriteWorkloadSurvivesSeededPlan) {
   TinyRig rig;
+  check::Auditor audit(rig.eng);
   auto tgt_fs = std::make_unique<mem::Tmpfs>(*rig.b);
   auto& f = tgt_fs->create("lun0", 2ull << 30, numa::MemPolicy::kBind, 0);
   scsi::Lun lun(0, *tgt_fs, f);
@@ -249,6 +265,8 @@ TEST(ChaosTcp, MultiGbWriteWorkloadSurvivesSeededPlan) {
   EXPECT_EQ(inj.skipped_events(), 1u);  // the qpkill, by design
   EXPECT_EQ(lun.writes_executed(), 4u * static_cast<std::uint64_t>(n_cmds));
   EXPECT_EQ(lun.written_digest(), expected);
+  audit.finalize();
+  EXPECT_TRUE(audit.ok()) << audit_report(audit);
 }
 
 }  // namespace

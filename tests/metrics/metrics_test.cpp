@@ -7,6 +7,7 @@
 namespace e2e::metrics {
 namespace {
 
+using sim::kMillisecond;
 using sim::kSecond;
 
 TEST(CpuUsage, AccumulatesPerCategory) {
@@ -113,6 +114,23 @@ TEST(ThroughputMeter, ExactBinBoundaryLandsInNextBin) {
   ASSERT_EQ(s.size(), 2u);
   EXPECT_NEAR(s[0], 0.0, 1e-9);
   EXPECT_NEAR(s[1], 1.0, 1e-9);
+}
+
+TEST(ThroughputMeter, LongIdleGapStaysSparse) {
+  sim::Engine eng;
+  ThroughputMeter m(eng, kMillisecond);
+  m.record(125'000);                // bin 0
+  eng.run_until(100 * kSecond);     // long idle gap: 100k empty bins
+  m.record(125'000);                // bin 100000
+  // Storage is bounded by record() calls, not idle time.
+  EXPECT_EQ(m.active_bin_count(), 2u);
+  // The dense series still reports the idle bins as zero.
+  auto s = m.series_gbps();
+  ASSERT_EQ(s.size(), 100'000u + 1u);
+  EXPECT_NEAR(s.front(), 1.0, 1e-9);
+  EXPECT_NEAR(s.back(), 1.0, 1e-9);
+  EXPECT_NEAR(s[50'000], 0.0, 1e-9);
+  EXPECT_EQ(m.total_bytes(), 250'000u);
 }
 
 TEST(ThroughputMeter, SingleRecordHasNoActiveWindow) {

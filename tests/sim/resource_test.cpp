@@ -107,6 +107,31 @@ TEST(Resource, ZeroUnitsAcquireIsImmediate) {
   EXPECT_EQ(done, 0u);  // did not queue
 }
 
+TEST(Resource, SetRateReplansBacklogAtNewRate) {
+  Engine eng;
+  Resource r(eng, 1e9, "r");  // 1 unit/ns
+  r.charge(1000);             // backlog drains at t=1000 under the old rate
+  EXPECT_EQ(r.busy_until(), 1000u);
+  r.set_rate(2e9);  // the queued 1000 units now take 500 ns
+  EXPECT_EQ(r.busy_until(), 500u);
+  // Halving the rate mid-drain stretches only the remaining backlog.
+  eng.run_until(100);
+  r.set_rate(1e9);
+  EXPECT_EQ(r.busy_until(), 100u + 800u);
+  // busy_time tracks the re-planned schedule, so utilization stays <= 1.
+  eng.run_until(2000);
+  EXPECT_EQ(r.busy_time(), 900u);
+  EXPECT_LE(r.utilization(), 1.0);
+}
+
+TEST(Resource, SetRateUnchangedBacklogKeepsPlan) {
+  Engine eng;
+  Resource r(eng, 1e9, "r");
+  r.charge(1000);
+  r.set_rate(1e9);  // same rate: nothing to re-plan
+  EXPECT_EQ(r.busy_until(), 1000u);
+}
+
 TEST(Resource, AggregateThroughputEqualsRateUnderLoad) {
   Engine eng;
   Resource r(eng, 5e8, "r");  // 0.5 units/ns
@@ -144,6 +169,16 @@ TEST(Rng, RangesRespected) {
     EXPECT_LT(d, 2.5);
     EXPECT_LT(r.index(7), 7u);
   }
+}
+
+TEST(Rng, IndexOnEmptyRangeIsGuarded) {
+  Rng r(9);
+#ifdef NDEBUG
+  // Release builds clamp instead of computing uniform_u64(0, ~0ull).
+  EXPECT_EQ(r.index(0), 0u);
+#else
+  EXPECT_DEATH((void)r.index(0), "empty range");
+#endif
 }
 
 }  // namespace

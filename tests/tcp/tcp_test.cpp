@@ -166,6 +166,29 @@ TEST(Cubic, LossShrinksWindow) {
   EXPECT_FALSE(c.in_slow_start());
 }
 
+TEST(Cubic, SlowStartExitWithoutLossSeedsPlateau) {
+  const double mss = 9000.0;
+  const double ssthresh = 100 * mss;
+  Cubic c(mss, 1e9, ssthresh);
+  // Drive slow start past ssthresh without a single loss.
+  sim::SimDuration t = 0;
+  while (c.in_slow_start()) {
+    t += 100 * sim::kMillisecond;
+    c.on_ack(c.cwnd_bytes(), t);
+  }
+  const double exit_w = c.cwnd_bytes();
+  EXPECT_GE(exit_w, ssthresh);
+  // One ack well past the plateau knee: the window must track the cubic
+  // curve anchored at Wmax = exit window, not a curve grown from Wmax = 0.
+  const double wmax_seg = exit_w / mss;
+  const double k = std::cbrt(wmax_seg * 0.3 / 0.4);
+  const double t_secs = 7.0;
+  const double expect_seg = 0.4 * std::pow(t_secs - k, 3.0) + wmax_seg;
+  c.on_ack(mss, static_cast<sim::SimDuration>(t_secs * 1e9));
+  EXPECT_NEAR(c.cwnd_bytes(), expect_seg * mss, 1.0);
+  EXPECT_GT(c.cwnd_bytes(), exit_w);
+}
+
 TEST(Cubic, RecoversTowardWmaxAfterLoss) {
   Cubic c(9000, 1e9);
   for (int i = 0; i < 20; ++i) c.on_ack(c.cwnd_bytes(), sim::kSecond);

@@ -15,10 +15,12 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "apps/apps.hpp"
+#include "check/audit.hpp"
 #include "exp/exp.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
@@ -44,6 +46,11 @@ struct Options {
   std::string report_file;
   std::string fault_plan;       // scripted FaultPlan (see fault/plan.hpp)
   std::uint64_t fault_seed = 0; // != 0: seeded random plan instead
+#ifdef NDEBUG
+  bool audit = false;  // Release: opt in with --audit 1
+#else
+  bool audit = true;   // Debug: invariant audits on by default
+#endif
 };
 
 [[noreturn]] void usage() {
@@ -61,7 +68,9 @@ struct Options {
       "  --report FILE    write a flat run report (.csv -> CSV, else JSON)\n"
       "  --fault-plan S   inject scripted faults, e.g.\n"
       "                   'loss@500ms:n=5;flap@1s:dur=20ms;qpkill@1500ms:qp=0'\n"
-      "  --fault-seed N   inject a seeded random fault plan (rftp scenarios)\n",
+      "  --fault-seed N   inject a seeded random fault plan (rftp scenarios)\n"
+      "  --audit 0|1      cross-layer invariant audits (default: on in\n"
+      "                   Debug builds, off in Release)\n",
       stderr);
   std::exit(2);
 }
@@ -120,6 +129,8 @@ Options parse(int argc, char** argv) {
       o.fault_plan = need("--fault-plan");
     else if (!std::strcmp(argv[i], "--fault-seed"))
       o.fault_seed = std::strtoull(need("--fault-seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--audit"))
+      o.audit = std::atoi(need("--audit")) != 0;
     else
       usage();
   }
@@ -177,6 +188,32 @@ class TraceScope {
   static constexpr sim::SimDuration kSamplePeriod = 10 * sim::kMillisecond;
   const Options& o_;
   std::unique_ptr<trace::Tracer> tracer_;
+};
+
+/// Optional cross-layer invariant auditing (e2e::check) for one scenario
+/// run. On by default in Debug builds; Release opts in with --audit 1.
+/// Construct once the engine exists; call failed() after the run — it
+/// reconciles end-of-run conservation, prints the report, and returns
+/// whether any invariant broke (which flips the process exit code).
+class AuditScope {
+ public:
+  AuditScope(sim::Engine& eng, const Options& o) {
+    if (o.audit) auditor_ = std::make_unique<check::Auditor>(eng);
+  }
+
+  [[nodiscard]] bool failed() {
+    if (!auditor_) return false;
+    auditor_->finalize();
+    std::ostringstream os;
+    auditor_->report(os);
+    std::fputs(os.str().c_str(), stderr);
+    const bool bad = !auditor_->ok();
+    auditor_.reset();
+    return bad;
+  }
+
+ private:
+  std::unique_ptr<check::Auditor> auditor_;
 };
 
 /// Optional fault injection for one rftp scenario run. Construct after the
@@ -242,6 +279,7 @@ int run_quick(const Options& o) {
   rftp::RftpSession sess({&pa, {&da}}, {&pb, {&db}}, {link.get()}, cfg);
   rftp::MemorySource src(o.gib << 30, numa::Placement::on(0));
   rftp::MemorySink dst;
+  AuditScope as(eng, o);
   TraceScope ts(eng, o);
   FaultScope fs(eng, o, {link.get()}, &sess, cfg.streams);
   const auto r = exp::run_task(eng, sess.run(src, dst, o.gib << 30));
@@ -251,7 +289,7 @@ int run_quick(const Options& o) {
               static_cast<unsigned long long>(o.gib), r.elapsed_s,
               r.goodput_gbps);
   fs.summary(sess, r);
-  return r.complete && r.integrity_ok ? 0 : 1;
+  return r.complete && r.integrity_ok && !as.failed() ? 0 : 1;
 }
 
 int run_e2e(const Options& o) {
@@ -273,6 +311,7 @@ int run_e2e(const Options& o) {
   metrics::ThroughputMeter meter(tb.eng, sim::kSecond);
   // After tb.start(): the testbed's setup run has drained, so the sampler
   // armed here stays alive exactly for the measured transfer.
+  AuditScope as(tb.eng, o);
   TraceScope ts(tb.eng, o);
   FaultScope fs(tb.eng, o, tb.links(), &sess, cfg.streams);
   rftp::TransferResult r;
@@ -298,7 +337,7 @@ int run_e2e(const Options& o) {
   for (double g : meter.series_gbps()) std::printf("%.0f ", g);
   std::printf("Gbps\n");
   fs.summary(sess, r);
-  return r.complete && r.integrity_ok ? 0 : 1;
+  return r.complete && r.integrity_ok && !as.failed() ? 0 : 1;
 }
 
 int run_wan(const Options& o) {
@@ -312,6 +351,7 @@ int run_wan(const Options& o) {
                          {tb.link.get()}, cfg);
   rftp::MemorySource src(o.gib << 30, numa::Placement::on(0));
   rftp::MemorySink dst;
+  AuditScope as(tb.eng, o);
   TraceScope ts(tb.eng, o);
   FaultScope fs(tb.eng, o, {tb.link.get()}, &sess, cfg.streams);
   const auto r = exp::run_task(tb.eng, sess.run(src, dst, o.gib << 30));
@@ -324,7 +364,7 @@ int run_wan(const Options& o) {
       static_cast<double>(cfg.streams) * cfg.credits_per_stream *
           static_cast<double>(cfg.block_bytes) / 1e6);
   fs.summary(sess, r);
-  return r.complete && r.integrity_ok ? 0 : 1;
+  return r.complete && r.integrity_ok && !as.failed() ? 0 : 1;
 }
 
 int run_san(const Options& o) {
@@ -337,6 +377,7 @@ int run_san(const Options& o) {
   opts.block_bytes = o.block;
   opts.write = o.write;
   opts.duration = sim::from_seconds(o.duration_s);
+  AuditScope as(tb.eng, o);
   TraceScope ts(tb.eng, o);
   const auto r = tb.run_fio(opts, 4);
   if (auto* tr = ts.get()) {
@@ -347,12 +388,14 @@ int run_san(const Options& o) {
   std::printf("san %s (%s): %.1f Gbps, target CPU %.0f%%\n",
               o.write ? "write" : "read", o.numa ? "numa-tuned" : "untuned",
               r.gbps, r.target_cpu_pct);
-  return 0;
+  return as.failed() ? 1 : 0;
 }
 
 int run_motivating(const Options& o) {
+  bool audit_bad = false;
   for (const bool tuned : {false, true}) {
     exp::FrontEndPair pair;
+    AuditScope as(pair.eng, o);
     apps::IperfConfig cfg;
     cfg.bidirectional = true;
     cfg.numa_tuned = tuned;
@@ -370,8 +413,9 @@ int run_motivating(const Options& o) {
     std::printf("iperf bidirectional, %s: %.1f Gbps aggregate\n",
                 tuned ? "numa-tuned" : "default scheduler",
                 r.aggregate_gbps);
+    audit_bad |= as.failed();
   }
-  return 0;
+  return audit_bad ? 1 : 0;
 }
 
 }  // namespace
