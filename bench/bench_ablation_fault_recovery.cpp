@@ -35,6 +35,7 @@ struct Result {
   std::uint64_t command_retries = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t command_failures = 0;
+  stats::Histogram cmd_hist;  // iSCSI command round-trip latency
 };
 
 constexpr std::uint64_t kIoBytes = 4ull << 20;
@@ -110,6 +111,7 @@ sim::Task<> io_job(iscsi::Initiator& init, numa::Thread& th,
 
 Result run_case(bool use_tcp, const Intensity& lvl) {
   sim::Engine eng;
+  ScopedStats ss(eng);  // command-latency percentiles ride on the registry
   numa::Host fe(eng, model::front_end_lan_host("fe"));
   numa::Host be(eng, model::back_end_lan_host("be"));
   auto link = net::make_ib_lan(eng, "ib");
@@ -207,6 +209,7 @@ Result run_case(bool use_tcp, const Intensity& lvl) {
   r.command_retries = initiator.command_retries();
   r.command_failures = initiator.command_failures();
   if (rdma_sess) r.recoveries = rdma_sess->recoveries();
+  r.cmd_hist = ss.merged("cmd_ns");
   eng.run();
   return r;
 }
@@ -260,6 +263,16 @@ int main(int argc, char** argv) {
              std::to_string(r.command_failures)});
     }
   std::fputs(t.to_string().c_str(), stdout);
+
+  // Command round-trip latency percentiles per case: fault recovery shows
+  // up in the tail long before it dents the goodput column above.
+  std::vector<std::pair<std::string, const e2e::stats::Histogram*>> hists;
+  for (std::size_t lvl = 0; lvl < levels.size(); ++lvl)
+    for (const bool tcp : {false, true})
+      hists.push_back({std::string(tcp ? "iSCSI/TCP " : "iSER ") +
+                           levels[lvl].name,
+                       &g_results[{static_cast<int>(lvl), tcp}].cmd_hist});
+  print_hist_percentiles("iSCSI command latency (us)", hists);
   std::printf(
       "\nTCP buries wire faults in transport retransmission (goodput dips,\n"
       "no visible recovery work); iSER surfaces them and pays with command\n"

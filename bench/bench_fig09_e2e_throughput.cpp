@@ -72,6 +72,11 @@ int main(int argc, char** argv) {
   }
   std::fputs(t.to_csv().c_str(), stdout);
 
+  // Per-block drain latency percentiles (stats::Histogram — the same
+  // implementation every scenario report uses).
+  print_hist_percentiles("RFTP block drain latency (us)",
+                         {{"drain", &g_rftp.drain_hist}});
+
   // Wall-clock mode: report the simulator's own cost for each scenario and
   // emit machine-readable rows when E2E_BENCH_JSON names a file.
   std::printf("sim cost: rftp %llu events in %.3f s (%.2f Mev/s), "
@@ -90,7 +95,7 @@ int main(int argc, char** argv) {
                   : 0.0);
   SimCostJson json;
   json.add("e2e_rftp_64GiB", g_rftp.sim_events, g_rftp.wall_seconds,
-           g_rftp.transfer.goodput_gbps);
+           g_rftp.transfer.goodput_gbps, &g_rftp.drain_hist);
   json.add("e2e_gridftp_16GiB", g_grid.sim_events, g_grid.wall_seconds,
            g_grid.transfer.goodput_gbps);
   return 0;

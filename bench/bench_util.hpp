@@ -7,10 +7,12 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "metrics/cpu_usage.hpp"
 #include "metrics/table.hpp"
+#include "stats/stats.hpp"
 #include "trace/trace.hpp"
 
 namespace e2e::bench {
@@ -65,6 +67,74 @@ class ScopedTrace {
   std::unique_ptr<trace::Tracer> tracer_;
 };
 
+/// Always-on metric registry for scenario runs, shared by the bench
+/// drivers. Constructing one installs a stats::Registry on `eng` (the
+/// stats hot path is cheap enough to leave on under the timer, unlike the
+/// tracer); when E2E_STATS names a file the aggregated dump is written on
+/// destruction (.csv suffix -> CSV, else JSON). Scenario drivers read
+/// latency histograms back through get()/merged() so bench percentiles and
+/// scenario percentiles come from the one stats::Histogram implementation.
+class ScopedStats {
+ public:
+  explicit ScopedStats(sim::Engine& eng) : stats_(eng) {
+    if (const char* p = std::getenv("E2E_STATS")) out_ = p;
+    stats_.install();
+  }
+  ScopedStats(const ScopedStats&) = delete;
+  ScopedStats& operator=(const ScopedStats&) = delete;
+  ~ScopedStats() {
+    stats_.uninstall();
+    if (out_.empty()) return;
+    std::ofstream os(out_);
+    if (!os) return;
+    if (out_.size() >= 4 && out_.compare(out_.size() - 4, 4, ".csv") == 0)
+      stats_.write_csv(os);
+    else
+      stats_.write_json(os);
+  }
+
+  [[nodiscard]] stats::Registry* get() noexcept { return &stats_; }
+  /// All entities' `name` histograms merged into one distribution.
+  [[nodiscard]] stats::Histogram merged(std::string_view name) const {
+    return stats_.merged_histogram(name);
+  }
+
+ private:
+  std::string out_;
+  stats::Registry stats_;
+};
+
+/// Appends one `label: count/mean/p50/p90/p99/p999` row per histogram to
+/// `t` — the single percentile-summary formatter every bench shares (the
+/// math itself lives in stats::Histogram).
+inline void add_hist_rows(
+    metrics::Table& t,
+    const std::vector<std::pair<std::string, const stats::Histogram*>>& hists,
+    double scale = 1e-3, int digits = 1) {
+  for (const auto& [label, h] : hists) {
+    if (h == nullptr || h->count() == 0) continue;
+    auto n = [&](std::uint64_t v) {
+      return metrics::Table::num(static_cast<double>(v) * scale, digits);
+    };
+    t.row({label, std::to_string(h->count()), n(static_cast<std::uint64_t>(h->mean())),
+           n(h->p50()), n(h->p90()), n(h->p99()), n(h->p999())});
+  }
+}
+
+/// Prints a percentile table for a set of named latency histograms
+/// (values scaled by `scale`; the default renders ns as us).
+inline void print_hist_percentiles(
+    const std::string& title,
+    const std::vector<std::pair<std::string, const stats::Histogram*>>&
+        hists,
+    double scale = 1e-3, int digits = 1) {
+  metrics::Table t(title);
+  t.header({"metric", "count", "mean", "p50", "p90", "p99", "p999"});
+  add_hist_rows(t, hists, scale, digits);
+  std::fputs(t.to_string().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
 /// Wall-clock mode output: collects per-scenario simulator-cost rows
 /// (events dispatched, host seconds, events/s) and writes them as JSON to
 /// the path named by E2E_BENCH_JSON. With the variable unset it is inert.
@@ -78,9 +148,13 @@ class SimCostJson {
   SimCostJson(const SimCostJson&) = delete;
   SimCostJson& operator=(const SimCostJson&) = delete;
 
+  /// `lat` (optional): a latency histogram whose p50/p90/p99/p999 ride
+  /// along in the row, e.g. RFTP block drain latency.
   void add(const std::string& name, std::uint64_t sim_events,
-           double wall_seconds, double gbps = 0.0) {
-    rows_.push_back({name, sim_events, wall_seconds, gbps});
+           double wall_seconds, double gbps = 0.0,
+           const stats::Histogram* lat = nullptr) {
+    rows_.push_back({name, sim_events, wall_seconds, gbps,
+                     lat != nullptr ? *lat : stats::Histogram{}});
   }
 
   ~SimCostJson() {
@@ -97,7 +171,12 @@ class SimCostJson {
       os << "    {\"name\": \"" << r.name << "\", \"sim_events\": "
          << r.sim_events << ", \"wall_seconds\": " << r.wall_seconds
          << ", \"events_per_second\": " << eps << ", \"goodput_gbps\": "
-         << r.gbps << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+         << r.gbps;
+      if (r.lat.count() > 0)
+        os << ", \"lat_p50_ns\": " << r.lat.p50() << ", \"lat_p90_ns\": "
+           << r.lat.p90() << ", \"lat_p99_ns\": " << r.lat.p99()
+           << ", \"lat_p999_ns\": " << r.lat.p999();
+      os << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
   }
@@ -108,6 +187,7 @@ class SimCostJson {
     std::uint64_t sim_events;
     double wall_seconds;
     double gbps;
+    stats::Histogram lat;  // empty when the row carries no latency data
   };
   std::string path_;
   std::vector<Row> rows_;

@@ -12,6 +12,7 @@
 #include "metrics/cpu_usage.hpp"
 #include "rftp/config.hpp"
 #include "sim/time.hpp"
+#include "stats/histogram.hpp"
 
 namespace e2e::bench {
 
@@ -59,6 +60,9 @@ struct E2eResult {
   // scenario dispatched and how long the host CPU took to chew through them.
   std::uint64_t sim_events = 0;
   double wall_seconds = 0.0;
+  // Block drain latency across all streams (empty for scenarios without a
+  // stats registry, e.g. GridFTP which has no RFTP drain path).
+  stats::Histogram drain_hist;
 };
 E2eResult run_e2e_rftp(std::uint64_t dataset, bool numa_tuned = true);
 E2eResult run_e2e_gridftp(std::uint64_t dataset, int processes = 4);

@@ -9,6 +9,7 @@
 
 #include "fault/integrity.hpp"
 #include "sim/resource.hpp"
+#include "stats/registry.hpp"
 #include "trace/tracer.hpp"
 
 namespace e2e::check {
@@ -73,6 +74,11 @@ void Auditor::violate(std::string_view rule, std::string detail) {
     tr->instant(tr->track(trace::Layer::kApp, "check/violations"), v.rule);
     tr->counter("check/violations").add(1);
   }
+  // An invariant break is exactly what the flight recorder exists for:
+  // dump the window of records leading up to it (first violation only —
+  // trigger_flight_dump latches).
+  if (auto* st = stats::of(eng_))
+    st->trigger_flight_dump("audit:" + v.rule);
   violations_.push_back(std::move(v));
 }
 

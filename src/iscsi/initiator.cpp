@@ -84,6 +84,7 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
   co_await th.compute(th.host().costs().iser_initiator_cycles,
                       metrics::CpuCategory::kUserProto);
 
+  const sim::SimTime cmd_t0 = eng.now();
   bool terminal = false;
   sim::SimDuration timeout = command_timeout_;
   for (int attempt = 1;; ++attempt) {
@@ -118,6 +119,15 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
                     "command-abandoned");
         tr->counter("iscsi/command_failures").add(1);
       }
+      if (auto* st = stats::of(eng)) {
+        const auto e = stats_entity(st);
+        sctr_failures_.get(st, e, "command_failures").add(1);
+        st->flight(stats::Layer::kIscsi, e,
+                   code_abandon_.get(st, "command-abandoned"), cmd.itt);
+        // A command going terminal is the recovery chain giving up: dump
+        // the flight window while the lead-up is still in the ring.
+        st->trigger_flight_dump("iscsi:command-abandoned");
+      }
       break;
     }
     // Timed out: retransmit the same task tag with the timeout grown by
@@ -133,6 +143,12 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
                   "command-retry");
       tr->counter("iscsi/command_retries").add(1);
     }
+    if (auto* st = stats::of(eng)) {
+      const auto e = stats_entity(st);
+      sctr_retries_.get(st, e, "command_retries").add(1);
+      st->flight(stats::Layer::kIscsi, e,
+                 code_retry_.get(st, "command-retry"), cmd.itt);
+    }
   }
   if (auto* tr = trace::of(eng)) {
     tr->async_end(trace_trk_.get(tr, trace::Layer::kIscsi,
@@ -140,6 +156,12 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
                   span, cmd.itt);
     tr->counter(terminal ? "iscsi/tasks_failed" : "iscsi/tasks_completed")
         .add(1);
+  }
+  if (auto* st = stats::of(eng)) {
+    const auto e = stats_entity(st);
+    hist_cmd_.get(st, e, "cmd_ns")
+        .record(static_cast<std::uint64_t>(eng.now() - cmd_t0));
+    st->counter(e, terminal ? "tasks_failed" : "tasks_completed").add(1);
   }
   if (terminal) co_return scsi::Status::kTransportError;
   // Release the rendezvous slot for recycling only after the status is out
@@ -176,6 +198,8 @@ sim::Task<scsi::Status> Initiator::submit_read(numa::Thread& th,
                   "digest-mismatch");
       tr->counter("iscsi/digest_errors").add(1);
     }
+    if (auto* st = stats::of(eng))
+      st->counter(stats_entity(st), "digest_errors").add(1);
     if (attempt >= policy_.max_digest_retries) {
       ++command_failures_;
       if (auto* tr = trace::of(eng))

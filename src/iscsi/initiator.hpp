@@ -16,6 +16,7 @@
 #include "sim/channel.hpp"
 #include "sim/rng.hpp"
 #include "sim/sync.hpp"
+#include "stats/registry.hpp"
 #include "trace/tracer.hpp"
 
 namespace e2e::iscsi {
@@ -148,6 +149,21 @@ class Initiator {
   // stale on erase instead of keeping the object alive.
   mem::PendingTable<Pending> pending_;
   trace::CachedTrack trace_trk_;
+
+  // Stats handles: command-latency histogram plus retry/failure counters,
+  // with flight records for every retransmission and abandonment.
+  stats::CachedEntity stats_ent_;
+  stats::CachedHistogram hist_cmd_;
+  stats::CachedCounter sctr_retries_;
+  stats::CachedCounter sctr_failures_;
+  stats::CachedCode code_retry_;
+  stats::CachedCode code_abandon_;
+
+  stats::EntityId stats_entity(stats::Registry* st) {
+    return stats_ent_.get_lazy(st, stats::Layer::kIscsi, [this] {
+      return proc_.host().name() + "/initiator";
+    });
+  }
 };
 
 }  // namespace e2e::iscsi

@@ -58,6 +58,12 @@ sim::Task<> IserEndpoint::send_cq_loop(numa::Thread& th) {
             tr->instant(trace_track(tr), "data-loss");
             tr->counter("iser/data_losses").add(1);
           }
+          if (auto* st = stats::of(proc_.host().engine())) {
+            const auto e = stats_entity(st);
+            sctr_losses_.get(st, e, "data_losses").add(1);
+            st->flight(stats::Layer::kIser, e,
+                       code_loss_.get(st, "data-loss"), wc.wr_id);
+          }
         }
         if (auto* tr = trace::of(proc_.host().engine()))
           tr->async_end(trace_track(tr), "rdma-write", sc.span_id);
@@ -122,6 +128,7 @@ sim::Task<> IserEndpoint::await_data_op(numa::Thread& th, rdma::SendWr wr,
   }
   if (auto* au = check::of(eng)) au->flow_in(this, "iser.data", wr.bytes);
   const std::uint64_t span_id = wr.wr_id;
+  const sim::SimTime op_t0 = eng.now();
   sim::SimDuration backoff = 100 * sim::kMicrosecond;
   constexpr sim::SimDuration kBackoffCap = 10 * sim::kMillisecond;
   for (int attempt = 0;; ++attempt) {
@@ -147,12 +154,24 @@ sim::Task<> IserEndpoint::await_data_op(numa::Thread& th, rdma::SendWr wr,
         tr->counter("iser/data_aborts").add(1);
         tr->async_end(trace_track(tr), span_name, span_id);
       }
+      if (auto* st = stats::of(eng)) {
+        const auto e = stats_entity(st);
+        sctr_aborts_.get(st, e, "data_aborts").add(1);
+        st->flight(stats::Layer::kIser, e, code_abort_.get(st, "data-abort"),
+                   span_id);
+      }
       co_return;
     }
     ++data_retries_;
     if (auto* tr = trace::of(eng)) {
       tr->instant(trace_track(tr), "data-retry");
       tr->counter("iser/data_retries").add(1);
+    }
+    if (auto* st = stats::of(eng)) {
+      const auto e = stats_entity(st);
+      sctr_retries_.get(st, e, "data_retries").add(1);
+      st->flight(stats::Layer::kIser, e, code_retry_.get(st, "data-retry"),
+                 static_cast<std::uint64_t>(attempt));
     }
     if (!qp_.alive()) {
       // QP died: wait for the session supervisor to walk it back to RTS
@@ -167,6 +186,9 @@ sim::Task<> IserEndpoint::await_data_op(numa::Thread& th, rdma::SendWr wr,
   ++data_ops_;
   if (auto* tr = trace::of(eng))
     tr->async_end(trace_track(tr), span_name, span_id);
+  if (auto* st = stats::of(eng))
+    hist_data_.get(st, stats_entity(st), "data_op_ns")
+        .record(static_cast<std::uint64_t>(eng.now() - op_t0));
 }
 
 sim::Task<> IserEndpoint::put_data(numa::Thread& th, mem::Buffer& staging,

@@ -24,6 +24,7 @@
 #include "rdma/qp.hpp"
 #include "sim/channel.hpp"
 #include "sim/sync.hpp"
+#include "stats/registry.hpp"
 #include "trace/tracer.hpp"
 
 namespace e2e::iser {
@@ -134,6 +135,23 @@ class IserEndpoint final : public iscsi::Datamover {
   trace::CachedCounter ctr_pdus_received_;
   trace::CachedCounter ctr_data_bytes_;
   trace::CachedCounter ctr_data_ops_;
+
+  // Stats handles: one entity per endpoint, data-op round-trip histogram
+  // plus retry/abort/loss counters and matching flight records.
+  stats::CachedEntity stats_ent_;
+  stats::CachedHistogram hist_data_;
+  stats::CachedCounter sctr_retries_;
+  stats::CachedCounter sctr_aborts_;
+  stats::CachedCounter sctr_losses_;
+  stats::CachedCode code_retry_;
+  stats::CachedCode code_abort_;
+  stats::CachedCode code_loss_;
+
+  stats::EntityId stats_entity(stats::Registry* st) {
+    return stats_ent_.get_lazy(st, stats::Layer::kIser, [this] {
+      return proc_.host().name() + "/iser";
+    });
+  }
 };
 
 }  // namespace e2e::iser

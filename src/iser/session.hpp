@@ -8,6 +8,7 @@
 #include "net/link.hpp"
 #include "rdma/cm.hpp"
 #include "sim/rng.hpp"
+#include "stats/registry.hpp"
 #include "trace/tracer.hpp"
 
 namespace e2e::iser {
@@ -104,6 +105,16 @@ class IserSession {
         target_ep_.close();
         if (auto* tr = trace::of(eng))
           tr->counter("iser/sessions_abandoned").add(1);
+        if (auto* st = stats::of(eng)) {
+          // Terminal escalation: the fleet arc's "what happened just
+          // before this endpoint gave up" case — dump the flight window.
+          const auto e = st->entity(stats::Layer::kIser, "session");
+          st->counter(e, "sessions_abandoned").add(1);
+          st->flight(stats::Layer::kIser, e,
+                     st->code("session-abandoned"),
+                     static_cast<std::uint64_t>(consecutive_failures));
+          st->trigger_flight_dump("iser:session-abandoned");
+        }
         co_return;
       }
       co_await pair_.reestablish(init_th, tgt_th, policy_.mr_bytes_initiator,
@@ -113,6 +124,10 @@ class IserSession {
         ++recoveries_;
         if (auto* tr = trace::of(eng))
           tr->counter("iser/session_recoveries").add(1);
+        if (auto* st = stats::of(eng))
+          st->counter(st->entity(stats::Layer::kIser, "session"),
+                      "session_recoveries")
+              .add(1);
       }
     }
   }

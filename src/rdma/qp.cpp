@@ -42,6 +42,10 @@ void QueuePair::kill() {
     tr->instant(tk, "qp-error");
     tr->counter("rdma/qp_errors").add(1);
   }
+  if (auto* st = stats::of(dev_.host().engine())) {
+    const auto e = stats_entity(st);
+    st->flight(stats::Layer::kRdma, e, code_kill_.get(st, "qp-kill"), 0);
+  }
 }
 
 sim::Task<> QueuePair::recover(numa::Thread& th,
@@ -64,6 +68,12 @@ sim::Task<> QueuePair::recover(numa::Thread& th,
     const auto tk = tx_track(tr);
     tr->instant(tk, "qp-rts");
     tr->counter("rdma/qp_recoveries").add(1);
+  }
+  if (auto* st = stats::of(dev_.host().engine())) {
+    const auto e = stats_entity(st);
+    st->counter(e, "recoveries").add(1);
+    st->flight(stats::Layer::kRdma, e, code_recover_.get(st, "qp-recover"),
+               recoveries_);
   }
 }
 
@@ -97,6 +107,10 @@ sim::Task<> QueuePair::post_send(numa::Thread& th, const SendWr& wr) {
                       metrics::CpuCategory::kUserProto);
   if (auto* tr = trace::of(dev_.host().engine()))
     ctr_wr_posted_.get(tr, "rdma/wr_posted").add(1);
+  if (auto* st = stats::of(dev_.host().engine())) {
+    const auto e = stats_entity(st);
+    sctr_posted_.get(st, e, "wr_posted").add(1);
+  }
   // Posting to an error-state QP is legal but the WR must flush with a
   // failed completion right away and never reach the wire — queueing it
   // would let a recover() racing ahead of the NIC engine transmit a stale
@@ -112,9 +126,21 @@ sim::Task<> QueuePair::post_send(numa::Thread& th, const SendWr& wr) {
       tr->counter("rdma/sends_flushed").add(1);
       tr->counter("rdma/cq_completions").add(1);
     }
+    if (auto* st = stats::of(dev_.host().engine())) {
+      const auto e = stats_entity(st);
+      sctr_flushed_.get(st, e, "sends_flushed").add(1);
+      st->flight(stats::Layer::kRdma, e, code_flush_.get(st, "wr-flush"),
+                 wr.wr_id);
+    }
     co_return;
   }
   send_q_.send(wr);
+  // Depth after queueing: how many WRs the NIC engine has not picked up.
+  if (auto* st = stats::of(dev_.host().engine())) {
+    const auto e = stats_entity(st);
+    gauge_sq_.get(st, e, "sq_depth")
+        .set(static_cast<double>(send_q_.size()));
+  }
 }
 
 sim::Task<> QueuePair::post_recv(numa::Thread& th, RecvWr wr) {
@@ -150,6 +176,12 @@ void QueuePair::fail_send(const SendWr& wr, sim::SimDuration delay,
     tr->counter("rdma/wire_failures").add(1);
     tr->counter("rdma/cq_completions").add(1);
   }
+  if (auto* st = stats::of(eng)) {
+    const auto e = stats_entity(st);
+    st->counter(e, "wire_failures").add(1);
+    st->flight(stats::Layer::kRdma, e,
+               code_wire_fail_.get(st, "wire-failure"), wr.wr_id);
+  }
 }
 
 sim::Task<> QueuePair::sender_loop() {
@@ -167,6 +199,12 @@ sim::Task<> QueuePair::sender_loop() {
         tr->instant(tk, "flush-err");
         tr->counter("rdma/sends_flushed").add(1);
         tr->counter("rdma/cq_completions").add(1);
+      }
+      if (auto* st = stats::of(eng)) {
+        const auto e = stats_entity(st);
+        sctr_flushed_.get(st, e, "sends_flushed").add(1);
+        st->flight(stats::Layer::kRdma, e, code_flush_.get(st, "wr-flush"),
+                   wr->wr_id);
       }
       continue;
     }
@@ -218,6 +256,13 @@ sim::Task<> QueuePair::sender_loop() {
       ctr_bytes_posted_.get(tr, "rdma/bytes_posted").add(wr->bytes);
       cq_completions(tr).add(1);
     }
+    if (auto* st = stats::of(eng)) {
+      const auto e = stats_entity(st);
+      hist_wr_.get(st, e, "wr_ns").record(
+          static_cast<std::uint64_t>(eng.now() - t0));
+      gauge_sq_.get(st, e, "sq_depth")
+          .set(static_cast<double>(send_q_.size()));
+    }
     deliver_after_latency({wr->op, wr->bytes, wr->remote.buffer, wr->imm,
                            std::move(wr->payload), wr->content_tag},
                           fate.extra_latency);
@@ -241,6 +286,12 @@ sim::Task<> QueuePair::receiver_loop() {
         tr->instant(tk, "drop-err");
         tr->counter("rdma/inbound_dropped").add(1);
       }
+      if (auto* st = stats::of(eng)) {
+        const auto e = stats_entity(st);
+        sctr_dropped_.get(st, e, "inbound_dropped").add(1);
+        st->flight(stats::Layer::kRdma, e, code_drop_.get(st, "rx-drop"),
+                   d->bytes);
+      }
       continue;
     }
     const sim::SimTime t0 = eng.now();
@@ -252,6 +303,12 @@ sim::Task<> QueuePair::receiver_loop() {
         const auto tk = rx_track(tr);
         tr->instant(tk, "rnr");
         tr->counter("rdma/rnr_waits").add(1);
+      }
+      if (auto* st = stats::of(eng)) {
+        const auto e = stats_entity(st);
+        st->counter(e, "rnr_waits").add(1);
+        st->flight(stats::Layer::kRdma, e, code_rnr_.get(st, "rnr"),
+                   d->bytes);
       }
     }
 
@@ -320,6 +377,7 @@ sim::Task<> QueuePair::receiver_loop() {
 sim::Task<> QueuePair::serve_read(SendWr wr) {
   auto& eng = dev_.host().engine();
   const auto& cm = dev_.host().costs();
+  const sim::SimTime read_t0 = eng.now();
   // Reads overlap each other, so they trace as async spans keyed by wr_id.
   if (auto* tr = trace::of(eng))
     tr->async_begin(tx_track(tr), "read", wr.wr_id);
@@ -370,6 +428,11 @@ sim::Task<> QueuePair::serve_read(SendWr wr) {
     tr->async_end(tk, "read", wr.wr_id);
     ctr_bytes_posted_.get(tr, "rdma/bytes_posted").add(wr.bytes);
     cq_completions(tr).add(1);
+  }
+  if (auto* st = stats::of(eng)) {
+    const auto e = stats_entity(st);
+    hist_read_.get(st, e, "read_ns")
+        .record(static_cast<std::uint64_t>(eng.now() - read_t0));
   }
 }
 

@@ -24,6 +24,7 @@
 #include "rdma/verbs.hpp"
 #include "sim/channel.hpp"
 #include "sim/sync.hpp"
+#include "stats/registry.hpp"
 #include "trace/tracer.hpp"
 
 namespace e2e::rdma {
@@ -169,6 +170,30 @@ class QueuePair {
   }
   trace::Counter& cq_completions(trace::Tracer* tr) {
     return ctr_cq_completions_.get(tr, "rdma/cq_completions");
+  }
+
+  // Stats handles (null-registry fast path skips everything): one minted
+  // entity per QP carrying the verbs-op latency histogram, the
+  // outstanding-WR depth gauge, and the fault counters the fleet arc
+  // wants per connection.
+  stats::CachedEntity stats_ent_;
+  stats::CachedHistogram hist_wr_;
+  stats::CachedHistogram hist_read_;
+  stats::CachedGauge gauge_sq_;
+  stats::CachedCounter sctr_posted_;
+  stats::CachedCounter sctr_flushed_;
+  stats::CachedCounter sctr_dropped_;
+  stats::CachedCode code_flush_;
+  stats::CachedCode code_wire_fail_;
+  stats::CachedCode code_kill_;
+  stats::CachedCode code_recover_;
+  stats::CachedCode code_rnr_;
+  stats::CachedCode code_drop_;
+
+  stats::EntityId stats_entity(stats::Registry* st) {
+    return stats_ent_.get_lazy(st, stats::Layer::kRdma, [this] {
+      return dev_.host().name() + "/qp";
+    });
   }
 };
 

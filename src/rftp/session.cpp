@@ -300,6 +300,13 @@ sim::Task<> RftpSession::filler(Stream& s, numa::Thread& th,
                    "fill", fill_t0);
       tr->counter("rftp/bytes_filled").add(got);
     }
+    if (auto* st = stats::of(eng_)) {
+      const auto e = s.stats_entity(st);
+      s.hist_fill.get(st, e, "fill_ns")
+          .record(static_cast<std::uint64_t>(eng_.now() - fill_t0));
+      st->flight(stats::Layer::kRftp, e, s.code_fill.get(st, "block-filled"),
+                 idx);
+    }
     if (got == 0) {  // premature EOF: surface as a truncated transfer
       s.send_pool->release(buf);
       break;
@@ -349,6 +356,14 @@ sim::Task<> RftpSession::wire_sender(Stream& s, numa::Thread& th) {
         tr->counter("rftp/credit_stalls").add(1);
       }
       tr->counter("rftp/blocks_posted").add(1);
+    }
+    if (auto* st = stats::of(eng_)) {
+      const auto e = s.stats_entity(st);
+      s.hist_credit.get(st, e, "credit_wait_ns")
+          .record(static_cast<std::uint64_t>(eng_.now() - credit_t0));
+      s.sctr_posted.get(st, e, "blocks_posted").add(1);
+      st->flight(stats::Layer::kRftp, e, s.code_post.get(st, "block-posted"),
+                 blk->block_idx);
     }
     co_await th.compute(cm.rftp_block_user_cycles,
                         metrics::CpuCategory::kUserProto);
@@ -401,6 +416,12 @@ sim::Task<> RftpSession::send_reaper(Stream& s, numa::Thread& th) {
                               "stream" + std::to_string(s.id)),
                   "retransmit");
       tr->counter("rftp/retransmissions").add(1);
+    }
+    if (auto* st = stats::of(eng_)) {
+      const auto e = s.stats_entity(st);
+      s.sctr_retx.get(st, e, "retransmissions").add(1);
+      st->flight(stats::Layer::kRftp, e, s.code_retx.get(st, "retransmit"),
+                 blk.block_idx);
     }
     co_await th.compute(cm.rftp_block_user_cycles,
                         metrics::CpuCategory::kUserProto);
@@ -457,6 +478,12 @@ sim::Task<> RftpSession::grant_reaper(Stream& s, numa::Thread& th) {
                   "grant-retransmit");
       tr->counter("rftp/grant_retransmissions").add(1);
     }
+    if (auto* st = stats::of(eng_)) {
+      const auto e = s.stats_entity(st);
+      st->counter(e, "grant_retransmissions").add(1);
+      st->flight(stats::Layer::kRftp, e,
+                 s.code_grant_retx.get(st, "grant-retransmit"), wc.wr_id);
+    }
     co_await th.compute(cm.rftp_control_msg_cycles,
                         metrics::CpuCategory::kUserProto);
     if (auto* au = check::of(eng_))
@@ -507,6 +534,12 @@ sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
       ++duplicate_blocks;
       if (auto* tr = trace::of(eng_))
         tr->counter("rftp/duplicate_blocks").add(1);
+      if (auto* st = stats::of(eng_)) {
+        const auto e = s.stats_entity(st);
+        st->counter(e, "duplicate_blocks").add(1);
+        st->flight(stats::Layer::kRftp, e, s.code_dup.get(st, "dup-block"),
+                   a->block_idx);
+      }
     } else if (landed != a->checksum) {
       ++checksum_failures;
       if (auto* tr = trace::of(eng_)) {
@@ -514,6 +547,12 @@ sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
                                 "stream" + std::to_string(s.id)),
                     "checksum-mismatch");
         tr->counter("rftp/checksum_failures").add(1);
+      }
+      if (auto* st = stats::of(eng_)) {
+        const auto e = s.stats_entity(st);
+        st->counter(e, "checksum_failures").add(1);
+        st->flight(stats::Layer::kRftp, e,
+                   s.code_cksum.get(st, "checksum-mismatch"), a->block_idx);
       }
       requeue_block(a->block_idx);  // a survivor re-sends it
     } else {
@@ -535,6 +574,14 @@ sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
                       "block", a->block_idx);
         tr->counter("rftp/bytes_delivered").add(a->bytes);
         tr->counter("rftp/blocks_delivered").add(1);
+      }
+      if (auto* st = stats::of(eng_)) {
+        const auto e = s.stats_entity(st);
+        s.hist_drain.get(st, e, "drain_ns")
+            .record(static_cast<std::uint64_t>(eng_.now() - drain_t0));
+        s.sctr_delivered.get(st, e, "blocks_delivered").add(1);
+        st->flight(stats::Layer::kRftp, e,
+                   s.code_drain.get(st, "block-drained"), a->block_idx);
       }
     }
 
@@ -602,6 +649,12 @@ void RftpSession::handle_stream_death(Stream& s) {
                 "stream-dead");
     tr->counter("rftp/failovers").add(1);
   }
+  if (auto* st = stats::of(eng_)) {
+    const auto e = s.stats_entity(st);
+    st->counter(e, "failovers").add(1);
+    st->flight(stats::Layer::kRftp, e, s.code_dead.get(st, "stream-dead"),
+               static_cast<std::uint64_t>(s.id));
+  }
 
   // Reassign everything this stream still owed: blocks posted but not
   // completed, and blocks the wire acked that the sink never confirmed
@@ -636,6 +689,13 @@ void RftpSession::fail_transfer() {
     tr->instant(plan_trk_.get(tr, trace::Layer::kRftp, "rftp/session"),
                 "transfer-failed");
     tr->counter("rftp/transfers_failed").add(1);
+  }
+  if (auto* st = stats::of(eng_)) {
+    st->counter(st->entity(stats::Layer::kRftp, "session"), "transfers_failed")
+        .add(1);
+    // Every stream is gone: recovery has escalated to terminal, so dump
+    // the flight window while the lead-up is still in the ring.
+    st->trigger_flight_dump("rftp:transfer-failed");
   }
   // Release run(): undelivered blocks are never coming.
   while (done_ != nullptr && done_->pending() > 0) done_->done();

@@ -40,6 +40,7 @@
 #include "sim/channel.hpp"
 #include "sim/ring_queue.hpp"
 #include "sim/sync.hpp"
+#include "stats/registry.hpp"
 #include "trace/tracer.hpp"
 
 namespace e2e::rftp {
@@ -141,6 +142,31 @@ class RftpSession {
     // Shared per-stream track: block lifetimes trace as async spans from
     // fill-claim (sender) to drain (receiver), keyed by block index.
     trace::CachedTrack trk;
+
+    // Stats handles: per-stream entity carrying the fill/drain latency and
+    // credit-wait histograms plus the failover counters, with flight
+    // records for every block milestone (the postmortem window).
+    stats::CachedEntity stats_ent;
+    stats::CachedHistogram hist_fill;
+    stats::CachedHistogram hist_credit;
+    stats::CachedHistogram hist_drain;
+    stats::CachedCounter sctr_posted;
+    stats::CachedCounter sctr_delivered;
+    stats::CachedCounter sctr_retx;
+    stats::CachedCode code_fill;
+    stats::CachedCode code_post;
+    stats::CachedCode code_drain;
+    stats::CachedCode code_retx;
+    stats::CachedCode code_grant_retx;
+    stats::CachedCode code_dup;
+    stats::CachedCode code_cksum;
+    stats::CachedCode code_dead;
+
+    stats::EntityId stats_entity(stats::Registry* st) {
+      return stats_ent.named_lazy(st, stats::Layer::kRftp, [this] {
+        return "stream" + std::to_string(id);
+      });
+    }
   };
 
   // Pipeline tasks (one coroutine per thread).

@@ -70,6 +70,18 @@ class AuditHook {
   virtual void on_resource_destroyed(const Resource& r) { (void)r; }
 };
 
+/// Marker base the engine exposes to the metrics layer (stats/). Unlike
+/// TraceHook/AuditHook the engine never needs to call into it, so there are
+/// no virtual methods beyond the destructor: the slot exists so instrumented
+/// components can fetch the installed stats::Registry via stats::of() — a
+/// single pointer load that is null when stats are disabled. Registries
+/// observe only (counters, histograms, flight-recorder rings); they never
+/// schedule events, so an installed registry cannot perturb the timeline.
+class StatsHook {
+ public:
+  virtual ~StatsHook() = default;
+};
+
 class Engine {
  public:
   Engine() { heap_.reserve(kInitialReserve); }
@@ -151,6 +163,10 @@ class Engine {
   [[nodiscard]] AuditHook* audit_hook() const noexcept { return audit_hook_; }
   void set_audit_hook(AuditHook* h) noexcept { audit_hook_ = h; }
 
+  /// The installed stats registry (null when stats are disabled).
+  [[nodiscard]] StatsHook* stats_hook() const noexcept { return stats_hook_; }
+  void set_stats_hook(StatsHook* h) noexcept { stats_hook_ = h; }
+
   /// Every live Resource built on this engine, in construction order.
   /// Deterministic: construction order is program order.
   [[nodiscard]] const std::vector<Resource*>& resources() const noexcept {
@@ -195,6 +211,7 @@ class Engine {
   std::vector<std::uint32_t> free_slots_;  // recycled slot indices
   TraceHook* trace_hook_ = nullptr;
   AuditHook* audit_hook_ = nullptr;
+  StatsHook* stats_hook_ = nullptr;
   std::vector<Resource*> resources_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -1,0 +1,410 @@
+// e2e::stats — fleet-grade metrics: per-entity counters/gauges/histograms
+// plus an always-on flight recorder.
+//
+// Where trace/ records *every event* of one transfer and check/ proves
+// conservation laws, stats/ answers "what are 10^4 endpoints doing right
+// now" at a cost that can stay on permanently: each metric is keyed by
+// (entity, name), storage is pooled in deques (stable addresses), and hot
+// call sites hold cached handles so the steady-state cost of a counter
+// bump or histogram record is a pointer compare plus the arithmetic —
+// no hashing, no allocation.
+//
+// Attachment mirrors the tracer: Registry::install() parks the registry in
+// the engine's StatsHook slot; instrumented layers fetch it with
+// stats::of(engine), a single pointer load that is null when stats are
+// disabled.
+//
+// Cardinality is bounded: past Config::max_entities, new entities alias to
+// the reserved "<overflow>" entity (id 0) instead of growing without
+// limit — handles stay valid, determinism is preserved, and
+// dropped_entities() reports how much was aggregated away. Aliasing
+// (rather than evicting) keeps already-minted handles stable, which the
+// cached-handle idiom requires.
+//
+// The flight recorder is a fixed ring of POD records (time, layer, entity,
+// code, arg) fed by the same instrumentation sites. It always runs; it is
+// only ever *read* when something goes wrong (an audit violation, a
+// terminal fault recovery, a scenario exiting nonzero), at which point
+// trigger_flight_dump() prints the last window of records — postmortem
+// context at ring-buffer cost.
+//
+// Determinism: no wall-clock reads, ids in first-use order, insertion-
+// ordered iteration everywhere — same-seed runs export byte-identical
+// stats files (unit tested).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "stats/histogram.hpp"
+
+namespace e2e::stats {
+
+/// Which layer of the stack a metric or flight record belongs to.
+/// Mirrors trace::Layer (kept separate so stats/ does not depend on
+/// trace/); exports group by this.
+enum class Layer : std::uint8_t {
+  kSim,    // engine resources
+  kRdma,   // verbs queue pairs
+  kTcp,    // TCP/IP connections
+  kIscsi,  // iSCSI session layer
+  kIser,   // iSER datamover
+  kRftp,   // RFTP transfer protocol
+  kBlk,    // block / filesystem
+  kApp,    // applications and drivers
+  kFault,  // fault injection and recovery
+};
+inline constexpr int kLayerCount = 9;
+
+constexpr std::string_view to_string(Layer l) noexcept {
+  switch (l) {
+    case Layer::kSim: return "sim";
+    case Layer::kRdma: return "rdma";
+    case Layer::kTcp: return "tcp";
+    case Layer::kIscsi: return "iscsi";
+    case Layer::kIser: return "iser";
+    case Layer::kRftp: return "rftp";
+    case Layer::kBlk: return "blk";
+    case Layer::kApp: return "app";
+    case Layer::kFault: return "fault";
+  }
+  return "?";
+}
+
+using EntityId = std::uint32_t;
+using CodeId = std::uint16_t;
+
+/// Monotonic counter. add() is an inlined integer bump.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  friend class Registry;
+  Counter(EntityId entity, std::uint32_t name) : entity_(entity), name_(name) {}
+  EntityId entity_;
+  std::uint32_t name_;
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value gauge with running min/max (e.g. a cwnd that shrinks).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    last_ = v;
+    if (samples_ == 0) {
+      min_ = max_ = v;
+    } else {
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
+    ++samples_;
+  }
+  [[nodiscard]] double last() const noexcept { return last_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+
+ private:
+  friend class Registry;
+  Gauge(EntityId entity, std::uint32_t name) : entity_(entity), name_(name) {}
+  EntityId entity_;
+  std::uint32_t name_;
+  double last_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+/// One flight-recorder entry. POD, 24 bytes, written in place in the ring.
+struct FlightRecord {
+  sim::SimTime t;
+  std::uint64_t arg;
+  EntityId entity;
+  CodeId code;
+  std::uint8_t layer;
+};
+static_assert(sizeof(FlightRecord) <= 24);
+
+struct Config {
+  /// Distinct entities before new ones alias to "<overflow>" (id 0).
+  std::size_t max_entities = 4096;
+  /// Flight-recorder ring size; rounded up to a power of two.
+  std::size_t flight_capacity = 4096;
+};
+
+class Registry final : public sim::StatsHook {
+ public:
+  /// The registry must not outlive `eng` (flight records are stamped with
+  /// engine time and destruction uninstalls the hook).
+  explicit Registry(sim::Engine& eng, Config cfg = {});
+  ~Registry() override;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Makes this registry visible to instrumented code via stats::of().
+  void install() noexcept { eng_.set_stats_hook(this); }
+  void uninstall() noexcept {
+    if (eng_.stats_hook() == this) eng_.set_stats_hook(nullptr);
+  }
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
+
+  // --- entities -----------------------------------------------------------
+  // An entity is one metered thing (a QP, a stream, a connection),
+  // identified by (layer, name). entity() is idempotent per name;
+  // mint_entity() appends "#<n>" for a fresh entity per caller, numbered
+  // in first-mint order. Past the cardinality cap both return
+  // kOverflowEntity and count the drop.
+
+  static constexpr EntityId kOverflowEntity = 0;
+
+  EntityId entity(Layer layer, std::string_view name);
+  EntityId mint_entity(Layer layer, std::string_view base);
+
+  [[nodiscard]] std::size_t entity_count() const noexcept {
+    return entities_.size();
+  }
+  [[nodiscard]] std::uint64_t dropped_entities() const noexcept {
+    return dropped_entities_;
+  }
+  [[nodiscard]] const std::string& entity_name(EntityId id) const {
+    return entities_.at(id).name;
+  }
+  [[nodiscard]] Layer entity_layer(EntityId id) const {
+    return entities_.at(id).layer;
+  }
+
+  // --- metrics ------------------------------------------------------------
+  // Created on first use, stable addresses for the registry's lifetime
+  // (deque-pooled). Call sites cache the returned reference in a
+  // CachedCounter/CachedGauge/CachedHistogram so the map probe happens
+  // once per site per registry.
+
+  Counter& counter(EntityId entity, std::string_view name);
+  Gauge& gauge(EntityId entity, std::string_view name);
+  Histogram& histogram(EntityId entity, std::string_view name);
+
+  /// Counter value for (entity, name), 0 if never touched (tests/reports).
+  [[nodiscard]] std::uint64_t counter_value(EntityId entity,
+                                            std::string_view name) const;
+  /// Histogram for (entity, name), or null if never touched.
+  [[nodiscard]] const Histogram* find_histogram(EntityId entity,
+                                                std::string_view name) const;
+
+  /// All per-entity histograms named `name`, merged into one — the
+  /// finalize-time shard combine (e.g. every "wr_ns" across every QP).
+  [[nodiscard]] Histogram merged_histogram(std::string_view name) const;
+
+  // --- flight recorder ----------------------------------------------------
+
+  /// Interns a record code (idempotent; cache via CachedCode).
+  CodeId code(std::string_view name);
+
+  /// Appends one record to the ring. Constant time, allocation-free,
+  /// overwrites the oldest record when full.
+  void flight(Layer layer, EntityId entity, CodeId code,
+              std::uint64_t arg) noexcept {
+    FlightRecord& r = flight_ring_[flight_head_ & flight_mask_];
+    r.t = eng_.now();
+    r.arg = arg;
+    r.entity = entity;
+    r.code = code;
+    r.layer = static_cast<std::uint8_t>(layer);
+    ++flight_head_;
+  }
+
+  /// Dumps the ring (oldest record first) and latches: only the first
+  /// trigger prints, so one root cause does not bury itself under
+  /// follow-on dumps. Call when an audit violation fires, a recovery goes
+  /// terminal, or a scenario is about to exit nonzero.
+  void trigger_flight_dump(std::string_view reason);
+
+  /// Unconditional dump to `os` (tests, manual postmortems).
+  void dump_flight(std::ostream& os) const;
+
+  /// Redirects trigger_flight_dump() output (default: stderr).
+  void set_flight_stream(std::ostream* os) noexcept { flight_stream_ = os; }
+
+  [[nodiscard]] bool flight_dump_triggered() const noexcept {
+    return flight_triggered_;
+  }
+  [[nodiscard]] std::size_t flight_capacity() const noexcept {
+    return flight_ring_.size();
+  }
+  /// Records written since construction (not clamped to the ring size).
+  [[nodiscard]] std::uint64_t flight_written() const noexcept {
+    return flight_head_;
+  }
+
+  // --- export -------------------------------------------------------------
+
+  /// Full stats report: entities, counters, gauges, histogram percentile
+  /// tables + non-empty bucket dumps. Deterministic byte-for-byte per
+  /// seed.
+  void write_json(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+ private:
+  struct Entity {
+    Layer layer;
+    std::string name;
+  };
+
+  /// Transparent hasher: string_view probes without temporary strings.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+    std::size_t operator()(const std::string& s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::uint32_t intern(std::string_view s);
+  [[nodiscard]] static std::uint64_t metric_key(EntityId entity,
+                                                std::uint32_t name) noexcept {
+    return (static_cast<std::uint64_t>(entity) << 32) | name;
+  }
+
+  sim::Engine& eng_;
+  std::size_t max_entities_;
+
+  std::vector<std::string> names_;  // metric-name intern table
+  std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>>
+      name_ids_;
+
+  std::vector<Entity> entities_;
+  std::unordered_map<std::string, EntityId> entity_ids_;  // "<layer>/<name>"
+  std::unordered_map<std::string, int> mint_counts_;
+  std::uint64_t dropped_entities_ = 0;
+
+  // Pooled metric storage (stable addresses) + (entity, name) lookup.
+  // Histograms don't carry their key (the type is shared with bench code),
+  // so a parallel meta vector records it in creation order for export.
+  struct HistMeta {
+    EntityId entity;
+    std::uint32_t name;
+  };
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<HistMeta> histogram_meta_;
+  std::unordered_map<std::uint64_t, Counter*> counter_ids_;
+  std::unordered_map<std::uint64_t, Gauge*> gauge_ids_;
+  std::unordered_map<std::uint64_t, Histogram*> histogram_ids_;
+
+  std::vector<std::string> codes_;  // flight-code intern table
+  std::unordered_map<std::string, CodeId, StringHash, std::equal_to<>>
+      code_ids_;
+  std::vector<FlightRecord> flight_ring_;
+  std::uint64_t flight_head_ = 0;
+  std::uint64_t flight_mask_ = 0;
+  std::ostream* flight_stream_ = nullptr;  // null -> stderr at trigger time
+  bool flight_triggered_ = false;
+};
+
+/// The registry installed on `eng`, or null when stats are disabled.
+/// Registry is the only StatsHook implementation, so the downcast is exact
+/// (same contract as trace::of / check::of).
+[[nodiscard]] inline Registry* of(sim::Engine& eng) noexcept {
+  return static_cast<Registry*>(eng.stats_hook());
+}
+
+// --- per-site cached handles ----------------------------------------------
+// Same idiom as trace::CachedTrack/CachedCounter: the handle re-resolves
+// only when the installed registry changed, so steady state is one pointer
+// compare. Each cache instance serves one fixed (entity, name) site — give
+// per-QP/per-stream state its own instances.
+
+struct CachedEntity {
+  Registry* owner = nullptr;
+  EntityId id = 0;
+  /// Minted entity whose base name is built only on first use per registry.
+  template <typename MakeBase>
+  EntityId get_lazy(Registry* r, Layer layer, MakeBase&& make_base) {
+    if (owner != r) {
+      id = r->mint_entity(layer, make_base());
+      owner = r;
+    }
+    return id;
+  }
+  /// Idempotent named entity.
+  EntityId named(Registry* r, Layer layer, std::string_view name) {
+    if (owner != r) {
+      id = r->entity(layer, name);
+      owner = r;
+    }
+    return id;
+  }
+  /// Idempotent named entity whose name is built only on first use.
+  template <typename MakeName>
+  EntityId named_lazy(Registry* r, Layer layer, MakeName&& make_name) {
+    if (owner != r) {
+      id = r->entity(layer, make_name());
+      owner = r;
+    }
+    return id;
+  }
+};
+
+struct CachedCounter {
+  Registry* owner = nullptr;
+  Counter* c = nullptr;
+  Counter& get(Registry* r, EntityId entity, std::string_view name) {
+    if (owner != r) {
+      c = &r->counter(entity, name);
+      owner = r;
+    }
+    return *c;
+  }
+};
+
+struct CachedGauge {
+  Registry* owner = nullptr;
+  Gauge* g = nullptr;
+  Gauge& get(Registry* r, EntityId entity, std::string_view name) {
+    if (owner != r) {
+      g = &r->gauge(entity, name);
+      owner = r;
+    }
+    return *g;
+  }
+};
+
+struct CachedHistogram {
+  Registry* owner = nullptr;
+  Histogram* h = nullptr;
+  Histogram& get(Registry* r, EntityId entity, std::string_view name) {
+    if (owner != r) {
+      h = &r->histogram(entity, name);
+      owner = r;
+    }
+    return *h;
+  }
+};
+
+struct CachedCode {
+  Registry* owner = nullptr;
+  CodeId id = 0;
+  CodeId get(Registry* r, std::string_view name) {
+    if (owner != r) {
+      id = r->code(name);
+      owner = r;
+    }
+    return id;
+  }
+};
+
+}  // namespace e2e::stats

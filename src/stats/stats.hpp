@@ -1,0 +1,5 @@
+// Umbrella header for e2e::stats.
+#pragma once
+
+#include "stats/histogram.hpp"   // IWYU pragma: export
+#include "stats/registry.hpp"    // IWYU pragma: export

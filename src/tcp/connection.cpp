@@ -65,6 +65,13 @@ sim::Task<> Connection::apply_window(Endpoint& ep, std::uint64_t bytes) {
         ep.losses.get(tr, "tcp/losses").add(1);
         tr->value_sample(cwnd_series(tr, ep), ep.cubic->cwnd_bytes());
       }
+      if (auto* st = stats::of(eng)) {
+        const auto e = stats_entity(st, ep);
+        ep.sctr_loss.get(st, e, "losses").add(1);
+        ep.g_cwnd.get(st, e, "cwnd_bytes").set(ep.cubic->cwnd_bytes());
+        st->flight(stats::Layer::kTcp, e, ep.code_loss.get(st, "loss"),
+                   static_cast<std::uint64_t>(ep.cubic->cwnd_bytes()));
+      }
     }
   }
 
@@ -83,6 +90,9 @@ sim::Task<> Connection::apply_window(Endpoint& ep, std::uint64_t bytes) {
       pep->acks.get(tr, "tcp/acks").add(1);
       tr->value_sample(cwnd_series(tr, *pep), pep->cubic->cwnd_bytes());
     }
+    if (auto* st = stats::of(pep->host->engine()))
+      pep->g_cwnd.get(st, stats_entity(st, *pep), "cwnd_bytes")
+          .set(pep->cubic->cwnd_bytes());
   });
 }
 
@@ -139,6 +149,14 @@ sim::Task<> Connection::send(numa::Thread& th, const numa::Placement& user_src,
     if (auto* tr = trace::of(eng)) {
       tr->instant(trace_track(tr, ep), ep.rexmit_name.get(tr, "retransmit"));
       ep.rexmits.get(tr, "tcp/retransmits").add(1);
+    }
+    if (auto* st = stats::of(eng)) {
+      const auto e = stats_entity(st, ep);
+      ep.sctr_retx.get(st, e, "retransmits").add(1);
+      if (ep.cubic)
+        ep.g_cwnd.get(st, e, "cwnd_bytes").set(ep.cubic->cwnd_bytes());
+      st->flight(stats::Layer::kTcp, e, ep.code_retx.get(st, "retransmit"),
+                 bytes);
     }
     ++retransmits_;
     co_await sim::Delay{eng, fate.fail_delay + rto};

@@ -31,6 +31,7 @@
 #include "sim/channel.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "stats/registry.hpp"
 #include "tcp/cubic.hpp"
 #include "trace/tracer.hpp"
 
@@ -142,6 +143,15 @@ class Connection {
     trace::CachedName rexmit_name;   // "retransmit"
     trace::CachedName send_name;     // "send"
     trace::CachedName recv_name;     // "recv"
+
+    // Stats handles: the CUBIC cwnd gauge samples on every ACK/loss, so
+    // the handles resolve once per registry install like the trace ones.
+    stats::CachedEntity stats_ent;
+    stats::CachedGauge g_cwnd;       // "cwnd_bytes"
+    stats::CachedCounter sctr_loss;  // "losses"
+    stats::CachedCounter sctr_retx;  // "retransmits"
+    stats::CachedCode code_loss;     // "loss"
+    stats::CachedCode code_retx;     // "retransmit"
   };
 
   /// This endpoint's trace track ("<host>/tcp#n"), minted lazily.
@@ -154,6 +164,12 @@ class Connection {
   trace::NameId cwnd_series(trace::Tracer* tr, Endpoint& ep) {
     return ep.cwnd.get_lazy(
         tr, [&ep] { return "tcp/cwnd/" + ep.host->name(); });
+  }
+
+  /// This endpoint's stats entity ("<host>/tcp#n"), minted lazily.
+  stats::EntityId stats_entity(stats::Registry* st, Endpoint& ep) {
+    return ep.stats_ent.get_lazy(st, stats::Layer::kTcp,
+                                 [&ep] { return ep.host->name() + "/tcp"; });
   }
 
   sim::Task<> apply_window(Endpoint& ep, std::uint64_t bytes);

@@ -1,0 +1,161 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace e2e::stats {
+namespace {
+
+// Field-by-field equality (Histogram has no operator==; tests compare the
+// full observable state, buckets included).
+void expect_same(const Histogram& a, const Histogram& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  for (std::size_t i = 0; i < Histogram::kSlots; ++i)
+    ASSERT_EQ(a.bucket_count(i), b.bucket_count(i)) << "slot " << i;
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0})
+    EXPECT_EQ(a.value_at_quantile(q), b.value_at_quantile(q)) << "q=" << q;
+}
+
+// Deterministic value stream (splitmix64): the goldens must not depend on
+// library RNG implementations.
+std::uint64_t mix(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+TEST(Histogram, PowersOfTwoLandOnTheirOwnBucketBoundary) {
+  // The headline exactness contract: every power of two up to the
+  // trackable limit is itself a bucket lower bound, so percentiles never
+  // smear a 2^k spike into the neighbouring bucket.
+  for (int k = 0; k <= 42; ++k) {
+    const std::uint64_t v = 1ull << k;
+    EXPECT_EQ(Histogram::bucket_lower(Histogram::index_of(v)), v) << "k=" << k;
+  }
+}
+
+TEST(Histogram, BucketBoundsBracketEveryValue) {
+  std::uint64_t s = 42;
+  std::vector<std::uint64_t> probe = {0, 1, 15, 16, 17, 31, 32, 1000,
+                                      Histogram::kMaxTrackable};
+  for (int i = 0; i < 10000; ++i)
+    probe.push_back(mix(s) & Histogram::kMaxTrackable);
+  for (const std::uint64_t v : probe) {
+    const std::size_t idx = Histogram::index_of(v);
+    ASSERT_LT(idx, Histogram::kSlots);
+    EXPECT_LE(Histogram::bucket_lower(idx), v);
+    EXPECT_LT(v, Histogram::bucket_upper(idx));
+    // Log-linear contract: <= 1/16 relative bucket width everywhere.
+    if (v >= Histogram::kSubBuckets) {
+      EXPECT_LE(Histogram::bucket_upper(idx) - Histogram::bucket_lower(idx),
+                Histogram::bucket_lower(idx) / 16);
+    }
+  }
+}
+
+TEST(Histogram, IndexIsMonotoneAcrossBoundaries) {
+  for (std::size_t i = 0; i + 1 < Histogram::kSlots; ++i) {
+    EXPECT_LT(Histogram::bucket_lower(i), Histogram::bucket_lower(i + 1));
+    EXPECT_EQ(Histogram::index_of(Histogram::bucket_lower(i)), i);
+    EXPECT_EQ(Histogram::index_of(Histogram::bucket_upper(i) - 1), i);
+  }
+}
+
+TEST(Histogram, ValuesAboveTrackableClampButMaxStaysExact) {
+  Histogram h;
+  h.record(Histogram::kMaxTrackable + 12345);
+  EXPECT_EQ(Histogram::index_of(Histogram::kMaxTrackable + 12345),
+            Histogram::kSlots - 1);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), Histogram::kMaxTrackable + 12345);
+}
+
+TEST(Histogram, EmptyHistogramReportsZeros) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+}
+
+TEST(Histogram, SingleValueDistributionReportsThatValueAtEveryQuantile) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(4096);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0})
+    EXPECT_EQ(h.value_at_quantile(q), 4096u) << "q=" << q;
+}
+
+TEST(Histogram, QuantilesOfSmallExactValuesAreExact) {
+  // Values below kSubBuckets sit in unit-width buckets, so quantiles on
+  // them are exact, not approximate.
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);
+  EXPECT_EQ(h.p50(), 5u);
+  EXPECT_EQ(h.value_at_quantile(0.1), 1u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 10u);
+}
+
+TEST(Histogram, MergeIsCommutative) {
+  Histogram a, b;
+  std::uint64_t s = 7;
+  for (int i = 0; i < 5000; ++i) a.record(mix(s) % 1000000);
+  for (int i = 0; i < 3000; ++i) b.record(mix(s) % 50);
+  Histogram ab = a;
+  ab.merge(b);
+  Histogram ba = b;
+  ba.merge(a);
+  expect_same(ab, ba);
+}
+
+TEST(Histogram, MergeIsAssociative) {
+  Histogram a, b, c;
+  std::uint64_t s = 99;
+  for (int i = 0; i < 2000; ++i) a.record(mix(s) % (1ull << 20));
+  for (int i = 0; i < 2000; ++i) b.record(mix(s) % (1ull << 30));
+  for (int i = 0; i < 2000; ++i) c.record(mix(s) % 16);
+  Histogram left = a;  // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  Histogram bc = b;  // a + (b + c)
+  bc.merge(c);
+  Histogram right = a;
+  right.merge(bc);
+  expect_same(left, right);
+}
+
+TEST(Histogram, ShardedMergeEqualsSingleInstanceGolden) {
+  // The PDES-sharding contract: recording a stream into N shards and
+  // merging must equal recording the whole stream into one instance.
+  Histogram whole;
+  Histogram shards[4];
+  std::uint64_t s = 1234;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = mix(s) & Histogram::kMaxTrackable;
+    whole.record(v);
+    shards[i % 4].record(v);
+  }
+  Histogram merged;
+  for (const Histogram& sh : shards) merged.merge(sh);
+  expect_same(whole, merged);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  std::uint64_t s = 5;
+  for (int i = 0; i < 100; ++i) a.record(mix(s) % 100000);
+  Histogram b = a;
+  b.merge(Histogram{});
+  expect_same(a, b);
+}
+
+}  // namespace
+}  // namespace e2e::stats

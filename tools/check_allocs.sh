@@ -7,12 +7,17 @@
 # (engine, hosts, pools, trace interning) cancels out. Fails when the
 # per-GiB cost exceeds the pinned budget.
 #
-#   check_allocs.sh <libcount_allocs.so> <e2e_transfer_sim> <budget-per-gib>
+#   check_allocs.sh <libcount_allocs.so> <e2e_transfer_sim> <budget-per-gib> \
+#                   [extra scenario flags...]
+#
+# Extra flags are forwarded to both scenario runs, so the budget can be
+# pinned per configuration (e.g. `--stats 0` vs `--stats 1`).
 set -eu
 
 LIB=$1
 BIN=$2
 BUDGET=$3
+shift 3
 
 SMALL_GIB=1
 LARGE_GIB=3
@@ -22,9 +27,9 @@ OUT_LARGE=$(mktemp)
 trap 'rm -f "$OUT_SMALL" "$OUT_LARGE"' EXIT
 
 COUNT_ALLOCS_OUT="$OUT_SMALL" LD_PRELOAD="$LIB" \
-    "$BIN" e2e --gib "$SMALL_GIB" > /dev/null
+    "$BIN" e2e --gib "$SMALL_GIB" "$@" > /dev/null
 COUNT_ALLOCS_OUT="$OUT_LARGE" LD_PRELOAD="$LIB" \
-    "$BIN" e2e --gib "$LARGE_GIB" > /dev/null
+    "$BIN" e2e --gib "$LARGE_GIB" "$@" > /dev/null
 
 SMALL=$(cat "$OUT_SMALL")
 LARGE=$(cat "$OUT_LARGE")

@@ -26,6 +26,7 @@
 #include "fault/plan.hpp"
 #include "metrics/metrics.hpp"
 #include "rftp/rftp.hpp"
+#include "stats/stats.hpp"
 #include "trace/trace.hpp"
 
 using namespace e2e;
@@ -46,6 +47,8 @@ struct Options {
   std::string report_file;
   std::string fault_plan;       // scripted FaultPlan (see fault/plan.hpp)
   std::uint64_t fault_seed = 0; // != 0: seeded random plan instead
+  bool stats = true;            // always-on metrics + flight recorder
+  std::string stats_out;        // --stats-out FILE (.csv -> CSV, else JSON)
 #ifdef NDEBUG
   bool audit = false;  // Release: opt in with --audit 1
 #else
@@ -70,7 +73,9 @@ struct Options {
       "                   'loss@500ms:n=5;flap@1s:dur=20ms;qpkill@1500ms:qp=0'\n"
       "  --fault-seed N   inject a seeded random fault plan (rftp scenarios)\n"
       "  --audit 0|1      cross-layer invariant audits (default: on in\n"
-      "                   Debug builds, off in Release)\n",
+      "                   Debug builds, off in Release)\n"
+      "  --stats 0|1      per-entity metrics + flight recorder (default: on)\n"
+      "  --stats-out FILE write the stats dump (.csv -> CSV, else JSON)\n",
       stderr);
   std::exit(2);
 }
@@ -131,8 +136,14 @@ Options parse(int argc, char** argv) {
       o.fault_seed = std::strtoull(need("--fault-seed"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--audit"))
       o.audit = std::atoi(need("--audit")) != 0;
-    else
+    else if (!std::strcmp(argv[i], "--stats"))
+      o.stats = std::atoi(need("--stats")) != 0;
+    else if (!std::strcmp(argv[i], "--stats-out"))
+      o.stats_out = need("--stats-out");
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       usage();
+    }
   }
   return o;
 }
@@ -188,6 +199,45 @@ class TraceScope {
   static constexpr sim::SimDuration kSamplePeriod = 10 * sim::kMillisecond;
   const Options& o_;
   std::unique_ptr<trace::Tracer> tracer_;
+};
+
+/// Always-on (unless --stats 0) metric registry + flight recorder for one
+/// scenario run. Construct alongside the other scopes; call finish() with
+/// the scenario's exit code after it — a nonzero exit dumps the flight
+/// window to stderr (if nothing dumped it earlier) and --stats-out writes
+/// the aggregated metrics.
+class StatsScope {
+ public:
+  StatsScope(sim::Engine& eng, const Options& o) : o_(o) {
+    if (!o_.stats) return;
+    stats_ = std::make_unique<stats::Registry>(eng);
+    stats_->install();
+  }
+
+  [[nodiscard]] stats::Registry* get() noexcept { return stats_.get(); }
+
+  void finish(int exit_code) {
+    if (!stats_) return;
+    if (exit_code != 0 && !stats_->flight_dump_triggered())
+      stats_->trigger_flight_dump("cli:nonzero-exit");
+    if (!o_.stats_out.empty()) {
+      std::ofstream os(o_.stats_out);
+      if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", o_.stats_out.c_str());
+        std::exit(1);
+      }
+      if (o_.stats_out.size() >= 4 &&
+          o_.stats_out.compare(o_.stats_out.size() - 4, 4, ".csv") == 0)
+        stats_->write_csv(os);
+      else
+        stats_->write_json(os);
+    }
+    stats_.reset();
+  }
+
+ private:
+  const Options& o_;
+  std::unique_ptr<stats::Registry> stats_;
 };
 
 /// Optional cross-layer invariant auditing (e2e::check) for one scenario
@@ -279,6 +329,7 @@ int run_quick(const Options& o) {
   rftp::RftpSession sess({&pa, {&da}}, {&pb, {&db}}, {link.get()}, cfg);
   rftp::MemorySource src(o.gib << 30, numa::Placement::on(0));
   rftp::MemorySink dst;
+  StatsScope ss(eng, o);
   AuditScope as(eng, o);
   TraceScope ts(eng, o);
   FaultScope fs(eng, o, {link.get()}, &sess, cfg.streams);
@@ -289,7 +340,9 @@ int run_quick(const Options& o) {
               static_cast<unsigned long long>(o.gib), r.elapsed_s,
               r.goodput_gbps);
   fs.summary(sess, r);
-  return r.complete && r.integrity_ok && !as.failed() ? 0 : 1;
+  const int rc = r.complete && r.integrity_ok && !as.failed() ? 0 : 1;
+  ss.finish(rc);
+  return rc;
 }
 
 int run_e2e(const Options& o) {
@@ -311,6 +364,7 @@ int run_e2e(const Options& o) {
   metrics::ThroughputMeter meter(tb.eng, sim::kSecond);
   // After tb.start(): the testbed's setup run has drained, so the sampler
   // armed here stays alive exactly for the measured transfer.
+  StatsScope ss(tb.eng, o);
   AuditScope as(tb.eng, o);
   TraceScope ts(tb.eng, o);
   FaultScope fs(tb.eng, o, tb.links(), &sess, cfg.streams);
@@ -337,7 +391,9 @@ int run_e2e(const Options& o) {
   for (double g : meter.series_gbps()) std::printf("%.0f ", g);
   std::printf("Gbps\n");
   fs.summary(sess, r);
-  return r.complete && r.integrity_ok && !as.failed() ? 0 : 1;
+  const int rc = r.complete && r.integrity_ok && !as.failed() ? 0 : 1;
+  ss.finish(rc);
+  return rc;
 }
 
 int run_wan(const Options& o) {
@@ -351,6 +407,7 @@ int run_wan(const Options& o) {
                          {tb.link.get()}, cfg);
   rftp::MemorySource src(o.gib << 30, numa::Placement::on(0));
   rftp::MemorySink dst;
+  StatsScope ss(tb.eng, o);
   AuditScope as(tb.eng, o);
   TraceScope ts(tb.eng, o);
   FaultScope fs(tb.eng, o, {tb.link.get()}, &sess, cfg.streams);
@@ -364,7 +421,9 @@ int run_wan(const Options& o) {
       static_cast<double>(cfg.streams) * cfg.credits_per_stream *
           static_cast<double>(cfg.block_bytes) / 1e6);
   fs.summary(sess, r);
-  return r.complete && r.integrity_ok && !as.failed() ? 0 : 1;
+  const int rc = r.complete && r.integrity_ok && !as.failed() ? 0 : 1;
+  ss.finish(rc);
+  return rc;
 }
 
 int run_san(const Options& o) {
@@ -377,6 +436,7 @@ int run_san(const Options& o) {
   opts.block_bytes = o.block;
   opts.write = o.write;
   opts.duration = sim::from_seconds(o.duration_s);
+  StatsScope ss(tb.eng, o);
   AuditScope as(tb.eng, o);
   TraceScope ts(tb.eng, o);
   const auto r = tb.run_fio(opts, 4);
@@ -388,13 +448,18 @@ int run_san(const Options& o) {
   std::printf("san %s (%s): %.1f Gbps, target CPU %.0f%%\n",
               o.write ? "write" : "read", o.numa ? "numa-tuned" : "untuned",
               r.gbps, r.target_cpu_pct);
-  return as.failed() ? 1 : 0;
+  const int rc = as.failed() ? 1 : 0;
+  ss.finish(rc);
+  return rc;
 }
 
 int run_motivating(const Options& o) {
   bool audit_bad = false;
   for (const bool tuned : {false, true}) {
     exp::FrontEndPair pair;
+    // Each iteration has its own engine and registry; --stats-out keeps
+    // the tuned run's dump (the second write overwrites the first).
+    StatsScope ss(pair.eng, o);
     AuditScope as(pair.eng, o);
     apps::IperfConfig cfg;
     cfg.bidirectional = true;
@@ -413,7 +478,9 @@ int run_motivating(const Options& o) {
     std::printf("iperf bidirectional, %s: %.1f Gbps aggregate\n",
                 tuned ? "numa-tuned" : "default scheduler",
                 r.aggregate_gbps);
-    audit_bad |= as.failed();
+    const bool bad = as.failed();
+    audit_bad |= bad;
+    ss.finish(bad ? 1 : 0);
   }
   return audit_bad ? 1 : 0;
 }
