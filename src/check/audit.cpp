@@ -1,5 +1,6 @@
 #include "check/audit.hpp"
 
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -473,6 +474,86 @@ void Auditor::rftp_stream_dead(const void* sess, int stream) {
   if (s != nullptr) s->dead = true;
 }
 
+void Auditor::rftp_checkpoint(const void* sess,
+                              const std::vector<char>& ledger) {
+  RftpAudit* a = rftp_find(sess, "checkpoint");
+  if (a == nullptr) return;
+  if (ledger.size() != a->block_count) {
+    violate("rftp.ledger-size",
+            a->tag + ": checkpoint covers " + std::to_string(ledger.size()) +
+                " blocks of " + std::to_string(a->block_count));
+    return;
+  }
+  // Durability may only be claimed for blocks the audit saw drain.
+  for (std::uint64_t i = 0; i < a->block_count; ++i)
+    if (ledger[i] != 0 && !a->blocks[i].drained)
+      violate("rftp.ledger-unacked",
+              a->tag + ": checkpoint persists block " + std::to_string(i) +
+                  " that never drained");
+  a->ledgered = ledger;
+}
+
+void Auditor::rftp_crash(const void* sess, int host) {
+  RftpAudit* a = rftp_find(sess, "crash");
+  if (a == nullptr) return;
+  ++a->crashes;
+  if (a->crashes > a->resumes + 1)
+    violate("rftp.nested-crash",
+            a->tag + ": host " + std::to_string(host) +
+                " crashed while a prior crash had not resumed");
+  for (StreamAudit& s : a->streams) s.dead = true;
+}
+
+void Auditor::rftp_rollback(const void* sess, std::uint64_t block_idx,
+                            std::uint64_t bytes, std::uint64_t tag) {
+  RftpAudit* a = rftp_find(sess, "rollback");
+  if (a == nullptr) return;
+  if (block_idx >= a->block_count) {
+    violate("rftp.block-out-of-range",
+            a->tag + ": rolled back block " + std::to_string(block_idx) +
+                " of " + std::to_string(a->block_count));
+    return;
+  }
+  BlockAudit& b = a->blocks[block_idx];
+  if (!b.drained) {
+    violate("rftp.rollback-not-drained",
+            a->tag + ": block " + std::to_string(block_idx) +
+                " rolled back but was never drained");
+    return;
+  }
+  if (block_idx < a->ledgered.size() && a->ledgered[block_idx] != 0) {
+    // A durably acked block may never be re-sent: rolling it back would
+    // double-count its bytes as goodput when it drains again.
+    violate("rftp.rollback-ledgered",
+            a->tag + ": block " + std::to_string(block_idx) +
+                " rolled back despite a durable ledger entry");
+    return;
+  }
+  b.drained = false;
+  a->delivered -= bytes;
+  a->digest ^= tag;
+  ++a->rollbacks;
+}
+
+void Auditor::rftp_stream_revived(const void* sess, int stream) {
+  StreamAudit* s = rftp_stream(sess, stream, "stream-revived");
+  if (s == nullptr) return;
+  s->dead = false;
+  // Re-login hands every token back to the receiver; the session's full
+  // re-grant follows and walks them through the normal cycle again.
+  for (TokenState& t : s->tokens) t = TokenState::kReceiver;
+}
+
+void Auditor::rftp_resume(const void* sess) {
+  RftpAudit* a = rftp_find(sess, "resume");
+  if (a == nullptr) return;
+  ++a->resumes;
+  if (a->resumes > a->crashes)
+    violate("rftp.resume-without-crash",
+            a->tag + ": resume #" + std::to_string(a->resumes) +
+                " with only " + std::to_string(a->crashes) + " crash(es)");
+}
+
 void Auditor::rftp_end(const void* sess, bool complete,
                        std::uint64_t delivered_bytes,
                        std::uint64_t sink_digest) {
@@ -490,11 +571,14 @@ void Auditor::rftp_end(const void* sess, bool complete,
             a->tag + ": session digest " + std::to_string(sink_digest) +
                 " != audited digest " + std::to_string(a->digest));
   if (complete) {
-    if (a->fresh_drains != a->block_count)
+    // Exactly-once across crash epochs: every block drains fresh once,
+    // plus exactly one extra drain per crash rollback.
+    if (a->fresh_drains != a->block_count + a->rollbacks)
       violate("rftp.missing-blocks",
               a->tag + ": transfer completed with " +
-                  std::to_string(a->fresh_drains) + " of " +
-                  std::to_string(a->block_count) + " blocks drained");
+                  std::to_string(a->fresh_drains) + " fresh drains for " +
+                  std::to_string(a->block_count) + " blocks + " +
+                  std::to_string(a->rollbacks) + " rollbacks");
     if (a->delivered != a->total_bytes)
       violate("rftp.byte-conservation",
               a->tag + ": transfer completed with " +

@@ -138,6 +138,26 @@ class Auditor final : public sim::AuditHook {
                   std::uint64_t block_idx, std::uint64_t bytes,
                   std::uint64_t landed_tag, bool duplicate, bool checksum_ok);
   void rftp_stream_dead(const void* sess, int stream);
+  // Crash-epoch hooks: the auditor carries block/credit conservation
+  // across crash-stop fault domains (host crash + scripted restart).
+  /// The receiver checkpointed its acked-block ledger. `ledger` is the
+  /// durable bitmap (1 = acked and persisted); a ledger claiming a block
+  /// the audit never saw drain is a violation.
+  void rftp_checkpoint(const void* sess, const std::vector<char>& ledger);
+  /// Host `host` (0 = sender, 1 = receiver) crash-stopped: every stream
+  /// dies at once; volatile receiver state may roll back next.
+  void rftp_crash(const void* sess, int host);
+  /// A drained-but-unledgered block was un-drained by a receiver crash.
+  /// Rolling back a ledgered (durably acked) block — which would let its
+  /// bytes count as goodput twice — is a violation.
+  void rftp_rollback(const void* sess, std::uint64_t block_idx,
+                     std::uint64_t bytes, std::uint64_t tag);
+  /// Stream `stream` came back with the restarted host. Re-login returns
+  /// every credit token to the receiver (states reset before the
+  /// session's full re-grant).
+  void rftp_stream_revived(const void* sess, int stream);
+  /// The restart completed: the session resumed the transfer.
+  void rftp_resume(const void* sess);
   /// The transfer finished. `delivered_bytes`/`sink_digest` are the
   /// session's own tallies; the auditor reconciles them against its
   /// independently accumulated ledger and the analytic digest.
@@ -243,6 +263,14 @@ class Auditor final : public sim::AuditHook {
     std::uint64_t fresh_drains = 0;
     std::uint64_t dup_drains = 0;
     std::uint64_t checksum_rejects = 0;
+    // Crash-epoch state: the durable acked bitmap as of the last
+    // checkpoint, plus crash/resume/rollback tallies. fresh_drains must
+    // equal block_count + rollbacks on a complete transfer — each rolled
+    // back block drains exactly once more, never double-counting goodput.
+    std::vector<char> ledgered;
+    std::uint64_t crashes = 0;
+    std::uint64_t resumes = 0;
+    std::uint64_t rollbacks = 0;
     bool ended = false;
     bool complete = false;
   };

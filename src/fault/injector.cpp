@@ -29,14 +29,16 @@ void FaultInjector::attach(net::Link& link) {
 void FaultInjector::arm() {
   if (armed_) throw std::logic_error("FaultInjector armed twice");
   armed_ = true;
-  for (const auto& ev : plan_.events) {
-    if (ev.type != FaultType::kQpKill &&
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& ev = plan_.events[i];
+    if (ev.type != FaultType::kQpKill && ev.type != FaultType::kCrash &&
         ev.link >= static_cast<int>(links_.size())) {
       ++skipped_events_;
       continue;
     }
-    const FaultEvent e = ev;
-    eng_.schedule_at(e.at, [this, e] { apply(e); });
+    // Capture the index, not the event: FaultEvent outgrew the EventFn
+    // inline buffer, and plan_.events is immutable once armed.
+    eng_.schedule_at(ev.at, [this, i] { apply(plan_.events[i]); });
   }
 }
 
@@ -61,6 +63,18 @@ void FaultInjector::apply(const FaultEvent& ev) {
       tr->counter("fault/injected").add(1);
     }
     if (qp_kill_) qp_kill_(ev.qp);
+    else ++skipped_events_;
+    return;
+  }
+  if (ev.type == FaultType::kCrash) {
+    ++faults_injected_;
+    if (auto* tr = trace::of(eng_)) {
+      const auto tk =
+          plan_trk_.get(tr, trace::Layer::kFault, "fault/plan");
+      tr->instant(tk, "host-crash");
+      tr->counter("fault/injected").add(1);
+    }
+    if (crash_) crash_(ev.host, ev.down);
     else ++skipped_events_;
     return;
   }
@@ -115,6 +129,7 @@ void FaultInjector::apply(const FaultEvent& ev) {
       break;
     }
     case FaultType::kQpKill:
+    case FaultType::kCrash:
       break;  // handled above
   }
 }

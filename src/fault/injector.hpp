@@ -37,6 +37,13 @@ class FaultInjector final : public net::FaultHook {
     qp_kill_ = std::move(handler);
   }
 
+  /// Handler for kCrash events; receives the event's host index and the
+  /// scripted downtime (0 = the host never restarts).
+  void set_crash_handler(
+      std::function<void(int, sim::SimDuration)> handler) {
+    crash_ = std::move(handler);
+  }
+
   /// Schedules every plan event on the engine. Call once, before running.
   /// Events naming a link index with no attached link are ignored (counted
   /// in skipped_events()).
@@ -90,6 +97,7 @@ class FaultInjector final : public net::FaultHook {
   FaultPlan plan_;
   std::vector<LinkState> links_;
   std::function<void(int)> qp_kill_;
+  std::function<void(int, sim::SimDuration)> crash_;
   int blackhole_fail_rtts_ = 4;
   bool armed_ = false;
   std::uint64_t faults_injected_ = 0;

@@ -67,6 +67,24 @@ std::string format_time(sim::SimDuration t) {
   return std::to_string(t / div) + unit;
 }
 
+/// Key/type applicability: a key that exists but is meaningless for this
+/// event type is rejected like an unknown key — it is the same operator
+/// typo, just one column over.
+bool key_applies(FaultType t, std::string_view key) {
+  if (key == "link")
+    return t != FaultType::kQpKill && t != FaultType::kCrash;
+  if (key == "n") return t == FaultType::kLossBurst;
+  if (key == "dir")
+    return t == FaultType::kLossBurst || t == FaultType::kBlackhole;
+  if (key == "dur")
+    return t == FaultType::kLossBurst || t == FaultType::kLinkFlap ||
+           t == FaultType::kLatencySpike || t == FaultType::kBlackhole;
+  if (key == "add") return t == FaultType::kLatencySpike;
+  if (key == "qp") return t == FaultType::kQpKill;
+  if (key == "host" || key == "down") return t == FaultType::kCrash;
+  return false;
+}
+
 FaultEvent parse_event(std::string_view spec, std::string_view ev) {
   const auto at_pos = ev.find('@');
   if (at_pos == std::string_view::npos)
@@ -86,9 +104,11 @@ FaultEvent parse_event(std::string_view spec, std::string_view ev) {
   else if (type_tok == "spike") e.type = FaultType::kLatencySpike;
   else if (type_tok == "hole") e.type = FaultType::kBlackhole;
   else if (type_tok == "qpkill") e.type = FaultType::kQpKill;
+  else if (type_tok == "crash") e.type = FaultType::kCrash;
   else bad(spec, "unknown fault type \"" + std::string(type_tok) + "\"");
   e.at = parse_time(spec, time_tok);
 
+  std::vector<std::string_view> seen_keys;
   while (!params.empty()) {
     std::string_view kv = params;
     if (const auto comma = params.find(','); comma != std::string_view::npos) {
@@ -104,17 +124,30 @@ FaultEvent parse_event(std::string_view spec, std::string_view ev) {
       bad(spec, "parameter \"" + std::string(kv) + "\" missing =");
     const std::string_view key = kv.substr(0, eq);
     const std::string_view val = kv.substr(eq + 1);
+    if (std::find(seen_keys.begin(), seen_keys.end(), key) != seen_keys.end())
+      bad(spec, "duplicate parameter \"" + std::string(key) + "\"");
+    seen_keys.push_back(key);
+    const bool known = key == "n" || key == "link" || key == "dir" ||
+                       key == "dur" || key == "add" || key == "qp" ||
+                       key == "host" || key == "down";
+    if (!known) bad(spec, "unknown parameter \"" + std::string(key) + "\"");
+    if (!key_applies(e.type, key))
+      bad(spec, "parameter \"" + std::string(key) + "\" does not apply to " +
+                    std::string(fault::to_string(e.type)));
     if (key == "n") e.count = parse_int(spec, val);
     else if (key == "link") e.link = parse_int(spec, val);
     else if (key == "dir") e.dir = parse_dir(spec, val);
     else if (key == "dur") e.duration = parse_time(spec, val);
     else if (key == "add") e.extra_latency = parse_time(spec, val);
     else if (key == "qp") e.qp = parse_int(spec, val);
+    else if (key == "host") e.host = parse_int(spec, val);
+    else if (key == "down") e.down = parse_time(spec, val);
     else bad(spec, "unknown parameter \"" + std::string(key) + "\"");
   }
   if (e.count < 1) bad(spec, "n must be >= 1");
   if (e.link < 0) bad(spec, "link must be >= 0");
   if (e.qp < 0) bad(spec, "qp must be >= 0");
+  if (e.host < 0) bad(spec, "host must be >= 0");
   if ((e.type == FaultType::kLinkFlap || e.type == FaultType::kLatencySpike ||
        e.type == FaultType::kBlackhole) &&
       e.duration == 0)
@@ -183,6 +216,10 @@ std::string FaultPlan::to_string() const {
       case FaultType::kQpKill:
         out += ":qp=" + std::to_string(e.qp);
         break;
+      case FaultType::kCrash:
+        out += ":host=" + std::to_string(e.host);
+        if (e.down > 0) out += ",down=" + format_time(e.down);
+        break;
     }
   }
   return out;
@@ -249,6 +286,17 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomParams& p) {
       e.at = when();
       e.qp = static_cast<int>(
           rng.uniform_u64(0, static_cast<std::uint64_t>(p.qps) - 1));
+      plan.events.push_back(e);
+    }
+  }
+  if (p.hosts > 0) {
+    for (int i = 0; i < p.crashes; ++i) {
+      FaultEvent e;
+      e.type = FaultType::kCrash;
+      e.at = when();
+      e.host = static_cast<int>(
+          rng.uniform_u64(0, static_cast<std::uint64_t>(p.hosts) - 1));
+      e.down = dur(p.max_down);
       plan.events.push_back(e);
     }
   }

@@ -14,6 +14,9 @@
 //   spike@2s:dur=100ms,add=5ms       +5 ms one-way latency for 100 ms
 //   hole@1200ms:dur=10ms,dir=ba      unidirectional blackhole for 10 ms
 //   qpkill@1500ms:qp=0               kill QP/stream index 0
+//   crash@2s:host=1,down=50ms        crash-stop host 1 (receiver side),
+//                                    restart after 50 ms; down=0 (or
+//                                    omitted) means it never comes back
 // Times take ns/us/ms/s suffixes (a bare number means seconds).
 #pragma once
 
@@ -34,6 +37,7 @@ enum class FaultType : std::uint8_t {
   kLatencySpike,  // extra one-way latency for a duration
   kBlackhole,     // one direction silently eats traffic for a duration
   kQpKill,        // kill one QP / transfer stream by index
+  kCrash,         // crash-stop one host; restart after `down` (0 = never)
 };
 
 [[nodiscard]] constexpr const char* to_string(FaultType t) noexcept {
@@ -43,6 +47,7 @@ enum class FaultType : std::uint8_t {
     case FaultType::kLatencySpike: return "spike";
     case FaultType::kBlackhole: return "hole";
     case FaultType::kQpKill: return "qpkill";
+    case FaultType::kCrash: return "crash";
   }
   return "?";
 }
@@ -56,6 +61,8 @@ struct FaultEvent {
   sim::SimDuration duration = 0;        // flap/spike/hole window
   sim::SimDuration extra_latency = 0;   // spike magnitude (one-way)
   int qp = 0;                           // qpkill target index
+  int host = 0;                         // crash target host index
+  sim::SimDuration down = 0;            // crash downtime (0 = no restart)
 };
 
 struct FaultPlan {
@@ -87,6 +94,12 @@ struct FaultPlan {
     int holes = 1;
     sim::SimDuration max_hole = 10 * sim::kMillisecond;
     int qp_kills = 1;
+    int hosts = 0;      // 0 disables crash events
+    int crashes = 0;
+    // Random crash downtimes draw from [max_down/4, max_down]; keep the
+    // floor well above link latency so nothing in flight at crash time is
+    // still on the wire when the host comes back.
+    sim::SimDuration max_down = 50 * sim::kMillisecond;
   };
 
   /// Deterministic seeded plan: same (seed, params) => same plan.

@@ -1,0 +1,60 @@
+#include "fault/watchdog.hpp"
+
+#include "trace/tracer.hpp"
+
+namespace e2e::fault {
+
+void Watchdog::arm(const Deadline& dl, std::function<void()> on_dead) {
+  dl_ = dl;
+  on_dead_ = std::move(on_dead);
+  armed_ = true;
+  dead_ = false;
+  suspicious_ = false;
+  quiet_count_ = 0;
+  armed_at_ = eng_.now();
+  last_kick_ = eng_.now();
+  last_seen_kick_ = eng_.now();
+  const std::uint64_t gen = ++generation_;
+  eng_.schedule_after(dl_.quiet, [this, gen] { check(gen); });
+}
+
+void Watchdog::check(std::uint64_t gen) {
+  if (!armed_ || gen != generation_) return;  // stale timer after disarm
+  const bool progressed = last_kick_ > last_seen_kick_;
+  last_seen_kick_ = last_kick_;
+  if (progressed) {
+    if (suspicious_) {
+      // The peer was slow, not dead: the suspicion was false. Count it so
+      // operators can tell an over-tight `quiet` from real instability.
+      ++false_suspicions_;
+      if (on_false_suspect_) on_false_suspect_();
+      if (auto* tr = trace::of(eng_))
+        tr->instant(tr->track(trace::Layer::kFault, "fault/watchdog"),
+                    "false-suspect");
+    }
+    suspicious_ = false;
+    quiet_count_ = 0;
+  } else {
+    suspicious_ = true;
+    ++suspicions_;
+    ++quiet_count_;
+    if (auto* tr = trace::of(eng_))
+      tr->instant(tr->track(trace::Layer::kFault, "fault/watchdog"),
+                  "quiet-period");
+  }
+  const bool hard_blown =
+      dl_.hard > 0 && eng_.now() - last_kick_ >= dl_.hard;
+  if (quiet_count_ >= dl_.max_quiet || hard_blown) {
+    dead_ = true;
+    armed_ = false;
+    ++generation_;
+    if (auto* tr = trace::of(eng_))
+      tr->instant(tr->track(trace::Layer::kFault, "fault/watchdog"),
+                  "declared-dead");
+    if (on_dead_) on_dead_();
+    return;
+  }
+  eng_.schedule_after(dl_.quiet, [this, gen] { check(gen); });
+}
+
+}  // namespace e2e::fault

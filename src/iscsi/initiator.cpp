@@ -5,6 +5,7 @@
 
 #include "check/audit.hpp"
 #include "fault/integrity.hpp"
+#include "fault/watchdog.hpp"
 
 namespace e2e::iscsi {
 
@@ -96,11 +97,8 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
     // Arm a (jittered) timeout. The timer holds a generation-counted Ref:
     // once the rendezvous is erased (or its slot recycled for a later
     // command), a late firing resolves to null instead of waking anyone.
-    sim::SimDuration armed = timeout;
-    if (policy_.jitter > 0.0)
-      armed += static_cast<sim::SimDuration>(
-          jitter_rng_.uniform(0.0, policy_.jitter) *
-          static_cast<double>(timeout));
+    const sim::SimDuration armed =
+        fault::with_jitter(timeout, policy_.jitter, jitter_rng_);
     eng.schedule_after(armed, [tbl = &pending_, pending_ref] {
       if (Pending* p = tbl->get(pending_ref)) p->wake.send(false);
     });
@@ -134,9 +132,8 @@ sim::Task<scsi::Status> Initiator::submit_io(numa::Thread& th, scsi::OpCode op,
     // the backoff multiplier (capped). The target suppresses duplicates,
     // so at-most-once execution is preserved.
     ++command_retries_;
-    timeout = static_cast<sim::SimDuration>(
-        static_cast<double>(timeout) * policy_.backoff_multiplier);
-    if (policy_.backoff_cap > 0) timeout = std::min(timeout, policy_.backoff_cap);
+    timeout =
+        fault::grow(timeout, policy_.backoff_multiplier, policy_.backoff_cap);
     if (auto* tr = trace::of(eng)) {
       tr->instant(trace_trk_.get(tr, trace::Layer::kIscsi,
                                  proc_.host().name() + "/initiator"),
@@ -198,8 +195,8 @@ sim::Task<scsi::Status> Initiator::submit_read(numa::Thread& th,
                   "digest-mismatch");
       tr->counter("iscsi/digest_errors").add(1);
     }
-    if (auto* st = stats::of(eng))
-      st->counter(stats_entity(st), "digest_errors").add(1);
+    if (auto* sr = stats::of(eng))
+      sr->counter(stats_entity(sr), "digest_errors").add(1);
     if (attempt >= policy_.max_digest_retries) {
       ++command_failures_;
       if (auto* tr = trace::of(eng))

@@ -36,6 +36,12 @@ sim::Task<> IserEndpoint::start(numa::Thread& cq_thread) {
   sim::co_spawn(recv_cq_loop(cq_thread));
 }
 
+sim::Task<> IserEndpoint::repost_ring(numa::Thread& th) {
+  if (!started_) throw std::logic_error("repost_ring before start()");
+  for (int i = 0; i < ctrl_depth_; ++i)
+    co_await qp_.post_recv(th, rdma::RecvWr{0, &recv_buf_});
+}
+
 sim::Task<> IserEndpoint::send_cq_loop(numa::Thread& th) {
   for (;;) {
     auto wc = co_await qp_.send_cq().wait(th);

@@ -40,6 +40,11 @@ class IserEndpoint final : public iscsi::Datamover {
   /// any traffic flows.
   sim::Task<> start(numa::Thread& cq_thread);
 
+  /// Re-posts the full receive ring after a host crash emptied it
+  /// (QueuePair::crash() discards every posted WR). Without this the
+  /// first post-restart PDU would wait forever for a matching receive.
+  sim::Task<> repost_ring(numa::Thread& th);
+
   // --- Datamover interface ---
   sim::Task<> send_pdu(numa::Thread& th, const iscsi::Pdu& pdu) override;
   sim::Task<std::optional<iscsi::Pdu>> recv_pdu(numa::Thread& th) override;

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 
+#include "fault/watchdog.hpp"
 #include "iser/iser.hpp"
 #include "net/link.hpp"
 #include "rdma/cm.hpp"
@@ -51,6 +53,21 @@ class IserSession {
   /// wait for the recovery supervisor (see enable_recovery()).
   void kill() { pair_.kill(); }
 
+  /// Crash-stop of the target host: the pair dies, the target side loses
+  /// its posted receives (volatile state), and re-logins are refused for
+  /// `down` (0 = the host never returns). The recovery supervisor burns
+  /// its attempt budget against the refusals, so an outage longer than
+  /// the backoff schedule surfaces as an abandoned session; in-flight
+  /// command dedup across the re-login rides the target's existing
+  /// completed-command replay window.
+  void crash(sim::SimDuration down) {
+    auto& eng = pair_.a().device().host().engine();
+    down_until_ = down > 0 ? eng.now() + down
+                           : std::numeric_limits<sim::SimTime>::max();
+    ring_lost_ = true;  // the target's posted receives die with the host
+    pair_.crash(1);
+  }
+
   /// Spawns a supervisor that watches for QP death and re-establishes the
   /// connection with capped exponential backoff + jitter, revalidating MRs
   /// per `policy`. Call after start(); `init_th`/`tgt_th` must outlive the
@@ -67,6 +84,10 @@ class IserSession {
     return recoveries_;
   }
   [[nodiscard]] bool abandoned() const noexcept { return abandoned_; }
+  /// Re-establishment attempts refused because the peer host was down.
+  [[nodiscard]] std::uint64_t relogins_refused() const noexcept {
+    return relogins_refused_;
+  }
 
   [[nodiscard]] rdma::ConnectedPair& pair() noexcept { return pair_; }
   [[nodiscard]] IserEndpoint& initiator_ep() noexcept {
@@ -77,27 +98,23 @@ class IserSession {
  private:
   sim::Task<> supervise(numa::Thread& init_th, numa::Thread& tgt_th) {
     auto& eng = init_th.host().engine();
-    sim::Rng rng(policy_.seed);
-    int consecutive_failures = 0;
+    // Back off before re-establishing (real CMs pace reconnects so a
+    // flapping fabric is not hammered), growing the delay while the
+    // fabric keeps killing us right back. The shared fault::Backoff
+    // reproduces the historical inline schedule bit-for-bit (same
+    // growth, cap, unconditional jitter draw, seed).
+    fault::Backoff backoff(policy_.backoff, policy_.multiplier,
+                           policy_.backoff_cap, policy_.jitter,
+                           policy_.seed);
     for (;;) {
       co_await pair_.a().error_event().wait();
-      sim::SimDuration backoff = policy_.backoff;
-      // Back off before re-establishing (real CMs pace reconnects so a
-      // flapping fabric is not hammered), growing the delay while the
-      // fabric keeps killing us right back.
-      for (int i = 0; i < consecutive_failures; ++i)
-        backoff = std::min(static_cast<sim::SimDuration>(
-                               static_cast<double>(backoff) *
-                               policy_.multiplier),
-                           policy_.backoff_cap);
-      backoff += static_cast<sim::SimDuration>(
-          rng.uniform(0.0, policy_.jitter) * static_cast<double>(backoff));
-      co_await sim::Delay{eng, backoff};
+      co_await sim::Delay{eng, backoff.next()};
       if (pair_.alive()) {  // someone else recovered while we backed off
-        consecutive_failures = 0;
+        backoff.reset();
         continue;
       }
-      if (++consecutive_failures > policy_.max_attempts) {
+      const int consecutive_failures = backoff.attempts();
+      if (consecutive_failures > policy_.max_attempts) {
         // Budget exhausted: close the session. Submitters drain with
         // terminal errors through the initiator's own retry budget.
         abandoned_ = true;
@@ -117,10 +134,25 @@ class IserSession {
         }
         co_return;
       }
+      if (eng.now() < down_until_) {
+        // The peer host is still down: connection refused. The attempt
+        // burns budget and the next backoff grows — exactly how a real
+        // initiator discovers a crashed target, one refused login at a
+        // time.
+        ++relogins_refused_;
+        if (auto* tr = trace::of(eng))
+          tr->counter("iser/relogins_refused").add(1);
+        continue;
+      }
       co_await pair_.reestablish(init_th, tgt_th, policy_.mr_bytes_initiator,
                                  policy_.mr_bytes_target);
       if (pair_.alive()) {
-        consecutive_failures = 0;
+        if (ring_lost_) {
+          // Restart epoch: rebuild the receive ring the crash emptied.
+          ring_lost_ = false;
+          co_await target_ep_.repost_ring(tgt_th);
+        }
+        backoff.reset();
         ++recoveries_;
         if (auto* tr = trace::of(eng))
           tr->counter("iser/session_recoveries").add(1);
@@ -138,7 +170,10 @@ class IserSession {
   SessionRecoveryPolicy policy_;
   bool supervising_ = false;
   bool abandoned_ = false;
+  bool ring_lost_ = false;  // crash emptied the target's receive ring
   std::uint64_t recoveries_ = 0;
+  std::uint64_t relogins_refused_ = 0;
+  sim::SimTime down_until_ = 0;  // crash(): re-logins refused until here
 };
 
 }  // namespace e2e::iser

@@ -47,6 +47,16 @@ class ConnectedPair {
     return a_.alive() && b_.alive();
   }
 
+  /// Crash-stop of one endpoint (0 = a, 1 = b): the crashed side loses
+  /// its posted receives (QueuePair::crash), the surviving side merely
+  /// errors out (its state is intact but the connection is gone).
+  void crash(int side) {
+    QueuePair& dead = side == 0 ? a_ : b_;
+    QueuePair& peer = side == 0 ? b_ : a_;
+    dead.crash();
+    peer.kill();
+  }
+
   /// Recovers a killed pair: QP bring-up on both sides (including MR
   /// revalidation for the given registered bytes), then the CM handshake
   /// round trip. Safe to call when already established (no-op recover).

@@ -35,6 +35,7 @@ trace::TrackId QueuePair::rx_track(trace::Tracer* tr) {
 void QueuePair::kill() {
   if (state_ == QpState::kError) return;
   state_ = QpState::kError;
+  ++epoch_;
   ready_event_.reset();
   error_event_.set();
   if (auto* tr = trace::of(dev_.host().engine())) {
@@ -46,6 +47,18 @@ void QueuePair::kill() {
     const auto e = stats_entity(st);
     st->flight(stats::Layer::kRdma, e, code_kill_.get(st, "qp-kill"), 0);
   }
+}
+
+void QueuePair::crash() {
+  kill();
+  // A crashed host loses its receive ring: drain (never close — the
+  // receiver loop must survive for the restart epoch) every posted WR.
+  while (recv_q_.try_recv().has_value()) ++recvs_dropped_;
+  // It also loses its CQ memory: completions that landed before the
+  // crash but were never reaped must not replay into whatever consumer
+  // the restart epoch arms (a grant completion from the dead connection
+  // replayed after re-login would double-issue that credit token).
+  cqes_dropped_ += scq_.discard_pending() + rcq_.discard_pending();
 }
 
 sim::Task<> QueuePair::recover(numa::Thread& th,
@@ -61,6 +74,7 @@ sim::Task<> QueuePair::recover(numa::Thread& th,
                         metrics::CpuCategory::kUserProto);
   }
   state_ = QpState::kRts;
+  ++epoch_;
   ++recoveries_;
   error_event_.reset();
   ready_event_.set();
@@ -154,8 +168,15 @@ sim::Task<> QueuePair::post_recv(numa::Thread& th, RecvWr wr) {
 void QueuePair::deliver_after_latency(Delivery d,
                                       sim::SimDuration extra_latency) {
   QueuePair* peer = peer_;
-  dev_.host().engine().schedule_after(link_->latency() + extra_latency,
-                                      [peer, d] { peer->inbound_.send(d); });
+  // Old-incarnation rejection: stamp the receiver's epoch as the message
+  // leaves this end. If the peer is torn down and rebuilt while it is in
+  // flight (host crash + restart), the stamp no longer matches by arrival
+  // — the PSN/QPN mismatch of real verbs — and the receiver drops it
+  // instead of handing a dead connection's traffic to the new epoch.
+  d.epoch = peer->epoch_;
+  dev_.host().engine().schedule_after(
+      link_->latency() + extra_latency,
+      [peer, d]() mutable { peer->inbound_.send(std::move(d)); });
 }
 
 // Pushes a failed completion for `wr`, after `delay` when the failure only
@@ -269,6 +290,24 @@ sim::Task<> QueuePair::sender_loop() {
   }
 }
 
+void QueuePair::note_inbound_drop(const Delivery& d) {
+  auto& eng = dev_.host().engine();
+  ++inbound_dropped_;
+  if (auto* au = check::of(eng))
+    au->on_qp_drop(this, dev_.host().name(), d.bytes);
+  if (auto* tr = trace::of(eng)) {
+    const auto tk = rx_track(tr);
+    tr->instant(tk, "drop-err");
+    tr->counter("rdma/inbound_dropped").add(1);
+  }
+  if (auto* st = stats::of(eng)) {
+    const auto e = stats_entity(st);
+    sctr_dropped_.get(st, e, "inbound_dropped").add(1);
+    st->flight(stats::Layer::kRdma, e, code_drop_.get(st, "rx-drop"),
+               d.bytes);
+  }
+}
+
 sim::Task<> QueuePair::receiver_loop() {
   auto& eng = dev_.host().engine();
   for (;;) {
@@ -276,22 +315,11 @@ sim::Task<> QueuePair::receiver_loop() {
     if (!d) co_return;
     // An errored QP drops inbound traffic on the floor (the real NIC nacks
     // it; the sender's transport-level retries eventually surface a failed
-    // completion on its side).
-    if (state_ == QpState::kError) {
-      ++inbound_dropped_;
-      if (auto* au = check::of(eng))
-        au->on_qp_drop(this, dev_.host().name(), d->bytes);
-      if (auto* tr = trace::of(eng)) {
-        const auto tk = rx_track(tr);
-        tr->instant(tk, "drop-err");
-        tr->counter("rdma/inbound_dropped").add(1);
-      }
-      if (auto* st = stats::of(eng)) {
-        const auto e = stats_entity(st);
-        sctr_dropped_.get(st, e, "inbound_dropped").add(1);
-        st->flight(stats::Layer::kRdma, e, code_drop_.get(st, "rx-drop"),
-                   d->bytes);
-      }
+    // completion on its side). A stale epoch means the QP died after this
+    // message arrived and a recover() raced ahead of the processing — the
+    // message belongs to the dead connection, so it drops all the same.
+    if (state_ == QpState::kError || d->epoch != epoch_) {
+      note_inbound_drop(*d);
       continue;
     }
     const sim::SimTime t0 = eng.now();
@@ -317,6 +345,14 @@ sim::Task<> QueuePair::receiver_loop() {
         // Consume a posted receive; wait (receiver-not-ready) when none.
         auto rwr = co_await recv_q_.recv();
         if (!rwr) co_return;
+        if (d->epoch != epoch_) {
+          // The QP died while this arrival waited receiver-not-ready; the
+          // receive it just consumed was posted by the new epoch, so hand
+          // it back before dropping the dead epoch's message.
+          recv_q_.send(*rwr);
+          note_inbound_drop(*d);
+          continue;
+        }
         if (rwr->buf->bytes < d->bytes)
           throw std::length_error("posted receive smaller than inbound send");
         if (auto* au = check::of(eng))
@@ -325,6 +361,10 @@ sim::Task<> QueuePair::receiver_loop() {
         const sim::SimTime done =
             dev_.charge_dma(rwr->buf->placement, d->bytes, /*to_wire=*/false);
         co_await sim::until(eng, done);
+        if (d->epoch != epoch_) {  // QP died mid-DMA: landing voided
+          note_inbound_drop(*d);
+          continue;
+        }
         bytes_delivered_ += d->bytes;
         if (auto* au = check::of(eng))
           au->on_qp_rx(this, dev_.host().name(), d->bytes);
@@ -335,12 +375,21 @@ sim::Task<> QueuePair::receiver_loop() {
       case Opcode::kWriteImm: {
         auto rwr = co_await recv_q_.recv();
         if (!rwr) co_return;
+        if (d->epoch != epoch_) {  // see the kSend twin above
+          recv_q_.send(*rwr);
+          note_inbound_drop(*d);
+          continue;
+        }
         if (auto* au = check::of(eng))
           au->on_dma_check(this, dev_.host().name(), d->target->registered,
                            "write-imm target region");
         const sim::SimTime done =
             dev_.charge_dma(d->target->placement, d->bytes, /*to_wire=*/false);
         co_await sim::until(eng, done);
+        if (d->epoch != epoch_) {  // QP died mid-DMA: landing voided
+          note_inbound_drop(*d);
+          continue;
+        }
         bytes_delivered_ += d->bytes;
         if (auto* au = check::of(eng))
           au->on_qp_rx(this, dev_.host().name(), d->bytes);
@@ -356,6 +405,10 @@ sim::Task<> QueuePair::receiver_loop() {
         const sim::SimTime done =
             dev_.charge_dma(d->target->placement, d->bytes, /*to_wire=*/false);
         co_await sim::until(eng, done);
+        if (d->epoch != epoch_) {  // QP died mid-DMA: landing voided
+          note_inbound_drop(*d);
+          continue;
+        }
         bytes_delivered_ += d->bytes;
         if (auto* au = check::of(eng))
           au->on_qp_rx(this, dev_.host().name(), d->bytes);

@@ -74,6 +74,12 @@ class QueuePair {
   /// (re-pinning after a NIC reset). Signals ready_event(). No-op in kRts.
   sim::Task<> recover(numa::Thread& th, std::uint64_t revalidate_bytes = 0);
 
+  /// Crash-stop semantics: kill() plus loss of all volatile QP state —
+  /// every posted-but-unconsumed receive is discarded (a rebooted host
+  /// has no receive ring). The owner must re-post receives after
+  /// recover(). Idempotent like kill().
+  void crash();
+
   [[nodiscard]] QpState state() const noexcept { return state_; }
   [[nodiscard]] bool alive() const noexcept {
     return state_ == QpState::kRts;
@@ -109,6 +115,12 @@ class QueuePair {
   [[nodiscard]] std::uint64_t recoveries() const noexcept {
     return recoveries_;
   }
+  [[nodiscard]] std::uint64_t recvs_dropped() const noexcept {
+    return recvs_dropped_;
+  }
+  [[nodiscard]] std::uint64_t cqes_dropped() const noexcept {
+    return cqes_dropped_;
+  }
 
  private:
   struct Delivery {
@@ -118,6 +130,12 @@ class QueuePair {
     std::uint32_t imm;
     mem::MsgPtr payload;
     std::uint64_t content_tag;  // integrity tag XORed into `target`
+    // Receiver epoch at send time (stamped as the message leaves the
+    // peer). Wire flight and processing both take time — latency, RNR
+    // waits, DMA — and the QP can die and recover underneath; a delivery
+    // whose epoch is stale by the time it would land belongs to a dead
+    // connection incarnation and is dropped (verbs PSN/QPN mismatch).
+    std::uint64_t epoch = 0;
   };
 
   sim::Task<> sender_loop();
@@ -125,6 +143,7 @@ class QueuePair {
   sim::Task<> serve_read(SendWr wr);
   void deliver_after_latency(Delivery d, sim::SimDuration extra_latency);
   void fail_send(const SendWr& wr, sim::SimDuration delay, const char* what);
+  void note_inbound_drop(const Delivery& d);
 
   [[nodiscard]] double header_per_mtu() const {
     return dev_.host().costs().rdma_header_bytes_per_mtu;
@@ -141,6 +160,10 @@ class QueuePair {
   net::Link* link_ = nullptr;
   int dir_ = 0;
   QpState state_ = QpState::kRts;
+  // Bumped on every kill() and recover(): one count per state transition,
+  // so a kill/recover cycle advances it twice and no delivery stamped
+  // before or during the outage can match the recovered epoch.
+  std::uint64_t epoch_ = 0;
   sim::Channel<SendWr> send_q_;
   sim::Channel<Delivery> inbound_;
   sim::Channel<RecvWr> recv_q_;
@@ -151,6 +174,8 @@ class QueuePair {
   std::uint64_t sends_flushed_ = 0;
   std::uint64_t inbound_dropped_ = 0;
   std::uint64_t recoveries_ = 0;
+  std::uint64_t recvs_dropped_ = 0;
+  std::uint64_t cqes_dropped_ = 0;
   // Trace handles for the NIC engine loops (null-tracer fast path skips all
   // tracing). Tracks, hot counters, and per-opcode span names resolve once
   // per tracer, so the per-WR paths do no string building or hashing.

@@ -103,6 +103,16 @@ class CompletionQueue {
   /// Non-suspending poll (no CPU charge; used by tests).
   std::optional<WorkCompletion> try_poll() { return ch_.try_recv(); }
 
+  /// Discards every pending (unreaped) completion. A rebooted host has no
+  /// CQ memory: completions that landed before a crash must not replay
+  /// into the consumers the restart epoch arms. Parked waiters are not
+  /// disturbed — only queued entries go. Returns the number discarded.
+  std::size_t discard_pending() {
+    std::size_t n = 0;
+    while (ch_.try_recv().has_value()) ++n;
+    return n;
+  }
+
   [[nodiscard]] std::size_t depth() const noexcept { return ch_.size(); }
 
  private:

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "fault/watchdog.hpp"
+
 namespace e2e::rftp {
 
 struct RftpConfig {
@@ -21,6 +23,18 @@ struct RftpConfig {
   /// allocate its buffer pools NIC-locally. Off = stock scheduler +
   /// first-touch, the paper's untuned baseline.
   bool numa_aware = true;
+  /// Durable-ledger checkpoint interval, in fresh block drains: the
+  /// receiver persists its acked-block bitmap every N drains. Blocks
+  /// drained since the last checkpoint are volatile — a receiver crash
+  /// rolls them back and they are re-sent. 1 = every ack is durable
+  /// (slowest, loses nothing); 0 disables checkpointing entirely (a
+  /// receiver crash restarts from byte zero).
+  int checkpoint_blocks = 1;
+  /// Unified liveness policy (fault::Watchdog over fresh block drains):
+  /// quiet periods raise suspicions, `max_quiet` of them in a row declare
+  /// the transfer dead — it then fails with partial progress instead of
+  /// hanging on a peer that never came back. quiet = 0 disables.
+  fault::Deadline watchdog{};
 };
 
 struct TransferResult {
@@ -33,6 +47,10 @@ struct TransferResult {
   bool complete = true;
   /// All drained blocks' checksums matched what the sender computed.
   bool integrity_ok = true;
+  /// Crash-stop events absorbed during the transfer and the restarts
+  /// that successfully negotiated a resume.
+  std::uint64_t crashes = 0;
+  std::uint64_t resumes = 0;
 };
 
 }  // namespace e2e::rftp

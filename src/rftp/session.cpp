@@ -27,7 +27,8 @@ RftpSession::RftpSession(EndpointConfig sender, EndpointConfig receiver,
       receiver_(receiver),
       links_(std::move(links)),
       cfg_(cfg),
-      eng_(engine_of(sender)) {
+      eng_(engine_of(sender)),
+      watchdog_(eng_) {
   if (receiver_.proc == nullptr)
     throw std::invalid_argument("RFTP endpoints need processes");
   if (sender_.nics.empty() || receiver_.nics.empty() || links_.empty())
@@ -70,6 +71,7 @@ RftpSession::RftpSession(EndpointConfig sender, EndpointConfig receiver,
     streams_.push_back(std::move(s));
   }
   alive_streams_ = cfg_.streams;
+  alive_token_ = std::make_shared<char>(0);
 }
 
 RftpSession::~RftpSession() = default;
@@ -120,15 +122,20 @@ sim::Task<> RftpSession::setup_stream(Stream& s) {
   }
 
   // Initial credit grants flow as real control messages.
+  s.latest_grant.assign(s.token_buffers.size(), 0);
   for (std::uint32_t t = 0; t < s.token_buffers.size(); ++t) {
     if (auto* au = check::of(eng_)) au->rftp_grant_sent(this, s.id, t);
     rdma::SendWr wr;
     wr.op = rdma::Opcode::kSend;
-    wr.wr_id = t;  // grant wr_ids carry the token so a reaper can re-send
+    // Grant wr_ids carry the token (low 16 bits, so the reaper can
+    // re-send) and the attempt sequence (high bits, so it can discard
+    // failures of superseded attempts).
+    wr.wr_id = grant_wr_id(t);
+    s.latest_grant[t] = wr.wr_id;
     wr.local = &s.tiny_rx;
     wr.bytes = static_cast<std::uint64_t>(
         rth.host().costs().rftp_control_msg_bytes);
-    wr.payload = mem::make_msg<GrantMsg>(GrantMsg{t});
+    wr.payload = mem::make_msg<GrantMsg>(GrantMsg{t, s.login_gen});
     co_await s.pair->b().post_send(rth, wr);
   }
 }
@@ -143,7 +150,14 @@ sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
   build_block_plan(src);
   blocks_done_ = 0;
   src_ = &src;
+  dst_ = &dst;
+  meter_ = meter;
   drained_.assign(total_blocks_, 0);
+  ledger_.assign(total_blocks_, 0);
+  drains_since_ckpt_ = 0;
+  crashed_ = false;
+  resume_pending_ = false;
+  crashed_streams_.clear();
   sink_digest_ = 0;
   delivered_bytes_ = 0;
   transfer_failed_ = false;
@@ -161,9 +175,13 @@ sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
   const sim::SimTime t0 = eng_.now();
 
   for (auto& s : streams_) {
-    if (s->dead) continue;
+    // cq_spawned: a crash landed inside the setup loop above and the
+    // restart already armed this stream's full pipeline — a second copy
+    // here would double-process completions.
+    if (s->dead || s->cq_spawned) continue;
     rdma::Device& snic = s->pair->a().device();
     rdma::Device& rnic = s->pair->b().device();
+    s->cq_spawned = true;
     s->active_fillers = cfg_.fillers_per_stream;
     for (int i = 0; i < cfg_.fillers_per_stream; ++i)
       sim::co_spawn(filler(*s, spawn(*sender_.proc, snic), src));
@@ -176,7 +194,19 @@ sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
       sim::co_spawn(drainer(*s, spawn(*receiver_.proc, rnic), dst, meter));
   }
 
+  if (cfg_.watchdog.quiet > 0) {
+    watchdog_.set_false_suspect_handler([this] {
+      if (auto* st = stats::of(eng_)) {
+        const auto e = st->entity(stats::Layer::kRftp, "session");
+        st->counter(e, "false_suspicions").add(1);
+        st->flight(stats::Layer::kRftp, e, st->code("false-suspect"), 0);
+      }
+    });
+    watchdog_.arm(cfg_.watchdog, [this] { on_watchdog_dead(); });
+  }
+
   co_await done_->wait();
+  watchdog_.disarm();
 
   TransferResult r;
   r.bytes = delivered_bytes_;
@@ -198,10 +228,14 @@ sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
                                        total_bytes_ - offset));
     }
   r.integrity_ok = sink_digest_ == expect && checksum_failures == 0;
+  r.crashes = host_crashes;
+  r.resumes = resumes;
   if (auto* au = check::of(eng_))
     au->rftp_end(this, r.complete, delivered_bytes_, sink_digest_);
   running_ = false;
   src_ = nullptr;
+  dst_ = nullptr;
+  meter_ = nullptr;
   co_return r;
 }
 
@@ -447,6 +481,14 @@ sim::Task<> RftpSession::grant_receiver(Stream& s, numa::Thread& th) {
     auto wc = co_await s.pair->a().recv_cq().wait(th);
     const auto* g = wc.as<GrantMsg>();
     if (g == nullptr) continue;
+    // Re-login dedup: a credit granted under an older login generation is
+    // stale — it was either superseded by the restart's full re-grant or
+    // belongs to a connection incarnation that no longer exists. Drop it
+    // (the consumed receive is re-posted below either way).
+    if (g->generation != s.login_gen) {
+      co_await s.pair->a().post_recv(th, rdma::RecvWr{0, &s.tiny_tx});
+      continue;
+    }
     co_await th.compute(cm.rftp_control_msg_cycles,
                         metrics::CpuCategory::kUserProto);
     ++control_msgs_;
@@ -463,8 +505,16 @@ sim::Task<> RftpSession::grant_reaper(Stream& s, numa::Thread& th) {
   for (;;) {
     auto wc = co_await s.pair->b().send_cq().wait(th);
     if (wc.success || s.dead) continue;
+    // Failures can surface long after the send (a blackholed grant's
+    // transport retries exhaust 4 RTTs later; a crash + restart re-grants
+    // every token). Only the LATEST attempt for a token speaks for it: a
+    // superseded attempt's failure is stale news, and re-sending for it
+    // would double-issue a credit a newer grant already delivered.
+    const auto token = static_cast<std::uint32_t>(wc.wr_id & 0xffff);
+    if (token >= s.latest_grant.size() || wc.wr_id != s.latest_grant[token])
+      continue;
     if (auto* au = check::of(eng_))
-      au->rftp_grant_lost(this, s.id, static_cast<std::uint32_t>(wc.wr_id));
+      au->rftp_grant_lost(this, s.id, token);
     // A grant lost on the wire is a leaked credit: the sender can never
     // learn the token is free again, and with enough leaks the stream
     // starves. Re-send (paced by a control-message gap so a flap window
@@ -482,19 +532,23 @@ sim::Task<> RftpSession::grant_reaper(Stream& s, numa::Thread& th) {
       const auto e = s.stats_entity(st);
       st->counter(e, "grant_retransmissions").add(1);
       st->flight(stats::Layer::kRftp, e,
-                 s.code_grant_retx.get(st, "grant-retransmit"), wc.wr_id);
+                 s.code_grant_retx.get(st, "grant-retransmit"), token);
     }
     co_await th.compute(cm.rftp_control_msg_cycles,
                         metrics::CpuCategory::kUserProto);
+    // The 2-RTT pacing delay above can span a crash + restart or a drain:
+    // if anything re-granted this token meanwhile, the retry is already
+    // superseded and must not fire.
+    if (wc.wr_id != s.latest_grant[token]) continue;
     if (auto* au = check::of(eng_))
-      au->rftp_grant_sent(this, s.id, static_cast<std::uint32_t>(wc.wr_id));
+      au->rftp_grant_sent(this, s.id, token);
     rdma::SendWr grant;
     grant.op = rdma::Opcode::kSend;
-    grant.wr_id = wc.wr_id;
+    grant.wr_id = grant_wr_id(token);
+    s.latest_grant[token] = grant.wr_id;
     grant.local = &s.tiny_rx;
     grant.bytes = static_cast<std::uint64_t>(cm.rftp_control_msg_bytes);
-    grant.payload = mem::make_msg<GrantMsg>(
-        GrantMsg{static_cast<std::uint32_t>(wc.wr_id)});
+    grant.payload = mem::make_msg<GrantMsg>(GrantMsg{token, s.login_gen});
     co_await s.pair->b().post_send(th, grant);
   }
 }
@@ -583,6 +637,26 @@ sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
         st->flight(stats::Layer::kRftp, e,
                    s.code_drain.get(st, "block-drained"), a->block_idx);
       }
+      // Forward progress: feed the liveness watchdog, time the first
+      // byte after a resume, and roll the durable ledger forward.
+      watchdog_.kick();
+      if (resume_pending_) {
+        resume_pending_ = false;
+        if (auto* st = stats::of(eng_))
+          st->histogram(st->entity(stats::Layer::kRftp, "session"),
+                        "resume_ns")
+              .record(static_cast<std::uint64_t>(eng_.now() - crash_t0_));
+      }
+      ++drains_since_ckpt_;
+      if (cfg_.checkpoint_blocks > 0 &&
+          drains_since_ckpt_ >= cfg_.checkpoint_blocks) {
+        drains_since_ckpt_ = 0;
+        ledger_ = drained_;
+        ++checkpoints;
+        if (auto* au = check::of(eng_)) au->rftp_checkpoint(this, ledger_);
+        if (auto* tr = trace::of(eng_))
+          tr->counter("rftp/checkpoints").add(1);
+      }
     }
 
     // Proactive feedback: re-grant the token immediately after draining
@@ -593,10 +667,11 @@ sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
       au->rftp_grant_sent(this, s.id, a->token);
     rdma::SendWr grant;
     grant.op = rdma::Opcode::kSend;
-    grant.wr_id = a->token;
+    grant.wr_id = grant_wr_id(a->token);
+    s.latest_grant[a->token] = grant.wr_id;
     grant.local = &s.tiny_rx;
     grant.bytes = static_cast<std::uint64_t>(cm.rftp_control_msg_bytes);
-    grant.payload = mem::make_msg<GrantMsg>(GrantMsg{a->token});
+    grant.payload = mem::make_msg<GrantMsg>(GrantMsg{a->token, s.login_gen});
     co_await s.pair->b().post_send(th, grant);
 
     if (fresh) {
@@ -680,6 +755,243 @@ void RftpSession::handle_stream_death(Stream& s) {
   s.drainq->close();
 
   if (alive_streams_ <= 0 && running_) fail_transfer();
+}
+
+void RftpSession::crash_host(int host, sim::SimDuration down) {
+  if (host < 0 || host > 1)
+    throw std::out_of_range("crash_host: host must be 0 (sender) or 1 "
+                            "(receiver)");
+  if (!running_ || transfer_failed_) return;  // nothing left to crash
+  if (crashed_) return;  // host already down; overlapping crash absorbed
+  crashed_ = true;
+  crash_t0_ = eng_.now();
+  ++host_crashes;
+  crashed_streams_.clear();
+  if (auto* au = check::of(eng_)) au->rftp_crash(this, host);
+  if (auto* tr = trace::of(eng_)) {
+    tr->instant(plan_trk_.get(tr, trace::Layer::kRftp, "rftp/session"),
+                host == 0 ? "sender-crash" : "receiver-crash");
+    tr->counter("rftp/host_crashes").add(1);
+  }
+  if (auto* st = stats::of(eng_)) {
+    const auto e = st->entity(stats::Layer::kRftp, "session");
+    st->counter(e, "host_crashes").add(1);
+    st->flight(stats::Layer::kRftp, e, st->code("crash"),
+               static_cast<std::uint64_t>(host));
+  }
+
+  // Every stream dies at once. Zero the live count FIRST so the requeue
+  // sweep parks blocks in the shared queue without respawning fillers
+  // into the rubble — restart_host re-arms the pipelines later.
+  alive_streams_ = 0;
+  for (auto& sp : streams_) {
+    Stream& s = *sp;
+    if (s.dead) continue;  // already failed over before the crash
+    s.dead = true;
+    crashed_streams_.push_back(s.id);
+    s.pair->crash(host);
+    // Reassign everything this stream owed, in ascending block order so
+    // same-seed runs replay byte-identically (see handle_stream_death).
+    s.inflight.for_each_sorted(
+        [&](std::uint64_t, const Stream::InflightBlock& blk) {
+          s.send_pool->release(blk.buf);
+          requeue_block(blk.block_idx);
+        });
+    s.inflight.clear();
+    s.sent_unconfirmed.for_each_sorted(
+        [&](std::uint64_t idx, char) { requeue_block(idx); });
+    s.sent_unconfirmed.clear();
+    if (host == 1) {
+      // A rebooted receiver has no parsed-but-undrained arrivals and no
+      // landed payloads: drop the queue (their blocks are covered by the
+      // sweeps above) and scrub the landing buffers.
+      while (s.drainq->try_recv().has_value()) {}
+      for (mem::Buffer* b : s.token_buffers) b->content_tag = 0;
+    }
+    // Close (never replace yet — a parked waiter still references these
+    // channel objects until the close wakes it at this instant) so every
+    // filler, wire sender and drainer drains out and exits.
+    s.credits->close();
+    s.sendq->close();
+    s.drainq->close();
+  }
+
+  if (host == 1) {
+    // Volatile acks die with the receiver: every drained block the
+    // ledger had not yet checkpointed un-drains and is owed again.
+    for (std::uint64_t idx = 0; idx < total_blocks_; ++idx) {
+      if (drained_[idx] == 0 || ledger_[idx] != 0) continue;
+      const std::uint64_t offset = idx * cfg_.block_bytes;
+      const std::uint64_t bytes =
+          std::min<std::uint64_t>(cfg_.block_bytes, total_bytes_ - offset);
+      const std::uint64_t tag = fault::rftp_block_tag(idx, bytes);
+      drained_[idx] = 0;
+      delivered_bytes_ -= bytes;
+      sink_digest_ ^= tag;
+      --blocks_done_;
+      ++rolled_back_blocks;
+      done_->add(1);
+      if (auto* au = check::of(eng_))
+        au->rftp_rollback(this, idx, bytes, tag);
+      if (auto* tr = trace::of(eng_))
+        tr->counter("rftp/rolled_back_blocks").add(1);
+      requeue_block(idx);
+    }
+  }
+
+  if (down > 0) {
+    std::weak_ptr<char> alive = alive_token_;
+    eng_.schedule_after(down, [this, host, alive] {
+      if (alive.expired()) return;  // session gone before the reboot
+      sim::co_spawn(restart_host(host));
+    });
+  } else if (cfg_.watchdog.quiet == 0) {
+    // Unrecoverable crash with no watchdog to notice it: degrade to a
+    // failed transfer immediately rather than hanging run() forever.
+    fail_transfer();
+  }
+}
+
+sim::Task<> RftpSession::restart_host(int host) {
+  if (!running_ || transfer_failed_) co_return;
+  if (auto* tr = trace::of(eng_)) {
+    tr->instant(plan_trk_.get(tr, trace::Layer::kRftp, "rftp/session"),
+                "host-restart");
+    tr->counter("rftp/host_restarts").add(1);
+  }
+  for (const int id : crashed_streams_) {
+    Stream& s = *streams_[static_cast<std::size_t>(id)];
+    // Fresh channels: the old ones were closed at crash time, strictly
+    // earlier in sim time, so no coroutine still references them.
+    s.credits = std::make_unique<sim::Channel<Credit>>(eng_);
+    s.sendq = std::make_unique<sim::Channel<FilledBlock>>(eng_);
+    s.drainq = std::make_unique<sim::Channel<Arrival>>(eng_);
+
+    rdma::Device& snic = s.pair->a().device();
+    rdma::Device& rnic = s.pair->b().device();
+    numa::Thread& sth = spawn(*sender_.proc, snic);
+    numa::Thread& rth = spawn(*receiver_.proc, rnic);
+    // The rebooted side lost its memory registrations: re-pin its pool.
+    const std::uint64_t mr_a =
+        host == 0 ? s.send_pool->capacity() * s.send_pool->buffer_bytes()
+                  : 0;
+    const std::uint64_t mr_b =
+        host == 1 ? s.recv_pool->capacity() * s.recv_pool->buffer_bytes()
+                  : 0;
+    co_await s.pair->reestablish(sth, rth, mr_a, mr_b);
+
+    // A crash can land inside run()'s sequential setup loop, killing a
+    // stream setup_stream() had not reached yet: that stream owns no
+    // registrations and never advertised its credit tokens. Reestablish
+    // charged the MR re-pin above, so completing the bring-up here is
+    // idempotent for streams that were set up normally.
+    s.send_pool->mark_registered();
+    s.recv_pool->mark_registered();
+    s.tiny_tx.registered = true;
+    s.tiny_rx.registered = true;
+    if (s.token_buffers.empty())
+      while (mem::Buffer* b = s.recv_pool->try_acquire())
+        s.token_buffers.push_back(b);
+    // Scrub landing buffers from the dead epoch. A write that landed just
+    // before the crash but whose arrival died with the closed drainq left
+    // its tag behind (delivery XOR-accumulates into content_tag, only a
+    // drain zeroes it); the block itself was requeued from
+    // sent_unconfirmed, so the residue is dead state that would corrupt
+    // the next landing in this buffer.
+    for (mem::Buffer* b : s.token_buffers) b->content_tag = 0;
+
+    for (int i = 0; i < cfg_.credits_per_stream + 4; ++i) {
+      co_await s.pair->a().post_recv(sth, rdma::RecvWr{0, &s.tiny_tx});
+      co_await s.pair->b().post_recv(rth, rdma::RecvWr{0, &s.tiny_rx});
+    }
+
+    // Resume-offset negotiation: the receiver replays its durable ledger
+    // so the sender never re-sends an acked block; one control message
+    // each way on the reestablished connection.
+    co_await rth.compute(rth.host().costs().rftp_control_msg_cycles,
+                         metrics::CpuCategory::kUserProto);
+    co_await sth.compute(sth.host().costs().rftp_control_msg_cycles,
+                         metrics::CpuCategory::kUserProto);
+    co_await sim::Delay{eng_, s.pair->link().rtt()};
+    ++control_msgs_;
+
+    if (auto* au = check::of(eng_)) au->rftp_stream_revived(this, s.id);
+    // New login generation: credits from before the crash — including
+    // grant completions still unreaped in a surviving sender's recv CQ —
+    // are stale from this instant and the grant receiver drops them.
+    ++s.login_gen;
+    // Re-login returns every credit token home: re-grant them all.
+    if (s.latest_grant.size() < s.token_buffers.size())
+      s.latest_grant.resize(s.token_buffers.size(), 0);
+    for (std::uint32_t t = 0; t < s.token_buffers.size(); ++t) {
+      if (auto* au = check::of(eng_)) au->rftp_grant_sent(this, s.id, t);
+      rdma::SendWr wr;
+      wr.op = rdma::Opcode::kSend;
+      wr.wr_id = grant_wr_id(t);
+      s.latest_grant[t] = wr.wr_id;
+      wr.local = &s.tiny_rx;
+      wr.bytes = static_cast<std::uint64_t>(
+          rth.host().costs().rftp_control_msg_bytes);
+      wr.payload = mem::make_msg<GrantMsg>(GrantMsg{t, s.login_gen});
+      co_await s.pair->b().post_send(rth, wr);
+    }
+
+    s.dead = false;
+    ++alive_streams_;
+
+    // Respawn only the tasks that exited with the closed channels. The
+    // CQ-driven loops (send reaper, grant receiver, arrival handler,
+    // grant reaper) parked on completion waits across the outage and are
+    // still running; a second copy would double-process completions. The
+    // exception is a stream the crash caught before run()'s spawn loop:
+    // its CQ loops never started, so arm them here.
+    if (!s.cq_spawned) {
+      s.cq_spawned = true;
+      sim::co_spawn(send_reaper(s, spawn(*sender_.proc, snic)));
+      sim::co_spawn(grant_receiver(s, spawn(*sender_.proc, snic)));
+      sim::co_spawn(arrival_handler(s, spawn(*receiver_.proc, rnic)));
+      sim::co_spawn(grant_reaper(s, spawn(*receiver_.proc, rnic)));
+    }
+    s.active_fillers = cfg_.fillers_per_stream;
+    for (int i = 0; i < cfg_.fillers_per_stream; ++i)
+      sim::co_spawn(filler(s, spawn(*sender_.proc, snic), *src_));
+    sim::co_spawn(wire_sender(s, spawn(*sender_.proc, snic)));
+    for (int i = 0; i < cfg_.drainers_per_stream; ++i)
+      sim::co_spawn(drainer(s, spawn(*receiver_.proc, rnic), *dst_, meter_));
+  }
+  crashed_streams_.clear();
+  crashed_ = false;
+  ++resumes;
+  resume_pending_ = true;
+  watchdog_.kick();
+  if (auto* au = check::of(eng_)) au->rftp_resume(this);
+  const sim::SimDuration mttr = eng_.now() - crash_t0_;
+  if (auto* tr = trace::of(eng_)) {
+    tr->instant(plan_trk_.get(tr, trace::Layer::kRftp, "rftp/session"),
+                "resume");
+    tr->counter("rftp/resumes").add(1);
+  }
+  if (auto* st = stats::of(eng_)) {
+    const auto e = st->entity(stats::Layer::kRftp, "session");
+    st->counter(e, "resumes").add(1);
+    st->histogram(e, "mttr_ns").record(static_cast<std::uint64_t>(mttr));
+    st->flight(stats::Layer::kRftp, e, st->code("resume"),
+               static_cast<std::uint64_t>(mttr));
+  }
+}
+
+void RftpSession::on_watchdog_dead() {
+  if (!running_ || transfer_failed_) return;
+  if (auto* tr = trace::of(eng_)) {
+    tr->instant(plan_trk_.get(tr, trace::Layer::kRftp, "rftp/session"),
+                "watchdog-dead");
+    tr->counter("rftp/watchdog_deaths").add(1);
+  }
+  if (auto* st = stats::of(eng_)) {
+    const auto e = st->entity(stats::Layer::kRftp, "session");
+    st->counter(e, "watchdog_deaths").add(1);
+  }
+  fail_transfer();
 }
 
 void RftpSession::fail_transfer() {

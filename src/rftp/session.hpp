@@ -29,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/watchdog.hpp"
 #include "mem/buffer_pool.hpp"
 #include "mem/flat_table.hpp"
 #include "metrics/throughput.hpp"
@@ -86,6 +87,20 @@ class RftpSession {
   void kill_stream(int idx);
   [[nodiscard]] int alive_streams() const noexcept { return alive_streams_; }
 
+  /// Crash-stop fault domain: host 0 (sender) or 1 (receiver) dies at
+  /// once — every QP it owns errors with its posted receives discarded,
+  /// every stream's channels close, in-flight and unconfirmed blocks fail
+  /// back to the shared queue, and (for a receiver crash) drained blocks
+  /// not yet covered by a ledger checkpoint roll back as lost volatile
+  /// state. A scripted restart follows after `down` (reestablish + MR
+  /// re-pin + resume-offset negotiation + full re-grant); down = 0 means
+  /// the host never returns and the watchdog escalates to a failed
+  /// transfer with partial progress.
+  void crash_host(int host, sim::SimDuration down);
+  [[nodiscard]] const fault::Watchdog& watchdog() const noexcept {
+    return watchdog_;
+  }
+
  private:
   struct Credit {
     std::uint32_t token = 0;
@@ -104,6 +119,12 @@ class RftpSession {
   };
   struct GrantMsg {
     std::uint32_t token = 0;
+    /// Stream login generation at grant time. A grant delivered before a
+    /// crash can sit unreaped in the surviving sender's recv CQ across
+    /// the outage; re-login bumps the generation, so the replayed credit
+    /// identifies itself as stale and is discarded (the dedup step of an
+    /// iSER-style re-login).
+    std::uint32_t generation = 0;
   };
   struct Arrival {
     std::uint32_t token = 0;
@@ -128,12 +149,24 @@ class RftpSession {
     };
     mem::FlatMap<InflightBlock> inflight;  // wr_id -> block
     std::vector<mem::Buffer*> token_buffers;            // receiver side
+    /// wr_id of the newest grant posted per token (receiver side); the
+    /// grant reaper ignores failed completions of superseded attempts.
+    std::vector<std::uint64_t> latest_grant;
+    /// Bumped on every revival (re-login). Grants are stamped with it and
+    /// the sender discards credits from an older generation — see
+    /// GrantMsg::generation.
+    std::uint32_t login_gen = 0;
     mem::Buffer tiny_tx;   // sender's posted-receive target for grants
     mem::Buffer tiny_rx;   // receiver's posted-receive target for data imm
     int active_fillers = 0;
     std::uint64_t next_wr = 1;
     /// The stream's QPs died; its work is failed over to survivors.
     bool dead = false;
+    /// The CQ-driven loops (send reaper, grant receiver, arrival handler,
+    /// grant reaper) are running. Normally set by run()'s spawn loop; a
+    /// crash landing before that point leaves it false and restart_host
+    /// arms the full pipeline instead.
+    bool cq_spawned = false;
     /// Blocks acked by a send CQE but not yet seen draining at the sink —
     /// the receiver may still have dropped them (QP error), so a dying
     /// stream requeues these alongside its in-flight blocks. Flat set
@@ -185,6 +218,10 @@ class RftpSession {
   void fail_transfer();
   void requeue_block(std::uint64_t idx);
 
+  // Crash/restart machinery.
+  sim::Task<> restart_host(int host);
+  void on_watchdog_dead();
+
   numa::Thread& spawn(numa::Process& proc, const rdma::Device& nic);
 
   EndpointConfig sender_;
@@ -221,6 +258,14 @@ class RftpSession {
   std::uint64_t checksum_failures = 0;
   /// Blocks that arrived more than once (failover re-sends); dropped.
   std::uint64_t duplicate_blocks = 0;
+  /// Crash-stop events absorbed (host down, all streams dead at once).
+  std::uint64_t host_crashes = 0;
+  /// Restarts that reestablished the session and negotiated a resume.
+  std::uint64_t resumes = 0;
+  /// Ledger checkpoints taken (every checkpoint_blocks fresh drains).
+  std::uint64_t checkpoints = 0;
+  /// Drained-but-unledgered blocks lost to a receiver crash (re-sent).
+  std::uint64_t rolled_back_blocks = 0;
 
  private:
   std::uint64_t blocks_done_ = 0;
@@ -229,13 +274,42 @@ class RftpSession {
   bool running_ = false;
   // Failover / integrity state for the current run().
   DataSource* src_ = nullptr;
+  DataSink* dst_ = nullptr;
+  metrics::ThroughputMeter* meter_ = nullptr;
   std::vector<char> drained_;       // per-block: already at the sink
+  // Crash/resume state: the durable acked-block ledger (a checkpointed
+  // copy of drained_ — what survives a receiver reboot), plus the epoch
+  // bookkeeping for the one outstanding crash.
+  std::vector<char> ledger_;
+  int drains_since_ckpt_ = 0;
+  bool crashed_ = false;            // a crash-stop is in progress
+  bool resume_pending_ = false;     // first post-resume drain not yet seen
+  sim::SimTime crash_t0_ = 0;
+  // Monotone grant-attempt counter feeding grant wr_ids: attempt sequence
+  // in the high bits, token in the low 16. Grant failures can surface
+  // arbitrarily late — a blackholed grant's transport retries exhaust
+  // 4 RTTs after the send, and a crash + restart can re-grant every token
+  // inside that window — so the grant reaper re-sends only when a failed
+  // completion matches the LATEST attempt for its token
+  // (Stream::latest_grant). A stale attempt's failure is just news about
+  // a grant some newer attempt already superseded; re-sending for it
+  // would double-issue the credit.
+  std::uint64_t grant_seq_ = 0;
+  [[nodiscard]] std::uint64_t grant_wr_id(std::uint32_t token) {
+    return (++grant_seq_ << 16) | token;
+  }
+  std::vector<int> crashed_streams_;
   std::uint64_t sink_digest_ = 0;   // XOR of drained blocks' checksums
   std::uint64_t delivered_bytes_ = 0;
   int alive_streams_ = 0;
   bool transfer_failed_ = false;
   std::size_t next_failover_stream_ = 0;  // round-robin requeue target
   trace::CachedTrack plan_trk_;  // session-wide (non-stream) fault events
+  fault::Watchdog watchdog_;
+  // Liveness token for the deferred restart event: the engine may hold a
+  // scheduled restart past the session's lifetime (transfer finished or
+  // failed while the host was down); expiry turns it into a no-op.
+  std::shared_ptr<char> alive_token_;
 };
 
 }  // namespace e2e::rftp

@@ -36,7 +36,9 @@ struct FinalAwaiter {
     if (p.detached) {
       if (p.exception) {
         std::fputs("e2e::sim: exception escaped a detached Task\n", stderr);
-        std::terminate();
+        // Rethrow inside this noexcept frame: terminate() fires with the
+        // exception active, so the runtime prints its type and what().
+        std::rethrow_exception(p.exception);
       }
       h.destroy();
       return std::noop_coroutine();

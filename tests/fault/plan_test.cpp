@@ -11,8 +11,8 @@ TEST(FaultPlan, ParsesEveryFaultType) {
   const auto plan = FaultPlan::parse(
       "loss@500ms:n=5,dir=ab,link=0; flap@1s:dur=20ms; "
       "spike@2s:dur=100ms,add=5ms; hole@1200ms:dur=10ms,dir=ba; "
-      "qpkill@1500ms:qp=2");
-  ASSERT_EQ(plan.events.size(), 5u);
+      "qpkill@1500ms:qp=2; crash@1800ms:host=1,down=50ms");
+  ASSERT_EQ(plan.events.size(), 6u);
 
   // Sorted by injection time regardless of script order.
   for (std::size_t i = 1; i < plan.events.size(); ++i)
@@ -37,9 +37,22 @@ TEST(FaultPlan, ParsesEveryFaultType) {
   EXPECT_EQ(kill.type, FaultType::kQpKill);
   EXPECT_EQ(kill.qp, 2);
 
-  const auto& spike = plan.events[4];
+  const auto& crash = plan.events[4];
+  EXPECT_EQ(crash.type, FaultType::kCrash);
+  EXPECT_EQ(crash.host, 1);
+  EXPECT_EQ(crash.down, 50 * sim::kMillisecond);
+
+  const auto& spike = plan.events[5];
   EXPECT_EQ(spike.type, FaultType::kLatencySpike);
   EXPECT_EQ(spike.extra_latency, 5 * sim::kMillisecond);
+}
+
+TEST(FaultPlan, CrashWithoutDownMeansNoRestart) {
+  const auto plan = FaultPlan::parse("crash@1s:host=0");
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].type, FaultType::kCrash);
+  EXPECT_EQ(plan.events[0].host, 0);
+  EXPECT_EQ(plan.events[0].down, 0u);
 }
 
 TEST(FaultPlan, TimeSuffixesAndBareSeconds) {
@@ -58,7 +71,7 @@ TEST(FaultPlan, RoundTripsThroughToString) {
   const char* spec =
       "loss@500ms:n=5,dir=ab,link=0; flap@1s:dur=20ms; "
       "spike@2s:dur=100ms,add=5ms; hole@1200ms:dur=10ms,dir=ba; "
-      "qpkill@1500ms:qp=0";
+      "qpkill@1500ms:qp=0; crash@1700ms:host=1,down=25ms; crash@1900ms:host=0";
   const auto plan = FaultPlan::parse(spec);
   const std::string canon = plan.to_string();
   // Canonical form is a fixed point: parse(to_string()) == to_string().
@@ -74,6 +87,23 @@ TEST(FaultPlan, RejectsMalformedScripts) {
   EXPECT_THROW(FaultPlan::parse("loss@1s:n="), std::invalid_argument);
   EXPECT_THROW(FaultPlan::parse("loss@1s:dir=sideways"),
                std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsUnknownAndDuplicateKeys) {
+  // Unknown keys are operator typos, not silently-ignored extensions.
+  EXPECT_THROW(FaultPlan::parse("loss@1s:bogus=3"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash@1s:host=1,qp=0"),
+               std::invalid_argument);
+  // So are repeated keys: the second value would silently win (or lose).
+  EXPECT_THROW(FaultPlan::parse("loss@1s:n=2,n=3"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash@1s:host=0,host=1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("flap@1s:dur=1ms,dur=2ms"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsNegativeHost) {
+  EXPECT_THROW(FaultPlan::parse("crash@1s:host=-1"), std::invalid_argument);
 }
 
 TEST(FaultPlan, EmptyScriptIsEmptyPlan) {
@@ -103,8 +133,10 @@ TEST(FaultPlan, RandomHonoursParams) {
   p.spikes = 1;
   p.holes = 1;
   p.qp_kills = 2;
+  p.hosts = 2;
+  p.crashes = 2;
   const auto plan = FaultPlan::random(7, p);
-  int loss = 0, flap = 0, spike = 0, hole = 0, kills = 0;
+  int loss = 0, flap = 0, spike = 0, hole = 0, kills = 0, crashes = 0;
   for (const auto& ev : plan.events) {
     EXPECT_GT(ev.at, 0u);
     EXPECT_LT(ev.at, p.horizon);
@@ -132,6 +164,13 @@ TEST(FaultPlan, RandomHonoursParams) {
         EXPECT_GE(ev.qp, 0);
         EXPECT_LT(ev.qp, p.qps);
         break;
+      case FaultType::kCrash:
+        ++crashes;
+        EXPECT_GE(ev.host, 0);
+        EXPECT_LT(ev.host, p.hosts);
+        EXPECT_GE(ev.down, p.max_down / 4);
+        EXPECT_LE(ev.down, p.max_down);
+        break;
     }
     EXPECT_GE(ev.link, 0);
     EXPECT_LT(ev.link, p.links);
@@ -141,6 +180,7 @@ TEST(FaultPlan, RandomHonoursParams) {
   EXPECT_EQ(spike, p.spikes);
   EXPECT_EQ(hole, p.holes);
   EXPECT_EQ(kills, p.qp_kills);
+  EXPECT_EQ(crashes, p.crashes);
 }
 
 TEST(FaultPlan, RandomWithZeroQpsNeverKills) {
@@ -149,6 +189,15 @@ TEST(FaultPlan, RandomWithZeroQpsNeverKills) {
   const auto plan = FaultPlan::random(11, p);
   for (const auto& ev : plan.events)
     EXPECT_NE(ev.type, FaultType::kQpKill);
+}
+
+TEST(FaultPlan, RandomWithZeroHostsNeverCrashes) {
+  FaultPlan::RandomParams p;
+  p.crashes = 3;  // requested but host pool disabled
+  p.hosts = 0;
+  const auto plan = FaultPlan::random(11, p);
+  for (const auto& ev : plan.events)
+    EXPECT_NE(ev.type, FaultType::kCrash);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,7 @@ struct Options {
   std::string report_file;
   std::string fault_plan;       // scripted FaultPlan (see fault/plan.hpp)
   std::uint64_t fault_seed = 0; // != 0: seeded random plan instead
+  int checkpoint = 1;           // rftp ledger checkpoint interval (blocks)
   bool stats = true;            // always-on metrics + flight recorder
   std::string stats_out;        // --stats-out FILE (.csv -> CSV, else JSON)
 #ifdef NDEBUG
@@ -70,8 +72,12 @@ struct Options {
       "  --trace FILE     write a Chrome/Perfetto trace-event JSON file\n"
       "  --report FILE    write a flat run report (.csv -> CSV, else JSON)\n"
       "  --fault-plan S   inject scripted faults, e.g.\n"
-      "                   'loss@500ms:n=5;flap@1s:dur=20ms;qpkill@1500ms:qp=0'\n"
+      "                   'loss@500ms:n=5;flap@1s:dur=20ms;qpkill@1500ms:qp=0;"
+      "crash@1s:host=1,down=50ms'\n"
       "  --fault-seed N   inject a seeded random fault plan (rftp scenarios)\n"
+      "  --checkpoint N   rftp acked-block ledger checkpoint interval in\n"
+      "                   blocks (default 1 = every ack durable; 0 disables,\n"
+      "                   so a receiver crash restarts from byte zero)\n"
       "  --audit 0|1      cross-layer invariant audits (default: on in\n"
       "                   Debug builds, off in Release)\n"
       "  --stats 0|1      per-entity metrics + flight recorder (default: on)\n"
@@ -134,6 +140,8 @@ Options parse(int argc, char** argv) {
       o.fault_plan = need("--fault-plan");
     else if (!std::strcmp(argv[i], "--fault-seed"))
       o.fault_seed = std::strtoull(need("--fault-seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--checkpoint"))
+      o.checkpoint = std::atoi(need("--checkpoint"));
     else if (!std::strcmp(argv[i], "--audit"))
       o.audit = std::atoi(need("--audit")) != 0;
     else if (!std::strcmp(argv[i], "--stats"))
@@ -278,7 +286,29 @@ class FaultScope {
     if (o.fault_plan.empty() && o.fault_seed == 0) return;
     fault::FaultPlan plan;
     if (!o.fault_plan.empty()) {
-      plan = fault::FaultPlan::parse(o.fault_plan);
+      // A malformed plan is an operator typo, not a crash: report it the
+      // same way an unknown flag is reported (usage + exit 2).
+      try {
+        plan = fault::FaultPlan::parse(o.fault_plan);
+      } catch (const std::invalid_argument& ex) {
+        std::fprintf(stderr, "bad --fault-plan: %s\n", ex.what());
+        usage();
+      }
+      for (const auto& ev : plan.events) {
+        if (ev.type == fault::FaultType::kQpKill && ev.qp >= streams) {
+          std::fprintf(stderr,
+                       "bad --fault-plan: qp=%d out of range (streams=%d)\n",
+                       ev.qp, streams);
+          usage();
+        }
+        if (ev.type == fault::FaultType::kCrash && ev.host > 1) {
+          std::fprintf(stderr,
+                       "bad --fault-plan: host=%d out of range (hosts are "
+                       "0=sender, 1=receiver)\n",
+                       ev.host);
+          usage();
+        }
+      }
     } else {
       fault::FaultPlan::RandomParams rp;
       rp.links = static_cast<int>(links.size());
@@ -288,9 +318,13 @@ class FaultScope {
     std::printf("fault plan: %s\n", plan.to_string().c_str());
     inj_ = std::make_unique<fault::FaultInjector>(eng, std::move(plan));
     for (auto* l : links) inj_->attach(*l);
-    if (sess != nullptr && streams > 0)
+    if (sess != nullptr && streams > 0) {
       inj_->set_qp_kill_handler(
           [sess, streams](int qp) { sess->kill_stream(qp % streams); });
+      inj_->set_crash_handler([sess](int host, sim::SimDuration down) {
+        sess->crash_host(host, down);
+      });
+    }
     inj_->arm();
   }
 
@@ -305,6 +339,15 @@ class FaultScope {
         static_cast<unsigned long long>(sess.retransmissions),
         static_cast<unsigned long long>(sess.failovers),
         r.complete ? "yes" : "NO", r.integrity_ok ? "ok" : "FAILED");
+    if (r.crashes > 0)
+      std::printf(
+          "crashes: %llu crashed, %llu resumed; %llu checkpoints, "
+          "%llu blocks rolled back, %llu false suspicions\n",
+          static_cast<unsigned long long>(r.crashes),
+          static_cast<unsigned long long>(r.resumes),
+          static_cast<unsigned long long>(sess.checkpoints),
+          static_cast<unsigned long long>(sess.rolled_back_blocks),
+          static_cast<unsigned long long>(sess.watchdog().false_suspicions()));
   }
 
  private:
@@ -326,6 +369,7 @@ int run_quick(const Options& o) {
   cfg.block_bytes = o.block;
   cfg.credits_per_stream = o.credits;
   cfg.numa_aware = o.numa;
+  cfg.checkpoint_blocks = o.checkpoint;
   rftp::RftpSession sess({&pa, {&da}}, {&pb, {&db}}, {link.get()}, cfg);
   rftp::MemorySource src(o.gib << 30, numa::Placement::on(0));
   rftp::MemorySink dst;
@@ -354,6 +398,7 @@ int run_e2e(const Options& o) {
   cfg.numa_aware = o.numa;
   cfg.block_bytes = o.block;
   cfg.credits_per_stream = o.credits;
+  cfg.checkpoint_blocks = o.checkpoint;
   if (o.streams > 0) cfg.streams = o.streams;
   rftp::RftpSession sess({&sp, tb.src_roce()}, {&rp, tb.dst_roce()},
                          tb.links(), cfg);
@@ -402,6 +447,7 @@ int run_wan(const Options& o) {
   cfg.streams = o.streams > 0 ? o.streams : 4;
   cfg.block_bytes = o.block;
   cfg.credits_per_stream = o.credits;
+  cfg.checkpoint_blocks = o.checkpoint;
   rftp::RftpSession sess({tb.a_proc.get(), {tb.a_dev.get()}},
                          {tb.b_proc.get(), {tb.b_dev.get()}},
                          {tb.link.get()}, cfg);
