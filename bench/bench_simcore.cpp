@@ -14,9 +14,11 @@
 // perf-relevant PRs.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdint>
 
 #include "sim/channel.hpp"
+#include "sim/cluster.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/sync.hpp"
@@ -25,6 +27,7 @@
 namespace {
 
 using e2e::sim::Channel;
+using e2e::sim::Cluster;
 using e2e::sim::Delay;
 using e2e::sim::Engine;
 using e2e::sim::Resource;
@@ -141,6 +144,83 @@ void BM_CoroutineSpawn(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
 BENCHMARK(BM_CoroutineSpawn);
+
+// ---- Parallel cluster scaling -------------------------------------------
+//
+// The sharded-engine equivalent of BM_ScheduleDispatch: 8 engine shards,
+// each churning self-rearming timers, with every 16th dispatch cross-
+// posting a no-op to the next shard one lookahead ahead (sound: an event
+// running at `now` has now >= the window's min, so now + L >= horizon).
+// Arg(n) = worker threads. items_per_second is total events across shards
+// per wall-second — UseRealTime, because the work happens on the pool.
+//
+// Read the curve against nproc: on a 1-core host every extra worker adds
+// contention and the curve is flat-to-negative by design; the interesting
+// single-core numbers are Arg(1) vs the sequential baseline below (the
+// price of windowed coordination) and vs BM_ScheduleDispatch (the raw
+// single-heap ceiling).
+constexpr int kChurnShards = 8;
+constexpr int kChurnTimersPerShard = 64;
+constexpr std::uint64_t kChurnEventsPerTimer = 256;
+constexpr std::uint64_t kChurnLookahead = 61;
+
+struct ShardLoad {
+  Engine* self;
+  Engine* next;
+  std::uint64_t delay;
+  std::uint64_t remaining;
+  void operator()() {
+    if (remaining == 0) return;
+    --remaining;
+    if (remaining % 16 == 0)
+      self->cross_post(*next, self->now() + kChurnLookahead, [] {});
+    self->schedule_after(delay, *this);
+  }
+};
+
+void seed_churn(std::array<Engine, kChurnShards>& engs) {
+  for (int s = 0; s < kChurnShards; ++s)
+    for (int i = 0; i < kChurnTimersPerShard; ++i) {
+      const std::uint64_t d = 1 + static_cast<std::uint64_t>(i) % 61;
+      engs[s].schedule_after(
+          d, ShardLoad{&engs[s], &engs[(s + 1) % kChurnShards], d,
+                       kChurnEventsPerTimer});
+    }
+}
+
+void BM_ClusterChurn(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    std::array<Engine, kChurnShards> engs;
+    Cluster cluster(workers);
+    for (Engine& e : engs) cluster.add(e);
+    cluster.note_lookahead(kChurnLookahead);
+    seed_churn(engs);
+    cluster.run();
+    events += cluster.events_processed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ClusterChurn)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Same load through run_sequential() — the exact-global-order algorithm the
+// windowed run replaces. BM_ClusterChurn/1 vs this is the coordination
+// overhead (windowing + barriers + outbox merge) at zero parallelism.
+void BM_ClusterChurnSequential(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    std::array<Engine, kChurnShards> engs;
+    Cluster cluster(1);
+    for (Engine& e : engs) cluster.add(e);
+    cluster.note_lookahead(kChurnLookahead);
+    seed_churn(engs);
+    cluster.run_sequential();
+    events += cluster.events_processed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ClusterChurnSequential)->UseRealTime();
 
 }  // namespace
 

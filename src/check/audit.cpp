@@ -231,6 +231,25 @@ void Auditor::on_qp_post_dead(const void* qp, std::string_view who) {
   qp_ledger(qp, who).posts_on_dead += 1;
 }
 
+void Auditor::merge_qp_ledgers(const std::vector<Auditor*>& shards) {
+  // First auditor (in shard-rank order) to know a QP key owns the merged
+  // ledger; later shards' halves fold in and zero out, so conservation is
+  // checked once per flow, against whole-flow totals.
+  std::unordered_map<const void*, QpLedger*> owner;
+  for (Auditor* a : shards) {
+    for (auto& [qp, l] : a->qps_) {
+      auto [it, fresh] = owner.emplace(qp, &l);
+      if (fresh) continue;
+      QpLedger& dst = *it->second;
+      dst.tx += l.tx;
+      dst.rx += l.rx;
+      dst.dropped += l.dropped;
+      dst.posts_on_dead += l.posts_on_dead;
+      l = QpLedger{l.who, 0, 0, 0, 0};
+    }
+  }
+}
+
 void Auditor::on_dma_check(const void* qp, std::string_view who,
                            bool registered, std::string_view what) {
   if (registered) return;

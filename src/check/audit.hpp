@@ -173,6 +173,17 @@ class Auditor final : public sim::AuditHook {
   /// calling twice re-checks against current counters.
   void finalize();
 
+  /// Folds split QP byte ledgers across per-shard auditors before their
+  /// finalize() calls. A cross-shard RDMA flow records its tx bytes in the
+  /// sender shard's auditor and its rx/dropped bytes in the receiver
+  /// shard's — each half alone would (falsely) fail conservation. For every
+  /// QP key known to more than one auditor, the counters are folded into
+  /// the first auditor (in `shards` order) that saw the key and zeroed in
+  /// the rest, so exactly one finalize() checks the whole flow. Shard order
+  /// must be the deterministic rank order so violations land identically
+  /// on every run.
+  static void merge_qp_ledgers(const std::vector<Auditor*>& shards);
+
   [[nodiscard]] bool ok() const noexcept { return violations_.empty(); }
   [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
     return violations_;

@@ -8,8 +8,13 @@
 // hundreds of thousands of times per simulated transfer. MsgPtr replaces
 // that: the refcount lives in a small header in front of the payload, the
 // blocks recycle through size-bucketed thread-local freelists, and counts
-// are plain (non-atomic) integers — the engine is single-threaded, and a
-// message never crosses OS threads.
+// are plain (non-atomic) integers — each engine shard is single-threaded,
+// pinned to one worker (sim/cluster.hpp), so a count is only ever touched
+// from one thread at a time. A message that crosses shards does so as the
+// sole reference inside a buffered cross-shard Delivery; the cluster's
+// window barrier provides the happens-before edge for the hand-off, and
+// the block then simply lives on in the receiving worker's freelist (the
+// blocks are plain operator-new storage with no thread affinity).
 //
 // Ownership rule for contributors: a payload is immutable once it has been
 // handed to a send path (post_send / Connection::send). To reuse a block,

@@ -14,6 +14,7 @@
 
 #include "model/host_profile.hpp"
 #include "model/units.hpp"
+#include "sim/cluster.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 
@@ -67,15 +68,28 @@ class Link {
  public:
   Link(sim::Engine& eng, std::string name, double rate_gbps,
        sim::SimDuration one_way_latency, std::uint32_t mtu)
-      : eng_(eng),
+      : Link(eng, eng, std::move(name), rate_gbps, one_way_latency, mtu) {}
+
+  /// Cross-shard link: side A's serialization resource (a->b) lives on
+  /// `eng_a`, side B's (b->a) on `eng_b`, so each sender books wire time on
+  /// its own shard's engine. When the two engines are shards of the same
+  /// sim::Cluster, the link's one-way latency is declared as a lookahead
+  /// seam — the cluster's conservative window is bounded by the minimum
+  /// such latency. With eng_a == eng_b this is exactly the legacy ctor.
+  Link(sim::Engine& eng_a, sim::Engine& eng_b, std::string name,
+       double rate_gbps, sim::SimDuration one_way_latency, std::uint32_t mtu)
+      : eng_{&eng_a, &eng_b},
         name_(std::move(name)),
         latency_(one_way_latency),
         mtu_(mtu),
         rate_gbps_(rate_gbps) {
     for (int d = 0; d < 2; ++d)
       dir_[d] = std::make_unique<sim::Resource>(
-          eng, model::gbps_to_bytes_per_s(rate_gbps),
+          *eng_[d], model::gbps_to_bytes_per_s(rate_gbps),
           name_ + (d ? "/ba" : "/ab"));
+    if (&eng_a != &eng_b && eng_a.cluster() != nullptr &&
+        eng_a.cluster() == eng_b.cluster())
+      eng_a.cluster()->note_lookahead(latency_);
   }
 
   /// Serialization resource for one direction (0: a->b, 1: b->a).
@@ -138,7 +152,17 @@ class Link {
   [[nodiscard]] std::uint32_t mtu() const noexcept { return mtu_; }
   [[nodiscard]] double rate_gbps() const noexcept { return rate_gbps_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return *eng_[0]; }
+  /// Engine of the sending side for direction `d` (the one whose shard
+  /// books the serialization resource). Both sides on one engine in the
+  /// legacy single-shard configuration.
+  [[nodiscard]] sim::Engine& engine_for(Direction d) noexcept {
+    return *eng_[index(d)];
+  }
+  /// True when the link spans two different engines (a cross-shard seam).
+  [[nodiscard]] bool cross_engine() const noexcept {
+    return eng_[0] != eng_[1];
+  }
 
   /// Wire bytes for `payload` given per-MTU transport headers.
   [[nodiscard]] double wire_bytes(double payload,
@@ -153,7 +177,7 @@ class Link {
   }
 
  private:
-  sim::Engine& eng_;
+  sim::Engine* eng_[2];  // per-direction sender engine; equal when one shard
   std::string name_;
   sim::SimDuration latency_;
   std::uint32_t mtu_;
@@ -168,6 +192,14 @@ class Link {
 inline std::unique_ptr<Link> make_roce_lan(sim::Engine& eng,
                                            const std::string& name) {
   return std::make_unique<Link>(eng, name, 40.0, model::kLanRoceRtt / 2, 9000);
+}
+
+/// Cross-shard RoCE LAN link (side A on `eng_a`, side B on `eng_b`).
+inline std::unique_ptr<Link> make_roce_lan(sim::Engine& eng_a,
+                                           sim::Engine& eng_b,
+                                           const std::string& name) {
+  return std::make_unique<Link>(eng_a, eng_b, name, 40.0,
+                                model::kLanRoceRtt / 2, 9000);
 }
 
 /// LAN InfiniBand FDR link per Table 1 (56 Gbps, MTU 65520, RTT 144 us).

@@ -168,15 +168,34 @@ sim::Task<> QueuePair::post_recv(numa::Thread& th, RecvWr wr) {
 void QueuePair::deliver_after_latency(Delivery d,
                                       sim::SimDuration extra_latency) {
   QueuePair* peer = peer_;
-  // Old-incarnation rejection: stamp the receiver's epoch as the message
-  // leaves this end. If the peer is torn down and rebuilt while it is in
-  // flight (host crash + restart), the stamp no longer matches by arrival
-  // — the PSN/QPN mismatch of real verbs — and the receiver drops it
-  // instead of handing a dead connection's traffic to the new epoch.
-  d.epoch = peer->epoch_;
-  dev_.host().engine().schedule_after(
-      link_->latency() + extra_latency,
-      [peer, d]() mutable { peer->inbound_.send(std::move(d)); });
+  sim::Engine& own = dev_.host().engine();
+  sim::Engine& peer_eng = peer->dev_.host().engine();
+  if (&peer_eng == &own) {
+    // Old-incarnation rejection: stamp the receiver's epoch as the message
+    // leaves this end. If the peer is torn down and rebuilt while it is in
+    // flight (host crash + restart), the stamp no longer matches by arrival
+    // — the PSN/QPN mismatch of real verbs — and the receiver drops it
+    // instead of handing a dead connection's traffic to the new epoch.
+    d.epoch = peer->epoch_;
+    own.schedule_after(
+        link_->latency() + extra_latency,
+        [peer, d]() mutable { peer->inbound_.send(std::move(d)); });
+    return;
+  }
+  // Cross-shard peer: the receiver's epoch counter belongs to another
+  // shard's worker thread, so it cannot be read here. Stamp it as the
+  // message is enqueued on the destination engine instead — that runs on
+  // the receiver's thread, and any kill()/recover() the receiver performs
+  // up to the arrival instant is already reflected, which is the same
+  // stale-incarnation cutoff the send-time stamp gives intra-shard (the
+  // epoch can only have advanced while the message was in flight).
+  own.cross_post(
+      peer_eng,
+      sim::Engine::saturating_add(own.now(), link_->latency() + extra_latency),
+      [peer, d]() mutable {
+        d.epoch = peer->epoch_;
+        peer->inbound_.send(std::move(d));
+      });
 }
 
 // Pushes a failed completion for `wr`, after `delay` when the failure only
@@ -429,6 +448,7 @@ sim::Task<> QueuePair::receiver_loop() {
 
 sim::Task<> QueuePair::serve_read(SendWr wr) {
   auto& eng = dev_.host().engine();
+  auto& resp_eng = peer_->dev_.host().engine();
   const auto& cm = dev_.host().costs();
   const sim::SimTime read_t0 = eng.now();
   // Reads overlap each other, so they trace as async spans keyed by wr_id.
@@ -437,29 +457,62 @@ sim::Task<> QueuePair::serve_read(SendWr wr) {
 
   // Read request travels to the responder...
   co_await link_->dir(dir_).acquire(64.0);
-  co_await sim::Delay{eng, link_->latency()};
 
-  // ...whose NIC fetches the remote region with zero remote CPU and streams
-  // the response. RDMA Read sustains only `rdma_read_efficiency` of the
-  // line rate (request/response turnaround), per the paper's observation.
-  if (auto* au = check::of(eng))
-    au->on_dma_check(this, dev_.host().name(), wr.remote.buffer->registered,
-                     "read source region");
-  const sim::SimTime fetch_done = peer_->dev_.charge_dma(
-      wr.remote.buffer->placement, wr.bytes, /*to_wire=*/true);
-  co_await link_->dir(1 - dir_).acquire(
-      link_->wire_bytes(static_cast<double>(wr.bytes), header_per_mtu()) /
-      cm.rdma_read_efficiency);
-  co_await sim::until(eng, fetch_done);
-  co_await sim::Delay{eng, link_->latency()};
+  net::TxFate fate;
+  std::uint64_t remote_tag = 0;
+  if (&resp_eng != &eng) {
+    // Cross-shard responder: hop onto its engine for the remote-side
+    // segment — the responder's DMA resources, the response-direction wire
+    // resource, and the responder shard's audit/fate state all live there.
+    // The hop rides the link's one-way latency, which is at least the
+    // cluster lookahead, so the resume lands past the window horizon.
+    co_await sim::Hop{eng, resp_eng,
+                      sim::Engine::saturating_add(eng.now(), link_->latency())};
+    if (auto* au = check::of(resp_eng))
+      au->on_dma_check(this, dev_.host().name(), wr.remote.buffer->registered,
+                       "read source region");
+    const sim::SimTime fetch_done = peer_->dev_.charge_dma(
+        wr.remote.buffer->placement, wr.bytes, /*to_wire=*/true);
+    co_await link_->dir(1 - dir_).acquire(
+        link_->wire_bytes(static_cast<double>(wr.bytes), header_per_mtu()) /
+        cm.rdma_read_efficiency);
+    co_await sim::until(resp_eng, fetch_done);
+    // Fate and content tag are responder-side state: sample them here,
+    // before hopping home (the requester's own error state is folded in
+    // back on its shard, below).
+    fate = link_->transmit_fate(
+        opposite(dir()),
+        link_->wire_bytes(static_cast<double>(wr.bytes), header_per_mtu()));
+    remote_tag = wr.remote.buffer->content_tag;
+    co_await sim::Hop{
+        resp_eng, eng,
+        sim::Engine::saturating_add(resp_eng.now(), link_->latency())};
+    if (state_ == QpState::kError) fate = net::TxFate{true, 0, 0};
+  } else {
+    co_await sim::Delay{eng, link_->latency()};
 
-  const net::TxFate fate =
-      state_ == QpState::kError
-          ? net::TxFate{true, 0, 0}
-          : link_->transmit_fate(
-                opposite(dir()),
-                link_->wire_bytes(static_cast<double>(wr.bytes),
-                                  header_per_mtu()));
+    // ...whose NIC fetches the remote region with zero remote CPU and
+    // streams the response. RDMA Read sustains only `rdma_read_efficiency`
+    // of the line rate (request/response turnaround), per the paper's
+    // observation.
+    if (auto* au = check::of(eng))
+      au->on_dma_check(this, dev_.host().name(), wr.remote.buffer->registered,
+                       "read source region");
+    const sim::SimTime fetch_done = peer_->dev_.charge_dma(
+        wr.remote.buffer->placement, wr.bytes, /*to_wire=*/true);
+    co_await link_->dir(1 - dir_).acquire(
+        link_->wire_bytes(static_cast<double>(wr.bytes), header_per_mtu()) /
+        cm.rdma_read_efficiency);
+    co_await sim::until(eng, fetch_done);
+    co_await sim::Delay{eng, link_->latency()};
+
+    fate = state_ == QpState::kError
+               ? net::TxFate{true, 0, 0}
+               : link_->transmit_fate(
+                     opposite(dir()),
+                     link_->wire_bytes(static_cast<double>(wr.bytes),
+                                       header_per_mtu()));
+  }
   if (fate.fail) {
     if (auto* tr = trace::of(eng)) {
       const auto tk = tx_track(tr);
@@ -474,7 +527,10 @@ sim::Task<> QueuePair::serve_read(SendWr wr) {
   co_await sim::until(eng, land_done);
   bytes_sent_ += wr.bytes;  // counted at the requester, as verbs does
   // The landed data is a copy of the remote region: adopt its content tag.
-  wr.local->content_tag = wr.remote.buffer->content_tag;
+  // Cross-shard reads use the tag sampled on the responder's engine at
+  // fetch time — the remote buffer must not be dereferenced from here.
+  wr.local->content_tag =
+      &resp_eng != &eng ? remote_tag : wr.remote.buffer->content_tag;
   scq_.push({Opcode::kRead, wr.wr_id, wr.bytes, 0, true, nullptr});
   if (auto* tr = trace::of(eng)) {
     const auto tk = tx_track(tr);

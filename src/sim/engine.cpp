@@ -2,7 +2,13 @@
 
 #include <utility>
 
+#include "sim/cluster.hpp"
+
 namespace e2e::sim {
+
+Engine::~Engine() {
+  if (cluster_ != nullptr) cluster_->detach(*this);
+}
 
 // Sift operations move 24-byte POD keys only; the EventFn payloads stay put
 // in slots_ until dispatch, so reordering the heap never runs a relocate
@@ -83,6 +89,22 @@ std::uint64_t Engine::run_until(SimTime t) {
   while (!heap_.empty() && !stopped_ && heap_.front().t <= t) dispatch_one();
   if (!stopped_ && now_ < t) now_ = t;
   return events_processed_ - before_count;
+}
+
+std::uint64_t Engine::run_window(SimTime horizon) {
+  stopped_ = false;
+  const std::uint64_t before_count = events_processed_;
+  while (!heap_.empty() && !stopped_ && heap_.front().t < horizon)
+    dispatch_one();
+  return events_processed_ - before_count;
+}
+
+void Engine::cross_post(Engine& dst, SimTime t, EventFn fn) {
+  if (&dst == this || cluster_ == nullptr || dst.cluster_ != cluster_) {
+    dst.schedule_at(t, std::move(fn));
+    return;
+  }
+  cluster_->post(rank_, dst.rank_, t, std::move(fn));
 }
 
 }  // namespace e2e::sim

@@ -28,6 +28,7 @@
 
 namespace e2e::sim {
 
+class Cluster;
 class Resource;
 
 /// Observer interface the engine exposes to the tracing layer (trace/).
@@ -85,6 +86,9 @@ class StatsHook {
 class Engine {
  public:
   Engine() { heap_.reserve(kInitialReserve); }
+  /// Detaches from its Cluster, if any, so shard and Cluster lifetimes may
+  /// end in either order (defined in engine.cpp; needs cluster.hpp).
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -152,6 +156,27 @@ class Engine {
     return s < a ? kTimeInfinity : s;
   }
 
+  // --- sharded (Cluster) operation ---
+
+  /// The Cluster this engine is registered with as a shard, or null when it
+  /// runs standalone (the default and the `--shards 1` legacy path).
+  [[nodiscard]] Cluster* cluster() const noexcept { return cluster_; }
+  /// Shard rank within the cluster (-1 when standalone).
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+  /// Schedules `fn` on `dst` at absolute time `t`. When both engines are
+  /// shards of the same Cluster this routes through the cluster's
+  /// deterministic (t, src_rank, seq) cross-shard merge; otherwise (same
+  /// engine, or no cluster) it degenerates to dst.schedule_at(t, fn) — so
+  /// callers on boundary seams can use it unconditionally.
+  void cross_post(Engine& dst, SimTime t, EventFn fn);
+
+  /// Runs all events with timestamp strictly < `horizon` (one conservative
+  /// lookahead window). Does NOT advance the clock to the horizon: the next
+  /// window's bound is derived from real pending-event times. Returns the
+  /// number of events dispatched.
+  std::uint64_t run_window(SimTime horizon);
+
   // --- tracing ---
 
   /// The installed tracer (null when tracing is disabled — the default).
@@ -183,6 +208,8 @@ class Engine {
   }
 
  private:
+  friend class Cluster;  // run_sequential() drives dispatch_one() directly
+
   static constexpr std::size_t kArity = 4;
   static constexpr std::size_t kInitialReserve = 1024;
 
@@ -205,6 +232,10 @@ class Engine {
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
   void dispatch_one();
+  void attach_cluster(Cluster* c, int rank) noexcept {
+    cluster_ = c;
+    rank_ = rank;
+  }
 
   std::vector<Event> heap_;
   std::vector<EventFn> slots_;             // payloads, indexed by Event::slot
@@ -213,6 +244,8 @@ class Engine {
   AuditHook* audit_hook_ = nullptr;
   StatsHook* stats_hook_ = nullptr;
   std::vector<Resource*> resources_;
+  Cluster* cluster_ = nullptr;
+  int rank_ = -1;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;

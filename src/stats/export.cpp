@@ -123,6 +123,18 @@ void Registry::write_json(std::ostream& os) const {
   os << (histograms_.empty() ? "" : "\n  ") << "]\n}\n";
 }
 
+void Registry::write_merged_json(std::ostream& os,
+                                 const std::vector<const Registry*>& shards) {
+  os << "{\n\"schema\": \"e2e-stats-cluster-v1\",\n";
+  os << "\"shard_count\": " << shards.size() << ",\n";
+  os << "\"shards\": [";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    os << (i ? ",\n" : "\n");
+    shards[i]->write_json(os);
+  }
+  os << (shards.empty() ? "" : "\n") << "]\n}\n";
+}
+
 void Registry::write_csv(std::ostream& os) const {
   os << "metric,value\n";
   os << "sim_time_ns," << eng_.now() << "\n";

@@ -255,6 +255,13 @@ class Registry final : public sim::StatsHook {
   void write_json(std::ostream& os) const;
   void write_csv(std::ostream& os) const;
 
+  /// Sharded-run report ("e2e-stats-cluster-v1"): one write_json() document
+  /// per shard registry, in the order given — callers pass shard-rank
+  /// order, never a wall-clock-dependent order, so the merged file is as
+  /// deterministic as the per-shard ones.
+  static void write_merged_json(std::ostream& os,
+                                const std::vector<const Registry*>& shards);
+
  private:
   struct Entity {
     Layer layer;

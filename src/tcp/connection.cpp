@@ -12,6 +12,15 @@ Connection::Connection(numa::Host& host_a, numa::NodeId node_a,
                        numa::Host& host_b, numa::NodeId node_b,
                        net::Link& link, ConnectionOptions opts)
     : link_(link), opts_(opts) {
+  // The TCP model runs both endpoints' stacks on one event engine (shared
+  // channels, direct peer-state reads). Cross-shard TCP would need the
+  // cross_post seam the RDMA path has; until then, refuse the topology
+  // loudly rather than silently racing. Cross-shard fleets carry their
+  // bulk traffic over rdma:: QPs.
+  if (&host_a.engine() != &host_b.engine())
+    throw std::logic_error(
+        "tcp::Connection endpoints must share one engine (link " +
+        link.name() + " spans two shards)");
   auto init = [&](Endpoint& ep, numa::Host& h, numa::NodeId n) {
     ep.host = &h;
     ep.nic_node = n;

@@ -56,18 +56,25 @@ void put_str(std::ostream& os, std::string_view s) {
 void Tracer::write_chrome_trace(std::ostream& os) const {
   os << "{\"traceEvents\":[\n";
   bool first = true;
+  write_chrome_events(os, 0, first);
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Tracer::write_chrome_events(std::ostream& os, int pid_base,
+                                 bool& first) const {
   auto sep = [&] {
     if (!first) os << ",\n";
     first = false;
   };
 
-  // Process metadata: one Perfetto "process" per layer, plus pid 0 for the
-  // counter / sampler tracks.
+  // Process metadata: one Perfetto "process" per layer, plus the base pid
+  // for the counter / sampler tracks.
   sep();
-  os << R"({"ph":"M","pid":0,"name":"process_name","args":{"name":"counters"}})";
+  os << "{\"ph\":\"M\",\"pid\":" << pid_base
+     << ",\"name\":\"process_name\",\"args\":{\"name\":\"counters\"}}";
   for (int l = 0; l < kLayerCount; ++l) {
     sep();
-    os << "{\"ph\":\"M\",\"pid\":" << (l + 1)
+    os << "{\"ph\":\"M\",\"pid\":" << (pid_base + l + 1)
        << ",\"name\":\"process_name\",\"args\":{\"name\":";
     put_str(os, to_string(static_cast<Layer>(l)));
     os << "}}";
@@ -76,14 +83,15 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
   for (TrackId t = 0; t < tracks_.size(); ++t) {
     sep();
     os << "{\"ph\":\"M\",\"pid\":"
-       << (static_cast<int>(tracks_[t].layer) + 1) << ",\"tid\":" << (t + 1)
+       << (pid_base + static_cast<int>(tracks_[t].layer) + 1)
+       << ",\"tid\":" << (t + 1)
        << ",\"name\":\"thread_name\",\"args\":{\"name\":";
     put_str(os, tracks_[t].actor);
     os << "}}";
   }
 
   for (const Event& e : events_) {
-    const int pid = static_cast<int>(tracks_[e.track].layer) + 1;
+    const int pid = pid_base + static_cast<int>(tracks_[e.track].layer) + 1;
     const unsigned tid = e.track + 1;
     sep();
     os << "{\"ph\":\"";
@@ -120,10 +128,10 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
     os << '}';
   }
 
-  // Counter and value series as 'C' events under pid 0.
+  // Counter and value series as 'C' events under the base pid.
   for (const Sample& s : samples_) {
     sep();
-    os << "{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":";
+    os << "{\"ph\":\"C\",\"pid\":" << pid_base << ",\"tid\":0,\"ts\":";
     put_us(os, s.ts);
     os << ",\"name\":";
     put_str(os, names_[s.series]);
@@ -131,7 +139,15 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
     put_double(os, s.value);
     os << "}}";
   }
+}
 
+void write_merged_chrome_trace(std::ostream& os,
+                               const std::vector<const Tracer*>& shards) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t s = 0; s < shards.size(); ++s)
+    shards[s]->write_chrome_events(
+        os, static_cast<int>(s) * (kLayerCount + 1), first);
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
 

@@ -171,6 +171,13 @@ class Tracer final : public sim::TraceHook {
   /// Chrome trace-event JSON (the "traceEvents" envelope).
   void write_chrome_trace(std::ostream& os) const;
 
+  /// Emits this tracer's metadata + event stream into an already-open
+  /// "traceEvents" array, with every pid offset by `pid_base` so several
+  /// shards' tracers coexist in one file (shard s uses
+  /// pid_base = s * (kLayerCount + 1)). write_chrome_trace() is exactly
+  /// this with pid_base 0 inside the envelope.
+  void write_chrome_events(std::ostream& os, int pid_base, bool& first) const;
+
   /// Flat run report: counters, per-resource totals, notes.
   void write_report_json(std::ostream& os) const;
   void write_report_csv(std::ostream& os) const;
@@ -357,5 +364,12 @@ struct CachedSeries {
     return id;
   }
 };
+
+/// One Chrome trace file covering several shards' tracers: shard s's
+/// processes occupy pids [s*(kLayerCount+1), (s+1)*(kLayerCount+1)). Pass
+/// tracers in shard-rank order — the emission order (and therefore the
+/// byte stream) follows the vector, never wall-clock completion order.
+void write_merged_chrome_trace(std::ostream& os,
+                               const std::vector<const Tracer*>& shards);
 
 }  // namespace e2e::trace

@@ -23,6 +23,7 @@
 #include "apps/apps.hpp"
 #include "check/audit.hpp"
 #include "exp/exp.hpp"
+#include "exp/fleet.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "metrics/metrics.hpp"
@@ -49,6 +50,8 @@ struct Options {
   std::string fault_plan;       // scripted FaultPlan (see fault/plan.hpp)
   std::uint64_t fault_seed = 0; // != 0: seeded random plan instead
   int checkpoint = 1;           // rftp ledger checkpoint interval (blocks)
+  int pairs = 4;                // fleet: transfer pairs (one shard each)
+  int shards = 1;               // fleet: parallel worker threads
   bool stats = true;            // always-on metrics + flight recorder
   std::string stats_out;        // --stats-out FILE (.csv -> CSV, else JSON)
 #ifdef NDEBUG
@@ -60,7 +63,8 @@ struct Options {
 
 [[noreturn]] void usage() {
   std::fputs(
-      "usage: e2e_transfer_sim <quick|e2e|wan|san|motivating> [options]\n"
+      "usage: e2e_transfer_sim <quick|e2e|wan|san|motivating|fleet> "
+      "[options]\n"
       "  --gib N          dataset size in GiB (transfer scenarios)\n"
       "  --block N[k|m|g] RFTP block / fio I/O size (KiB/MiB/GiB suffix)\n"
       "  --streams N      parallel RFTP streams\n"
@@ -78,6 +82,11 @@ struct Options {
       "  --checkpoint N   rftp acked-block ledger checkpoint interval in\n"
       "                   blocks (default 1 = every ack durable; 0 disables,\n"
       "                   so a receiver crash restarts from byte zero)\n"
+      "  --pairs N        fleet: transfer pairs, one engine shard each\n"
+      "                   (default 4)\n"
+      "  --shards N       fleet: worker threads driving the shards, in\n"
+      "                   [1, pairs]; results are bit-identical for any\n"
+      "                   value (default 1)\n"
       "  --audit 0|1      cross-layer invariant audits (default: on in\n"
       "                   Debug builds, off in Release)\n"
       "  --stats 0|1      per-entity metrics + flight recorder (default: on)\n"
@@ -142,6 +151,10 @@ Options parse(int argc, char** argv) {
       o.fault_seed = std::strtoull(need("--fault-seed"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--checkpoint"))
       o.checkpoint = std::atoi(need("--checkpoint"));
+    else if (!std::strcmp(argv[i], "--pairs"))
+      o.pairs = std::atoi(need("--pairs"));
+    else if (!std::strcmp(argv[i], "--shards"))
+      o.shards = std::atoi(need("--shards"));
     else if (!std::strcmp(argv[i], "--audit"))
       o.audit = std::atoi(need("--audit")) != 0;
     else if (!std::strcmp(argv[i], "--stats"))
@@ -499,6 +512,61 @@ int run_san(const Options& o) {
   return rc;
 }
 
+int run_fleet(const Options& o) {
+  exp::FleetParams fp;
+  fp.pairs = o.pairs;
+  fp.shards = o.shards;
+  fp.bytes_per_pair = o.gib << 30;
+  fp.block_bytes = o.block;
+  fp.streams = o.streams > 0 ? o.streams : 3;
+  fp.credits = o.credits;
+  fp.checkpoint_blocks = o.checkpoint;
+  fp.fault_seed = o.fault_seed;
+  fp.audit = o.audit;
+  fp.stats = o.stats;
+  fp.trace = !o.trace_file.empty();
+  const auto r = exp::run_fleet(fp);
+  std::printf(
+      "fleet: %d pairs x %llu GiB on %d shard worker%s -> %.1f Gbps "
+      "aggregate\n",
+      fp.pairs, static_cast<unsigned long long>(o.gib), fp.shards,
+      fp.shards == 1 ? "" : "s",
+      r.aggregate_gbps);
+  std::printf(
+      "fleet: %llu events in %.2f s wall (%.0f ev/s), %llu windows, "
+      "%llu cross-shard posts, %llu ring writes\n",
+      static_cast<unsigned long long>(r.sim_events), r.wall_seconds,
+      r.wall_seconds > 0 ? static_cast<double>(r.sim_events) / r.wall_seconds
+                         : 0.0,
+      static_cast<unsigned long long>(r.windows),
+      static_cast<unsigned long long>(r.cross_posts),
+      static_cast<unsigned long long>(r.ring_completed));
+  // The digest is the golden-determinism handle: byte-identical for any
+  // --shards value (tests diff this line across worker counts).
+  std::printf("digest: %s\n", r.digest.c_str());
+  if (!r.audit_ok)
+    std::printf("fleet: %llu audit violation(s)\n",
+                static_cast<unsigned long long>(r.audit_violations));
+  if (!o.trace_file.empty()) {
+    std::ofstream os(o.trace_file);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", o.trace_file.c_str());
+      return 1;
+    }
+    os << r.trace_json;
+  }
+  if (!o.stats_out.empty()) {
+    // Merged cluster dump is JSON-only (one write_json document per shard).
+    std::ofstream os(o.stats_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", o.stats_out.c_str());
+      return 1;
+    }
+    os << r.stats_json;
+  }
+  return r.complete && r.integrity_ok && r.audit_ok ? 0 : 1;
+}
+
 int run_motivating(const Options& o) {
   bool audit_bad = false;
   for (const bool tuned : {false, true}) {
@@ -535,6 +603,34 @@ int run_motivating(const Options& o) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (o.scenario == "fleet") {
+    if (o.pairs < 1) {
+      std::fprintf(stderr, "bad --pairs %d: need at least one pair\n",
+                   o.pairs);
+      usage();
+    }
+    if (o.shards < 1 || o.shards > o.pairs) {
+      std::fprintf(stderr,
+                   "bad --shards %d: must be in [1, --pairs=%d] (one engine "
+                   "shard per host pair)\n",
+                   o.shards, o.pairs);
+      usage();
+    }
+    if (!o.fault_plan.empty()) {
+      std::fprintf(stderr,
+                   "fleet uses --fault-seed; a scripted --fault-plan targets "
+                   "a single session\n");
+      usage();
+    }
+    return run_fleet(o);
+  }
+  if (o.shards != 1) {
+    std::fprintf(stderr,
+                 "bad --shards %d: only the fleet scenario is sharded (%s "
+                 "runs one engine)\n",
+                 o.shards, o.scenario.c_str());
+    usage();
+  }
   if (o.scenario == "quick") return run_quick(o);
   if (o.scenario == "e2e") return run_e2e(o);
   if (o.scenario == "wan") return run_wan(o);
