@@ -145,15 +145,30 @@ void Auditor::reconcile_resource(const ResourceState& s) {
                 " units served but units_served() advanced by " +
                 std::to_string(units - s.base_units));
   // Utilization can never exceed 1: all busy time fits in [0, busy_until],
-  // and once the queue has drained it fits in elapsed time.
-  if (busy_until != sim::kTimeInfinity && busy > busy_until)
+  // and once the queue has drained it fits in elapsed time. Analytically
+  // fast-forwarded service has no event-clock window — it models work done
+  // inside skipped virtual time — so both ceilings widen by the skip.
+  if (busy_until != sim::kTimeInfinity &&
+      busy > sim::Engine::saturating_add(busy_until, skipped_))
     violate("resource.utilization",
             s.name + ": busy_time " + std::to_string(busy) +
-                " ns exceeds drain time " + std::to_string(busy_until));
-  if (s.live && eng_.now() >= busy_until && busy > eng_.now())
+                " ns exceeds drain time " + std::to_string(busy_until) +
+                " + skipped " + std::to_string(skipped_));
+  const sim::SimTime elapsed = eng_.virtual_now();
+  if (s.live && eng_.now() >= busy_until && busy > elapsed)
     violate("resource.utilization",
             s.name + ": busy_time " + std::to_string(busy) +
-                " ns exceeds elapsed time " + std::to_string(eng_.now()));
+                " ns exceeds elapsed time " + std::to_string(elapsed));
+}
+
+void Auditor::on_resource_fast_forward(const sim::Resource& r,
+                                       sim::SimDuration busy_delta,
+                                       double units_delta) {
+  ResourceState& s = resource_state(r);
+  // No service window: last_end is untouched (overlap checks only apply to
+  // event-exact FIFO windows), only the conservation sums advance.
+  s.sum_busy += busy_delta;
+  s.sum_units += units_delta;
 }
 
 void Auditor::on_resource_destroyed(const sim::Resource& r) {
@@ -571,6 +586,87 @@ void Auditor::rftp_resume(const void* sess) {
     violate("rftp.resume-without-crash",
             a->tag + ": resume #" + std::to_string(a->resumes) +
                 " with only " + std::to_string(a->crashes) + " crash(es)");
+}
+
+void Auditor::rftp_fast_forward_drain(const void* sess,
+                                      std::uint64_t block_idx,
+                                      std::uint64_t bytes) {
+  RftpAudit* a = rftp_find(sess, "fast-forward-drain");
+  if (a == nullptr) return;
+  if (block_idx >= a->block_count) {
+    violate("rftp.block-out-of-range",
+            a->tag + ": fast-forwarded block " + std::to_string(block_idx) +
+                " of " + std::to_string(a->block_count));
+    return;
+  }
+  BlockAudit& b = a->blocks[block_idx];
+  if (b.drained) {
+    violate("rftp.double-drain",
+            a->tag + ": block " + std::to_string(block_idx) +
+                " fast-forwarded but already drained");
+    return;
+  }
+  // Collapsed fill + fresh drain of the analytic tag in one step.
+  if (b.fills == 0) b.fills = 1;
+  b.fill_bytes = bytes;
+  b.drained = true;
+  ++a->fresh_drains;
+  a->delivered += bytes;
+  a->digest ^= fault::rftp_block_tag(block_idx, bytes);
+}
+
+void Auditor::rftp_fast_forward_drains(const void* sess,
+                                       const std::uint64_t* idx,
+                                       std::size_t n, std::uint64_t bytes) {
+  RftpAudit* a = rftp_find(sess, "fast-forward-drain");
+  if (a == nullptr) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t block_idx = idx[i];
+    if (block_idx >= a->block_count) {
+      violate("rftp.block-out-of-range",
+              a->tag + ": fast-forwarded block " + std::to_string(block_idx) +
+                  " of " + std::to_string(a->block_count));
+      continue;
+    }
+    BlockAudit& b = a->blocks[block_idx];
+    if (b.drained) {
+      violate("rftp.double-drain",
+              a->tag + ": block " + std::to_string(block_idx) +
+                  " fast-forwarded but already drained");
+      continue;
+    }
+    if (b.fills == 0) b.fills = 1;
+    b.fill_bytes = bytes;
+    b.drained = true;
+    ++a->fresh_drains;
+    a->delivered += bytes;
+    a->digest ^= fault::rftp_block_tag(block_idx, bytes);
+  }
+}
+
+void Auditor::ff_cpu_cores(std::vector<const sim::Resource*>& out) const {
+  out.clear();
+  out.reserve(cores_.size());
+  for (const auto& [res, cs] : cores_) out.push_back(res);
+}
+
+void Auditor::ff_cpu_snapshot(std::vector<sim::SimDuration>& out) const {
+  out.clear();
+  out.reserve(cores_.size() * metrics::kCpuCategoryCount);
+  for (const auto& [res, cs] : cores_)
+    for (std::size_t c = 0; c < metrics::kCpuCategoryCount; ++c)
+      out.push_back(cs.accounted[c]);
+}
+
+bool Auditor::ff_cpu_apply(const std::vector<sim::SimDuration>& delta,
+                           std::uint64_t k) {
+  if (delta.size() != cores_.size() * metrics::kCpuCategoryCount)
+    return false;
+  std::size_t i = 0;
+  for (auto& [res, cs] : cores_)
+    for (std::size_t c = 0; c < metrics::kCpuCategoryCount; ++c)
+      cs.accounted[c] += delta[i++] * static_cast<sim::SimDuration>(k);
+  return true;
 }
 
 void Auditor::rftp_end(const void* sess, bool complete,

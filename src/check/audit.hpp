@@ -75,6 +75,15 @@ class Auditor final : public sim::AuditHook {
   void on_resource_replan(const sim::Resource& r, sim::SimTime old_busy_until,
                           sim::SimTime new_busy_until) override;
   void on_resource_destroyed(const sim::Resource& r) override;
+  /// Analytic service booked by Resource::fast_forward: fold the deltas
+  /// into the running sums so the exact busy-time reconciliation holds on
+  /// fast-forwarded runs.
+  void on_resource_fast_forward(const sim::Resource& r,
+                                sim::SimDuration busy_delta,
+                                double units_delta) override;
+  /// Modeled time skipped without events: widens the utilization ceilings
+  /// (busy time accrued analytically has no event-clock span to sit in).
+  void on_time_skip(sim::SimDuration d) override { skipped_ += d; }
 
   // --- CPU accounting (called by numa::Thread) ---
 
@@ -158,11 +167,41 @@ class Auditor final : public sim::AuditHook {
   void rftp_stream_revived(const void* sess, int stream);
   /// The restart completed: the session resumed the transfer.
   void rftp_resume(const void* sess);
+  /// One block advanced fill-to-drain in closed form by the fast-forward
+  /// replay (rftp::FastForward). Equivalent to a fill + fresh drain of the
+  /// analytic tag: the block ledger, delivered-byte total, XOR digest and
+  /// fresh-drain count advance exactly as an event-exact pass would leave
+  /// them. Credit/token counters are deliberately untouched — no grant or
+  /// credit message is modeled inside a collapsed span (the in-rotation
+  /// tokens keep cycling through the event-exact tail), and all credit
+  /// invariants are inequalities that stay valid.
+  void rftp_fast_forward_drain(const void* sess, std::uint64_t block_idx,
+                               std::uint64_t bytes);
+  /// Bulk variant for one collapsed period's blocks: identical checks and
+  /// ledger updates as per-block calls, but the session lookup happens once
+  /// — the per-block hash probe would otherwise dominate the collapse loop.
+  void rftp_fast_forward_drains(const void* sess, const std::uint64_t* idx,
+                                std::size_t n, std::uint64_t bytes);
   /// The transfer finished. `delivered_bytes`/`sink_digest` are the
   /// session's own tallies; the auditor reconciles them against its
   /// independently accumulated ledger and the analytic digest.
   void rftp_end(const void* sess, bool complete, std::uint64_t delivered_bytes,
                 std::uint64_t sink_digest);
+
+  // --- fast-forward CPU accounting ---
+  // The per-core accounted[category] arrays are integer nanoseconds, so a
+  // steady-state period's delta replays exactly. Arrays are flattened in
+  // first-seen core order, kCpuCategoryCount entries per core.
+
+  /// Cycle-server pointers of every audited core, in first-seen order.
+  void ff_cpu_cores(std::vector<const sim::Resource*>& out) const;
+  /// Flattened copy of every core's accounted-by-category array.
+  void ff_cpu_snapshot(std::vector<sim::SimDuration>& out) const;
+  /// Adds `delta * k` element-wise to the accounted arrays. Returns false
+  /// (and applies nothing) if the core population changed since the
+  /// snapshot shape was captured.
+  bool ff_cpu_apply(const std::vector<sim::SimDuration>& delta,
+                    std::uint64_t k);
 
   // --- end-of-run reconciliation ---
 
@@ -297,6 +336,7 @@ class Auditor final : public sim::AuditHook {
   sim::Engine& eng_;
   Policy policy_;
   bool log_ = true;
+  sim::SimDuration skipped_ = 0;  // modeled time absorbed by Engine::skip_time
   std::vector<Violation> violations_;
 
   // Insertion-ordered state with pointer lookup maps: reports and finalize

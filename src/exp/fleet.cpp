@@ -164,6 +164,7 @@ FleetResult run_fleet(const FleetParams& p) {
     cfg.streams = p.streams;
     cfg.credits_per_stream = p.credits;
     cfg.checkpoint_blocks = p.checkpoint_blocks;
+    cfg.fast_forward = p.fast_forward;  // inert under a Cluster (see hpp)
     rig->sess = std::make_unique<rftp::RftpSession>(
         rftp::EndpointConfig{rig->pa.get(), {rig->da.get()}},
         rftp::EndpointConfig{rig->pb.get(), {rig->db.get()}},

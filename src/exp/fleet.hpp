@@ -26,6 +26,11 @@ struct FleetParams {
   std::uint64_t ring_messages = 32;  // cross-shard writes per pair
   std::uint64_t ring_msg_bytes = 1ull << 20;
   std::uint64_t fault_seed = 0;  // != 0: seeded per-pair chaos plans
+  // Accepted for CLI symmetry but inert: sharded engines run under a
+  // Cluster, and RftpSession only constructs the fast-forward detector on
+  // a single-engine run (skip_time on a shard would break the conservative
+  // lookahead protocol).
+  bool fast_forward = false;
   bool audit = true;             // per-shard auditors + merged QP ledgers
   bool stats = false;            // capture merged stats JSON in the result
   bool trace = false;            // capture merged Chrome trace JSON

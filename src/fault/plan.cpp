@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
 namespace e2e::fault {
@@ -302,6 +303,32 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomParams& p) {
   }
   sort_events(plan.events);
   return plan;
+}
+
+sim::SimTime FaultPlan::quiet_after(sim::SimDuration slack) const noexcept {
+  sim::SimTime latest = 0;
+  for (const FaultEvent& e : events) {
+    if (e.type == FaultType::kCrash && e.down == 0)
+      return sim::kTimeInfinity;  // terminal crash: the run never settles
+    sim::SimTime end = e.at;
+    switch (e.type) {
+      case FaultType::kLinkFlap:
+      case FaultType::kLatencySpike:
+      case FaultType::kBlackhole:
+      case FaultType::kLossBurst:
+        // A zero duration means the injector's default loss window.
+        end = sim::Engine::saturating_add(
+            end, e.duration > 0 ? e.duration : 10 * sim::kMillisecond);
+        break;
+      case FaultType::kCrash:
+        end = sim::Engine::saturating_add(end, e.down);
+        break;
+      case FaultType::kQpKill:
+        break;  // instantaneous; failover transients are covered by slack
+    }
+    latest = std::max(latest, end);
+  }
+  return latest == 0 ? latest : sim::Engine::saturating_add(latest, slack);
 }
 
 }  // namespace e2e::fault

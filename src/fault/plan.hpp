@@ -73,6 +73,16 @@ struct FaultPlan {
   /// Canonical script form (round-trips through parse()).
   [[nodiscard]] std::string to_string() const;
 
+  /// First instant by which every scheduled fault *and* its direct
+  /// aftermath (flap/spike/hole windows, crash downtime) has passed, plus
+  /// `slack` for in-flight retransmissions and recovery transients to
+  /// settle. The fast-forward detector refuses to engage before this time,
+  /// so every scripted fault fires on an event-exact timeline identical to
+  /// the non-fast-forwarded run. A crash with down == 0 never restarts —
+  /// the run ends in failure — so the plan returns kTimeInfinity and the
+  /// detector never engages.
+  [[nodiscard]] sim::SimTime quiet_after(sim::SimDuration slack) const noexcept;
+
   /// Parses the script syntax above. Throws std::invalid_argument with a
   /// position-carrying message on malformed input.
   static FaultPlan parse(std::string_view spec);

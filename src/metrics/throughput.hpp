@@ -28,7 +28,9 @@ class ThroughputMeter {
       : eng_(eng), bin_width_(bin_width ? bin_width : sim::kSecond),
         name_(std::move(name)) {}
 
-  /// Records `bytes` delivered at the current simulated time.
+  /// Records `bytes` delivered at the current *modeled* time
+  /// (Engine::virtual_now — identical to now() except on fast-forwarded
+  /// runs, where bins must land where the collapsed span modeled them).
   ///
   /// Bins are stored sparsely (one entry per bin that saw traffic), so a
   /// record arriving after a long idle gap appends one entry instead of
@@ -36,8 +38,14 @@ class ThroughputMeter {
   /// 1 ms bins would otherwise allocate gigabytes. Engine time is
   /// non-decreasing, so the append-or-accumulate-at-tail fast path covers
   /// every call.
-  void record(std::uint64_t bytes) {
-    const std::uint64_t bin = eng_.now() / bin_width_;
+  void record(std::uint64_t bytes) { record_at(eng_.virtual_now(), bytes); }
+
+  /// Records `bytes` delivered at explicit modeled time `t` (must be
+  /// non-decreasing across calls). The fast-forward replay uses this to
+  /// place each collapsed block's bytes at its analytically known delivery
+  /// time.
+  void record_at(sim::SimTime t, std::uint64_t bytes) {
+    const std::uint64_t bin = t / bin_width_;
     if (!bins_.empty() && bins_.back().index == bin) {
       bins_.back().bytes += bytes;
     } else {
@@ -45,15 +53,15 @@ class ThroughputMeter {
       bins_.push_back({bin, bytes});
     }
     total_ += bytes;
-    if (first_ == sim::kTimeInfinity) first_ = eng_.now();
-    last_ = eng_.now();
+    if (first_ == sim::kTimeInfinity) first_ = t;
+    last_ = t;
   }
 
   [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_; }
 
-  /// Mean throughput over the full engine time.
+  /// Mean throughput over the full modeled time.
   [[nodiscard]] double mean_gbps() const noexcept {
-    return gbps(total_, eng_.now());
+    return gbps(total_, eng_.virtual_now());
   }
 
   /// Mean throughput between first and last recorded byte.

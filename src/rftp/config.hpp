@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "fault/watchdog.hpp"
+#include "sim/time.hpp"
 
 namespace e2e::rftp {
 
@@ -35,6 +36,17 @@ struct RftpConfig {
   /// the transfer dead — it then fails with partial progress instead of
   /// hanging on a peer that never came back. quiet = 0 disables.
   fault::Deadline watchdog{};
+  /// Hybrid fluid/event fast-forward (--fast-forward): when the pipeline
+  /// reaches a verified steady state, collapse the remaining bulk phase
+  /// into one closed-form span instead of simulating every block. Final
+  /// metrics are bit-identical to the event-exact run (golden-tested);
+  /// default off. Ignored on sharded (Cluster) engines.
+  bool fast_forward = false;
+  /// Earliest modeled time at which the fast-forward detector may engage.
+  /// Callers with a fault plan set this to FaultPlan::quiet_after(slack) so
+  /// every scripted fault fires on an event-exact timeline; kTimeInfinity
+  /// (a terminal crash in the plan) disables fast-forward entirely.
+  sim::SimTime ff_quiet_after = 0;
 };
 
 struct TransferResult {
@@ -51,6 +63,13 @@ struct TransferResult {
   /// that successfully negotiated a resume.
   std::uint64_t crashes = 0;
   std::uint64_t resumes = 0;
+  /// Fast-forward engagement: spans collapsed and blocks advanced in
+  /// closed form (both 0 on event-exact runs and when the detector never
+  /// found a steady state).
+  std::uint64_t ff_spans = 0;
+  std::uint64_t ff_blocks = 0;
+  /// Modeled time absorbed by those spans, in ns.
+  sim::SimDuration ff_skipped_ns = 0;
 };
 
 }  // namespace e2e::rftp

@@ -6,6 +6,7 @@
 #include "check/audit.hpp"
 #include "fault/integrity.hpp"
 #include "mem/msg_pool.hpp"
+#include "rftp/fast_forward.hpp"
 
 namespace e2e::rftp {
 
@@ -171,8 +172,17 @@ sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
   }
   if (alive_streams_ == 0) fail_transfer();  // every stream killed pre-run
 
+  // Steady-state fast-forward: standalone engines only (a sharded engine
+  // must never skip modeled time — window bounds derive from event times),
+  // and a fault plan whose quiet horizon is infinite (a terminal crash)
+  // disables it outright.
+  ff_.reset();
+  if (cfg_.fast_forward && eng_.cluster() == nullptr &&
+      cfg_.ff_quiet_after < sim::kTimeInfinity)
+    ff_ = std::make_unique<FastForward>(*this);
+
   for (auto& s : streams_) co_await setup_stream(*s);
-  const sim::SimTime t0 = eng_.now();
+  const sim::SimTime vt0 = eng_.virtual_now();
 
   for (auto& s : streams_) {
     // cq_spawned: a crash landed inside the setup loop above and the
@@ -211,7 +221,10 @@ sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
   TransferResult r;
   r.bytes = delivered_bytes_;
   r.blocks = blocks_done_;
-  r.elapsed_s = sim::to_seconds(eng_.now() - t0);
+  // Modeled (virtual) elapsed time: event-exact runs read the event clock;
+  // fast-forwarded runs add the spans absorbed by Engine::skip_time, so the
+  // reported elapsed/goodput is identical either way.
+  r.elapsed_s = sim::to_seconds(eng_.virtual_now() - vt0);
   r.goodput_gbps =
       r.elapsed_s > 0
           ? static_cast<double>(r.bytes) * 8.0 / r.elapsed_s / 1e9
@@ -230,12 +243,18 @@ sim::Task<TransferResult> RftpSession::run(DataSource& src, DataSink& dst,
   r.integrity_ok = sink_digest_ == expect && checksum_failures == 0;
   r.crashes = host_crashes;
   r.resumes = resumes;
+  if (ff_) {
+    r.ff_spans = ff_->spans();
+    r.ff_blocks = ff_->blocks_collapsed();
+    r.ff_skipped_ns = ff_->skipped();
+  }
   if (auto* au = check::of(eng_))
     au->rftp_end(this, r.complete, delivered_bytes_, sink_digest_);
   running_ = false;
   src_ = nullptr;
   dst_ = nullptr;
   meter_ = nullptr;
+  ff_.reset();
   co_return r;
 }
 
@@ -257,50 +276,15 @@ void RftpSession::build_block_plan(DataSource& src) {
   }
 }
 
+// decide_claim/apply_claim live inline in session.hpp: they are the
+// per-block body of the fast-forward replay loop as well as this file's
+// filler hot path.
+
 std::optional<std::uint64_t> RftpSession::claim_block(numa::NodeId node) {
-  // Locality-preferring, load-balancing claim: serve the local queue, but
-  // when another node's backlog has grown well past ours (its links or
-  // storage path are the slower side), help drain it — continuous work
-  // stealing keeps every queue finishing together without giving up
-  // locality for the bulk of the data.
-  auto& own = block_queues_[static_cast<std::size_t>(node)];
-  std::size_t victim = block_queues_.size();
-  std::size_t victim_size = own.size() + 4;
-  for (std::size_t n = 0; n + 1 < block_queues_.size(); ++n) {
-    if (n == static_cast<std::size_t>(node)) continue;
-    if (block_queues_[n].size() > victim_size) {
-      victim = n;
-      victim_size = block_queues_[n].size();
-    }
-  }
-  if (victim < block_queues_.size()) {
-    ++stolen_claims;
-    if (auto* tr = trace::of(eng_)) tr->counter("rftp/stolen_claims").add(1);
-    const std::uint64_t idx = block_queues_[victim].back();
-    block_queues_[victim].pop_back();
-    return idx;
-  }
-  if (!own.empty()) {
-    ++local_claims;
-    if (auto* tr = trace::of(eng_)) tr->counter("rftp/local_claims").add(1);
-    const std::uint64_t idx = own.front();
-    own.pop_front();
-    return idx;
-  }
-  auto& shared = block_queues_.back();
-  if (!shared.empty()) {
-    const std::uint64_t idx = shared.front();
-    shared.pop_front();
-    return idx;
-  }
-  // Drain whatever remains anywhere.
-  for (auto& q : block_queues_)
-    if (!q.empty()) {
-      const std::uint64_t idx = q.back();
-      q.pop_back();
-      return idx;
-    }
-  return std::nullopt;
+  const auto d = decide_claim(node);
+  if (!d) return std::nullopt;
+  if (ff_) ff_->on_claim(node, *d);
+  return apply_claim(*d);
 }
 
 sim::Task<> RftpSession::filler(Stream& s, numa::Thread& th,
@@ -519,7 +503,12 @@ sim::Task<> RftpSession::grant_reaper(Stream& s, numa::Thread& th) {
     // learn the token is free again, and with enough leaks the stream
     // starves. Re-send (paced by a control-message gap so a flap window
     // does not turn into a same-instant retry storm) until it sticks.
+    // While the pacing delay is pending the fast-forward detector must not
+    // engage: the retry would otherwise fire against a collapsed-away
+    // work-point (see ff_grant_retries_pending_).
+    ++ff_grant_retries_pending_;
     co_await sim::Delay{eng_, 2 * s.pair->link().rtt()};
+    --ff_grant_retries_pending_;
     if (s.dead) continue;
     ++grant_retransmissions;
     if (auto* tr = trace::of(eng_)) {
@@ -583,6 +572,7 @@ sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
       au->rftp_drain(this, s.id, a->token, a->block_idx, a->bytes, landed,
                      dup, landed == a->checksum);
     bool fresh = false;
+    sim::SimTime drained_at = 0;
     if (dup) {
       // A failover re-send of a block the original stream had delivered.
       ++duplicate_blocks;
@@ -614,6 +604,7 @@ sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
       const sim::SimTime drain_t0 = eng_.now();
       co_await dst.drain(th, *buf, a->block_idx * cfg_.block_bytes,
                          a->bytes);
+      drained_at = eng_.virtual_now();
       if (meter != nullptr) meter->record(a->bytes);
       drained_[a->block_idx] = 1;
       sink_digest_ ^= landed;
@@ -677,11 +668,17 @@ sim::Task<> RftpSession::drainer(Stream& s, numa::Thread& th, DataSink& dst,
     if (fresh) {
       ++blocks_done_;
       done_->done();
+      // Steady-state hook: a fresh drain is the only safe collapse point —
+      // the drainer is between awaits and every per-block side effect of
+      // this iteration has landed. The collapse (if any) runs synchronously
+      // here and never moves the event clock.
+      if (ff_) ff_->on_fresh_drain(s.id, a->token, a->bytes, drained_at);
     }
   }
 }
 
 void RftpSession::requeue_block(std::uint64_t idx) {
+  if (ff_) ff_->disarm();  // failover traffic is never steady state
   if (idx < drained_.size() && drained_[idx] != 0) return;  // already landed
   block_queues_.back().push_back(idx);
   if (!running_ || src_ == nullptr || alive_streams_ <= 0) return;
@@ -713,6 +710,7 @@ void RftpSession::kill_stream(int idx) {
 
 void RftpSession::handle_stream_death(Stream& s) {
   if (s.dead) return;
+  if (ff_) ff_->disarm();
   s.dead = true;
   --alive_streams_;
   ++failovers;
@@ -763,6 +761,7 @@ void RftpSession::crash_host(int host, sim::SimDuration down) {
                             "(receiver)");
   if (!running_ || transfer_failed_) return;  // nothing left to crash
   if (crashed_) return;  // host already down; overlapping crash absorbed
+  if (ff_) ff_->disarm();
   crashed_ = true;
   crash_t0_ = eng_.now();
   ++host_crashes;

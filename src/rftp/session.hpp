@@ -46,6 +46,8 @@
 
 namespace e2e::rftp {
 
+class FastForward;
+
 /// One side's attachment: host, process context, and the NICs to use.
 struct EndpointConfig {
   numa::Process* proc = nullptr;
@@ -77,6 +79,12 @@ class RftpSession {
   [[nodiscard]] std::uint64_t control_messages() const noexcept {
     return control_msgs_;
   }
+  /// XOR of every drained block's integrity checksum — the order-
+  /// independent content digest the fast-forward golden tests compare
+  /// against event-exact runs.
+  [[nodiscard]] std::uint64_t sink_digest() const noexcept {
+    return sink_digest_;
+  }
 
   /// Kills stream `idx`'s QP pair and fails its blocks over to surviving
   /// streams: in-flight and sent-but-undrained blocks are requeued, its
@@ -102,6 +110,11 @@ class RftpSession {
   }
 
  private:
+  // The steady-state detector/collapser reads and advances the session's
+  // private transfer state (queues, ledgers, digest, scalar counters) when
+  // it replaces a bulk span with its closed form.
+  friend class FastForward;
+
   struct Credit {
     std::uint32_t token = 0;
     mem::Buffer* remote = nullptr;
@@ -231,6 +244,23 @@ class RftpSession {
   std::vector<std::unique_ptr<Stream>> streams_;
   sim::Engine& eng_;
 
+  /// One claim-policy verdict, split from its side effects so the
+  /// fast-forward replay can re-run the policy per collapsed block and
+  /// verify it still matches the recorded steady-state pattern.
+  struct ClaimDecision {
+    enum class Kind : std::uint8_t { kStolen, kLocal, kShared, kFallback };
+    std::size_t queue = 0;   // index into block_queues_
+    Kind kind = Kind::kLocal;
+    bool from_back = false;  // steal/fallback pop the back, others the front
+    bool operator==(const ClaimDecision&) const = default;
+  };
+  [[nodiscard]] std::optional<ClaimDecision> decide_claim(
+      numa::NodeId node) const;
+  /// Pops the decided block and bumps the claim counters; the inverse (for
+  /// a fast-forward undo) is RingQueue::push_front/push_back plus counter
+  /// decrements in rftp::FastForward.
+  std::uint64_t apply_claim(const ClaimDecision& d);
+
   /// Claims the next block for a filler on `node`: same-node blocks first,
   /// then unclassified ones, then stealing from other nodes' queues.
   std::optional<std::uint64_t> claim_block(numa::NodeId node);
@@ -305,11 +335,81 @@ class RftpSession {
   bool transfer_failed_ = false;
   std::size_t next_failover_stream_ = 0;  // round-robin requeue target
   trace::CachedTrack plan_trk_;  // session-wide (non-stream) fault events
+  // Steady-state fast-forward (cfg_.fast_forward): detector + collapser,
+  // constructed per run() on standalone engines only. Null = event-exact.
+  std::unique_ptr<FastForward> ff_;
+  // Grant re-sends whose 2-RTT pacing delay is still in flight. A retry
+  // scheduled before a collapse would fire against a shifted work-point
+  // after it, so the fast-forward detector refuses to engage until this
+  // drains back to zero.
+  std::uint64_t ff_grant_retries_pending_ = 0;
   fault::Watchdog watchdog_;
   // Liveness token for the deferred restart event: the engine may hold a
   // scheduled restart past the session's lifetime (transfer finished or
   // failed while the host was down); expiry turns it into a no-op.
   std::shared_ptr<char> alive_token_;
 };
+
+// decide_claim/apply_claim are defined inline: they are the per-block body
+// of both the filler hot path and the fast-forward replay loop, where an
+// out-of-line call per collapsed block would be most of the wall clock of
+// a TB-scale collapsed run.
+
+inline std::optional<RftpSession::ClaimDecision> RftpSession::decide_claim(
+    numa::NodeId node) const {
+  // Locality-preferring, load-balancing claim: serve the local queue, but
+  // when another node's backlog has grown well past ours (its links or
+  // storage path are the slower side), help drain it — continuous work
+  // stealing keeps every queue finishing together without giving up
+  // locality for the bulk of the data. The verdict depends only on pairwise
+  // queue-size differences, which a steady-state period shifts uniformly —
+  // the property the fast-forward replay verifies per collapsed block.
+  const auto& own = block_queues_[static_cast<std::size_t>(node)];
+  std::size_t victim = block_queues_.size();
+  std::size_t victim_size = own.size() + 4;
+  for (std::size_t n = 0; n + 1 < block_queues_.size(); ++n) {
+    if (n == static_cast<std::size_t>(node)) continue;
+    if (block_queues_[n].size() > victim_size) {
+      victim = n;
+      victim_size = block_queues_[n].size();
+    }
+  }
+  if (victim < block_queues_.size())
+    return ClaimDecision{victim, ClaimDecision::Kind::kStolen, true};
+  if (!own.empty())
+    return ClaimDecision{static_cast<std::size_t>(node),
+                         ClaimDecision::Kind::kLocal, false};
+  if (!block_queues_.back().empty())
+    return ClaimDecision{block_queues_.size() - 1,
+                         ClaimDecision::Kind::kShared, false};
+  // Drain whatever remains anywhere.
+  for (std::size_t q = 0; q < block_queues_.size(); ++q)
+    if (!block_queues_[q].empty())
+      return ClaimDecision{q, ClaimDecision::Kind::kFallback, true};
+  return std::nullopt;
+}
+
+inline std::uint64_t RftpSession::apply_claim(const ClaimDecision& d) {
+  auto& q = block_queues_[d.queue];
+  const std::uint64_t idx = d.from_back ? q.back() : q.front();
+  if (d.from_back)
+    q.pop_back();
+  else
+    q.pop_front();
+  switch (d.kind) {
+    case ClaimDecision::Kind::kStolen:
+      ++stolen_claims;
+      if (auto* tr = trace::of(eng_)) tr->counter("rftp/stolen_claims").add(1);
+      break;
+    case ClaimDecision::Kind::kLocal:
+      ++local_claims;
+      if (auto* tr = trace::of(eng_)) tr->counter("rftp/local_claims").add(1);
+      break;
+    case ClaimDecision::Kind::kShared:
+    case ClaimDecision::Kind::kFallback:
+      break;
+  }
+  return idx;
+}
 
 }  // namespace e2e::rftp

@@ -69,6 +69,20 @@ class AuditHook {
   /// reconcile and drop per-resource state here so they never hold a
   /// dangling pointer.
   virtual void on_resource_destroyed(const Resource& r) { (void)r; }
+  /// `r` absorbed `busy_delta` of service time and `units_delta` of work
+  /// analytically (a fast-forwarded steady-state span, not FIFO windows).
+  /// Auditors fold the deltas into their conservation ledgers so the exact
+  /// busy-time reconciliation keeps holding on fast-forwarded runs.
+  virtual void on_resource_fast_forward(const Resource& r,
+                                        SimDuration busy_delta,
+                                        double units_delta) {
+    (void)r, (void)busy_delta, (void)units_delta;
+  }
+  /// The engine's virtual clock skipped `d` nanoseconds of modeled time
+  /// without dispatching events (Engine::skip_time). Auditors widen any
+  /// wall-clock-bounded invariants (utilization ceilings) by the skipped
+  /// span.
+  virtual void on_time_skip(SimDuration d) { (void)d; }
 };
 
 /// Marker base the engine exposes to the metrics layer (stats/). Unlike
@@ -92,8 +106,35 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Current simulated time.
+  /// Current simulated time as seen by the event heap. Pending event
+  /// timestamps, Resource::busy_until() and schedule_at() all live on this
+  /// clock; a fast-forward never moves it (see skip_time()).
   [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Current *modeled* time: now() plus every span absorbed by skip_time().
+  /// Reporting-era quantities (elapsed transfer time, throughput-meter bin
+  /// placement, end-of-run summaries) read this clock; event scheduling
+  /// never does.
+  [[nodiscard]] SimTime virtual_now() const noexcept {
+    return saturating_add(now_, skipped_);
+  }
+
+  /// Total modeled time absorbed analytically by skip_time().
+  [[nodiscard]] SimDuration skipped_time() const noexcept { return skipped_; }
+
+  /// Records that `d` nanoseconds of modeled time were collapsed into a
+  /// closed-form span (the hybrid fluid/event fast-forward). The event heap
+  /// is deliberately NOT warped: every pending timestamp, coroutine-held
+  /// `now() - t0` measurement interval and Resource busy horizon stays on
+  /// the event-exact clock, so in-flight latency samples remain exact. Only
+  /// virtual_now() — the reporting clock — advances. Standalone engines
+  /// only: sharded (Cluster) runs derive window bounds from event times and
+  /// must never skip.
+  void skip_time(SimDuration d) noexcept {
+    if (d <= 0 || cluster_ != nullptr) return;
+    skipped_ += d;
+    if (audit_hook_) audit_hook_->on_time_skip(d);
+  }
 
   /// Schedules `fn` to run at absolute simulated time `t` (>= now()).
   /// Events in the past are clamped to now().
@@ -247,6 +288,7 @@ class Engine {
   Cluster* cluster_ = nullptr;
   int rank_ = -1;
   SimTime now_ = 0;
+  SimDuration skipped_ = 0;  // modeled time absorbed by skip_time()
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   bool stopped_ = false;

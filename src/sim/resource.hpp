@@ -101,6 +101,19 @@ class Resource {
   /// channel while the initiating actor continues).
   SimTime charge(double units) { return plan(units); }
 
+  /// Books `busy_delta` ns of service and `units_delta` units of work
+  /// analytically — a fast-forwarded steady-state span, not a FIFO window.
+  /// The busy horizon is deliberately untouched: fast-forward skips modeled
+  /// time on the engine's *virtual* clock only, so queueing behaviour of
+  /// requests issued after the collapse is unchanged. Fires the audit-hook
+  /// sibling so conservation ledgers absorb the same deltas.
+  void fast_forward(SimDuration busy_delta, double units_delta) {
+    busy_ns_ += busy_delta;
+    units_served_ += units_delta;
+    if (AuditHook* a = eng_.audit_hook())
+      a->on_resource_fast_forward(*this, busy_delta, units_delta);
+  }
+
   /// Time at which the server drains the currently queued work.
   [[nodiscard]] SimTime busy_until() const noexcept { return busy_until_; }
 

@@ -47,6 +47,16 @@ class RingQueue {
     ++size_;
   }
 
+  /// Re-inserts at the head (undo of a pop_front). Same growth policy as
+  /// push_back; used by the fast-forward replay to restore a partially
+  /// consumed claim period when verification fails mid-period.
+  void push_front(T v) {
+    if (size_ == cap_) grow();
+    head_ = (head_ + cap_ - 1) & (cap_ - 1);
+    ::new (slot(head_)) T(std::move(v));
+    ++size_;
+  }
+
   [[nodiscard]] T& front() noexcept { return *slot(head_); }
   [[nodiscard]] const T& front() const noexcept { return *slot(head_); }
 

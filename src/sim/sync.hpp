@@ -193,8 +193,9 @@ class WaitGroup {
   explicit WaitGroup(Engine& eng) : eng_(eng) {}
 
   void add(std::int64_t n = 1) noexcept { count_ += n; }
-  void done() {
-    if (--count_ <= 0) {
+  void done(std::int64_t n = 1) {
+    count_ -= n;
+    if (count_ <= 0) {
       while (!waiters_.empty())
         detail::resume_via_engine(eng_, waiters_.pop()->handle);
     }

@@ -76,6 +76,60 @@ class Histogram {
     max_ = std::max(max_, v);
   }
 
+  /// Bulk add: records `n` copies of `v` in one call. Bit-identical to n
+  /// single record(v) calls — the bucket count, total count and value sum
+  /// are all wrapping adds, so multiplying the per-record delta by n lands
+  /// on exactly the same congruence class, and min/max are idempotent.
+  /// This is the closed-form histogram fill the fast-forward spans use.
+  void record(std::uint64_t v, std::uint64_t n) noexcept {
+    if (n == 0) return;
+    counts_[index_of(v)] += static_cast<std::uint32_t>(n);  // wrapping
+    count_ += n;
+    sum_ += v * n;  // wrapping
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  /// Element-wise difference `to - from` of two snapshots of the *same*
+  /// histogram taken at two points in time, for replaying the interval k
+  /// times via add_scaled(). Bucket counts and the value sum subtract
+  /// mod 2^32 / 2^64 (exact under the same congruence argument as bulk
+  /// record). Returns false — no usable delta — when min or max moved in
+  /// the interval: extrema are not replayable as deltas, and a window in
+  /// which they moved is not steady state.
+  [[nodiscard]] static bool delta(const Histogram& from, const Histogram& to,
+                                  Histogram& out) noexcept {
+    if (from.min_ != to.min_ || from.max_ != to.max_) return false;
+    for (std::size_t i = 0; i < kSlots; ++i)
+      out.counts_[i] = to.counts_[i] - from.counts_[i];
+    out.count_ = to.count_ - from.count_;
+    out.sum_ = to.sum_ - from.sum_;
+    out.min_ = to.min_;
+    out.max_ = to.max_;
+    return true;
+  }
+
+  /// Adds `k` copies of a delta()-produced interval: counts and sum scale
+  /// by k (wrapping), min/max merge idempotently. add_scaled(d, 1) is
+  /// exactly merge(d).
+  void add_scaled(const Histogram& d, std::uint64_t k) noexcept {
+    if (k == 0) return;
+    for (std::size_t i = 0; i < kSlots; ++i)
+      counts_[i] += d.counts_[i] * static_cast<std::uint32_t>(k);
+    count_ += d.count_ * k;
+    sum_ += d.sum_ * k;
+    if (d.count_ != 0) {
+      min_ = std::min(min_, d.min_);
+      max_ = std::max(max_, d.max_);
+    }
+  }
+
+  /// Bitwise equality of two snapshots (buckets, count, sum, extrema).
+  [[nodiscard]] bool identical(const Histogram& o) const noexcept {
+    return counts_ == o.counts_ && count_ == o.count_ && sum_ == o.sum_ &&
+           min_ == o.min_ && max_ == o.max_;
+  }
+
   /// Element-wise combine. Associative and commutative: every field is a
   /// wrapping sum, a min, or a max.
   void merge(const Histogram& o) noexcept {

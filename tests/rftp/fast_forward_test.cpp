@@ -1,0 +1,262 @@
+// Golden equivalence suite for --fast-forward (rftp::FastForward).
+//
+// The fast-forward contract is exactness on final metrics: a collapsed run
+// must end with bit-identical transfer results, byte ledgers, XOR content
+// digest, credit/claim counters, and exit-determining flags to the
+// event-exact run — not merely close. Each case here runs the same
+// transfer twice on fresh rigs (event-exact, then --fast-forward) across
+// multiple sizes and fault seeds, clean and under scripted mid-run faults,
+// with the cross-layer auditor installed on both runs, and compares every
+// observable end-state field. Clean bulk cases additionally assert the
+// detector actually engaged (spans > 0) so this suite cannot rot into
+// vacuously comparing two event-exact runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "exp/runner.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "rftp/rftp.hpp"
+#include "testutil.hpp"
+
+namespace e2e::rftp {
+namespace {
+
+/// Every end-of-run observable the equivalence contract covers.
+struct Outcome {
+  std::uint64_t bytes = 0;
+  std::uint64_t blocks = 0;
+  double elapsed_s = 0.0;
+  double goodput_gbps = 0.0;
+  bool complete = false;
+  bool integrity_ok = false;
+  std::uint64_t crashes = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t control_msgs = 0;
+  std::uint64_t stolen_claims = 0;
+  std::uint64_t local_claims = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t grant_retransmissions = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t duplicate_blocks = 0;
+  std::uint64_t host_crashes = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t rolled_back_blocks = 0;
+  bool audit_ok = false;
+  // Engagement accounting: excluded from operator== (the one legitimate
+  // difference between the two runs), asserted separately.
+  std::uint64_t ff_spans = 0;
+  std::uint64_t ff_blocks = 0;
+
+  bool operator==(const Outcome& o) const {
+    return bytes == o.bytes && blocks == o.blocks &&
+           elapsed_s == o.elapsed_s && goodput_gbps == o.goodput_gbps &&
+           complete == o.complete && integrity_ok == o.integrity_ok &&
+           crashes == o.crashes && resumes == o.resumes &&
+           digest == o.digest && delivered == o.delivered &&
+           control_msgs == o.control_msgs &&
+           stolen_claims == o.stolen_claims &&
+           local_claims == o.local_claims &&
+           retransmissions == o.retransmissions &&
+           grant_retransmissions == o.grant_retransmissions &&
+           failovers == o.failovers &&
+           checksum_failures == o.checksum_failures &&
+           duplicate_blocks == o.duplicate_blocks &&
+           host_crashes == o.host_crashes &&
+           checkpoints == o.checkpoints &&
+           rolled_back_blocks == o.rolled_back_blocks &&
+           audit_ok == o.audit_ok;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Outcome& o) {
+  return os << "bytes=" << o.bytes << " blocks=" << o.blocks
+            << " elapsed=" << o.elapsed_s << " goodput=" << o.goodput_gbps
+            << " complete=" << o.complete << " integrity=" << o.integrity_ok
+            << " crashes=" << o.crashes << " resumes=" << o.resumes
+            << " digest=" << o.digest << " delivered=" << o.delivered
+            << " ctl=" << o.control_msgs << " stolen=" << o.stolen_claims
+            << " local=" << o.local_claims
+            << " retrans=" << o.retransmissions
+            << " grant_retrans=" << o.grant_retransmissions
+            << " failovers=" << o.failovers
+            << " cksum_fail=" << o.checksum_failures
+            << " dups=" << o.duplicate_blocks
+            << " host_crashes=" << o.host_crashes
+            << " ckpts=" << o.checkpoints
+            << " rolled_back=" << o.rolled_back_blocks
+            << " audit_ok=" << o.audit_ok << " ff_spans=" << o.ff_spans
+            << " ff_blocks=" << o.ff_blocks;
+}
+
+struct Case {
+  std::uint64_t total_bytes = 0;
+  std::string plan_spec;       // scripted plan, "" = none
+  std::uint64_t fault_seed = 0;  // != 0: seeded random plan instead
+};
+
+std::optional<fault::FaultPlan> make_plan(const Case& c, int streams) {
+  if (!c.plan_spec.empty())
+    return fault::FaultPlan::parse(c.plan_spec);
+  if (c.fault_seed != 0) {
+    fault::FaultPlan::RandomParams p;
+    p.horizon = 30 * sim::kMillisecond;
+    p.links = 1;
+    p.qps = streams;
+    p.loss_bursts = 3;
+    p.max_burst = 4;
+    p.max_extra_latency = sim::kMillisecond;
+    p.holes = 1;
+    p.max_hole = 2 * sim::kMillisecond;
+    p.qp_kills = 1;
+    return fault::FaultPlan::random(c.fault_seed, p);
+  }
+  return std::nullopt;
+}
+
+Outcome run_once(const Case& c, bool fast_forward) {
+  test::TinyRig rig;
+  check::Auditor aud(rig.eng);
+
+  RftpConfig cfg;
+  cfg.streams = 2;
+  cfg.credits_per_stream = 8;
+  cfg.block_bytes = 256 * 1024;
+  auto plan = make_plan(c, cfg.streams);
+  cfg.fast_forward = fast_forward;
+  if (fast_forward) {
+    const sim::SimDuration slack =
+        20 * rig.link->rtt() + 100 * sim::kMillisecond;
+    cfg.ff_quiet_after = plan ? plan->quiet_after(slack) : 0;
+  }
+  RftpSession sess({rig.proc_a.get(), {rig.dev_a.get()}},
+                   {rig.proc_b.get(), {rig.dev_b.get()}}, {rig.link.get()},
+                   cfg);
+  std::unique_ptr<fault::FaultInjector> inj;
+  if (plan) {
+    inj = std::make_unique<fault::FaultInjector>(rig.eng, std::move(*plan));
+    inj->attach(*rig.link);
+    inj->set_qp_kill_handler(
+        [&](int qp) { sess.kill_stream(qp % cfg.streams); });
+    inj->set_crash_handler([&](int host, sim::SimDuration down) {
+      sess.crash_host(host, down);
+    });
+    inj->arm();
+  }
+  MemorySource src(c.total_bytes, numa::Placement::on(0));
+  MemorySink dst;
+  const auto r = exp::run_task(rig.eng, sess.run(src, dst, c.total_bytes));
+
+  Outcome o;
+  o.bytes = r.bytes;
+  o.blocks = r.blocks;
+  o.elapsed_s = r.elapsed_s;
+  o.goodput_gbps = r.goodput_gbps;
+  o.complete = r.complete;
+  o.integrity_ok = r.integrity_ok;
+  o.crashes = r.crashes;
+  o.resumes = r.resumes;
+  o.ff_spans = r.ff_spans;
+  o.ff_blocks = r.ff_blocks;
+  o.digest = sess.sink_digest();
+  o.delivered = sess.blocks_delivered();
+  o.control_msgs = sess.control_messages();
+  o.stolen_claims = sess.stolen_claims;
+  o.local_claims = sess.local_claims;
+  o.retransmissions = sess.retransmissions;
+  o.grant_retransmissions = sess.grant_retransmissions;
+  o.failovers = sess.failovers;
+  o.checksum_failures = sess.checksum_failures;
+  o.duplicate_blocks = sess.duplicate_blocks;
+  o.host_crashes = sess.host_crashes;
+  o.checkpoints = sess.checkpoints;
+  o.rolled_back_blocks = sess.rolled_back_blocks;
+  aud.finalize();
+  o.audit_ok = aud.ok();
+  if (!o.audit_ok) {
+    std::ostringstream os;
+    aud.report(os);
+    ADD_FAILURE() << "auditor violations (fast_forward=" << fast_forward
+                  << "):\n"
+                  << os.str();
+  }
+  return o;
+}
+
+void expect_equivalent(const Case& c, bool require_engagement) {
+  SCOPED_TRACE(::testing::Message()
+               << "total=" << c.total_bytes << " plan='" << c.plan_spec
+               << "' seed=" << c.fault_seed);
+  const Outcome exact = run_once(c, false);
+  const Outcome ff = run_once(c, true);
+  EXPECT_TRUE(exact == ff) << "exact: " << exact << "\n   ff: " << ff;
+  EXPECT_TRUE(exact.audit_ok);
+  EXPECT_TRUE(ff.audit_ok);
+  EXPECT_EQ(exact.ff_spans, 0u);
+  if (require_engagement) {
+    EXPECT_GT(ff.ff_spans, 0u);
+    EXPECT_GT(ff.ff_blocks, 0u);
+  }
+}
+
+// Block counts chosen to be deep into bulk territory on the tiny rig:
+// 256 KiB blocks -> 512 / 768 / 1792 blocks per run. (A 256-block run is
+// honestly too short to engage: detector warmup plus the queue safety
+// margin covers most of the transfer, and the detector correctly stays
+// event-exact rather than collapse a span it cannot prove.)
+constexpr std::uint64_t kSmall = 128ull << 20;
+constexpr std::uint64_t kMedium = 192ull << 20;
+constexpr std::uint64_t kLarge = 448ull << 20;
+
+TEST(FastForwardGolden, CleanBulkEngagesAndMatchesAcrossSizes) {
+  for (const std::uint64_t total : {kSmall, kMedium, kLarge})
+    expect_equivalent({total, "", 0}, /*require_engagement=*/true);
+}
+
+TEST(FastForwardGolden, PartialFinalBlockMatches) {
+  // An odd tail byte count: the last block is short, which the collapse
+  // replay must refuse to fold (it truncates to completed periods).
+  expect_equivalent({kSmall + 12345, "", 0}, /*require_engagement=*/true);
+}
+
+TEST(FastForwardGolden, ScriptedMidRunFaultsMatch) {
+  // Loss burst + a qp kill early in the run: the detector must hold off
+  // until the plan's quiet horizon, absorb the failover event-exactly,
+  // then still collapse the remaining bulk.
+  const std::string spec = "loss@5ms:n=3;qpkill@8ms:qp=1";
+  for (const std::uint64_t total : {kMedium, kLarge})
+    expect_equivalent({total, spec, 0}, /*require_engagement=*/false);
+}
+
+TEST(FastForwardGolden, ScriptedCrashResumeMatches) {
+  // Receiver crash-stop with a scripted restart mid-bulk: rollback and
+  // resume negotiation are perturbations the detector must ride out
+  // event-exactly; final ledgers still must match bit-for-bit.
+  const std::string spec = "crash@6ms:host=1,down=2ms";
+  expect_equivalent({kMedium, spec, 0}, /*require_engagement=*/false);
+}
+
+TEST(FastForwardGolden, SeededChaosMatchesAcrossSeeds) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull})
+    expect_equivalent({kMedium, "", seed}, /*require_engagement=*/false);
+}
+
+TEST(FastForwardGolden, EngagedRunSkipsMostOfTheRun) {
+  // The perf contract behind the golden suite: on a clean bulk run the
+  // collapsed spans must cover the overwhelming majority of blocks.
+  const Outcome ff = run_once({kLarge, "", 0}, true);
+  EXPECT_GT(ff.ff_blocks, (ff.blocks * 8) / 10);
+}
+
+}  // namespace
+}  // namespace e2e::rftp

@@ -157,5 +157,119 @@ TEST(Histogram, MergeWithEmptyIsIdentity) {
   expect_same(a, b);
 }
 
+// --- Bulk add (the fast-forward closed-form fill) ---
+
+TEST(Histogram, BulkAddIsBitIdenticalToSingleAdds) {
+  // The fast-forward exactness contract: record(v, n) must land on the
+  // exact same state as n record(v) calls — buckets, count, wrapping sum,
+  // extrema. Sweep values across bucket regimes (linear slots, every
+  // log-linear scale, the clamp bucket) and counts across 1..large.
+  const std::uint64_t values[] = {0,    1,      17,     255,   256,
+                                  257,  4096,   99999,  1u << 20,
+                                  (1ull << 40) + 12345, Histogram::kMaxTrackable,
+                                  ~0ull /* clamps */};
+  const std::uint64_t counts[] = {1, 2, 3, 1000, 65537};
+  for (const std::uint64_t v : values) {
+    for (const std::uint64_t n : counts) {
+      Histogram bulk, singles;
+      bulk.record(v, n);
+      for (std::uint64_t i = 0; i < n; ++i) singles.record(v);
+      ASSERT_TRUE(bulk.identical(singles)) << "v=" << v << " n=" << n;
+      expect_same(bulk, singles);
+    }
+  }
+}
+
+TEST(Histogram, BulkAddOnPopulatedHistogramMatchesSingles) {
+  // Bulk adds interleave with ordinary recording in fast-forwarded runs;
+  // the equivalence must hold from any starting state, not just empty.
+  Histogram bulk, singles;
+  std::uint64_t s = 42;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = mix(s) % (1ull << 24);
+    bulk.record(v);
+    singles.record(v);
+  }
+  bulk.record(777777, 5000);
+  for (int i = 0; i < 5000; ++i) singles.record(777777);
+  ASSERT_TRUE(bulk.identical(singles));
+  expect_same(bulk, singles);
+}
+
+TEST(Histogram, BulkAddZeroIsIdentity) {
+  Histogram h;
+  h.record(123);
+  Histogram before = h;
+  h.record(456, 0);  // n = 0: no count, and 456 must not touch min/max
+  ASSERT_TRUE(h.identical(before));
+}
+
+TEST(Histogram, MergeAssociativityHoldsWithBulkFilledHistograms) {
+  // Sharded-merge contract extended to bulk fills: a bulk-filled shard
+  // must merge exactly like the equivalent singles-filled shard, in any
+  // association order.
+  Histogram a, b_bulk, b_singles, c;
+  std::uint64_t s = 31337;
+  for (int i = 0; i < 2000; ++i) a.record(mix(s) % (1ull << 16));
+  b_bulk.record(1024, 9999);
+  b_bulk.record(3, 77);
+  for (int i = 0; i < 9999; ++i) b_singles.record(1024);
+  for (int i = 0; i < 77; ++i) b_singles.record(3);
+  for (int i = 0; i < 2000; ++i) c.record(mix(s) % (1ull << 36));
+
+  Histogram left = a;  // (a + b_bulk) + c
+  left.merge(b_bulk);
+  left.merge(c);
+  Histogram bc = b_singles;  // a + (b_singles + c)
+  bc.merge(c);
+  Histogram right = a;
+  right.merge(bc);
+  ASSERT_TRUE(left.identical(right));
+  expect_same(left, right);
+}
+
+TEST(Histogram, DeltaTimesKEqualsKIntervals) {
+  // The span-collapse identity end to end: snapshot A, run one period,
+  // snapshot B, then add_scaled(B - A, k) must equal running k periods.
+  Histogram h;
+  std::uint64_t s = 9;
+  h.record(0);       // pin the extrema so the period values fall strictly
+  h.record(100000);  // inside [min, max] and the delta is replayable
+  for (int i = 0; i < 500; ++i) h.record(mix(s) % 100000);  // warmup state
+  const Histogram snap_a = h;
+  const std::uint64_t period[] = {12, 999, 4321, 70000};  // within warmup range
+  for (const std::uint64_t v : period) h.record(v);
+  const Histogram snap_b = h;
+  Histogram d;
+  ASSERT_TRUE(Histogram::delta(snap_a, snap_b, d));
+
+  constexpr std::uint64_t k = 1000;
+  Histogram collapsed = snap_b;
+  collapsed.add_scaled(d, k);
+  Histogram replayed = snap_b;
+  for (std::uint64_t i = 0; i < k; ++i)
+    for (const std::uint64_t v : period) replayed.record(v);
+  ASSERT_TRUE(collapsed.identical(replayed));
+  expect_same(collapsed, replayed);
+}
+
+TEST(Histogram, DeltaRefusesMovedExtrema) {
+  // A window in which min or max moved is not steady state — the delta is
+  // not replayable (extrema are idempotent, not additive) and must be
+  // rejected rather than silently produce a wrong closed form.
+  Histogram h;
+  h.record(100);
+  const Histogram a = h;
+  h.record(5);  // new min inside the window
+  Histogram d;
+  EXPECT_FALSE(Histogram::delta(a, h, d));
+  const Histogram b = h;
+  h.record(1ull << 50);  // new max inside the window
+  EXPECT_FALSE(Histogram::delta(b, h, d));
+  const Histogram c = h;
+  h.record(200);  // strictly inside [min, max]: replayable
+  EXPECT_TRUE(Histogram::delta(c, h, d));
+}
+
 }  // namespace
 }  // namespace e2e::stats

@@ -11,7 +11,10 @@
 #                   [extra scenario flags...]
 #
 # Extra flags are forwarded to both scenario runs, so the budget can be
-# pinned per configuration (e.g. `--stats 0` vs `--stats 1`).
+# pinned per configuration (e.g. `--stats 0` vs `--stats 1`). The scenario
+# defaults to e2e; E2E_ALLOC_SCENARIO overrides it (the fast-forward leg
+# uses quick, where the detector engages, to pin the analytic span path to
+# the same per-GiB budget — collapsed blocks must not allocate).
 set -eu
 
 LIB=$1
@@ -19,6 +22,7 @@ BIN=$2
 BUDGET=$3
 shift 3
 
+SCENARIO=${E2E_ALLOC_SCENARIO:-e2e}
 SMALL_GIB=1
 LARGE_GIB=3
 
@@ -27,9 +31,9 @@ OUT_LARGE=$(mktemp)
 trap 'rm -f "$OUT_SMALL" "$OUT_LARGE"' EXIT
 
 COUNT_ALLOCS_OUT="$OUT_SMALL" LD_PRELOAD="$LIB" \
-    "$BIN" e2e --gib "$SMALL_GIB" "$@" > /dev/null
+    "$BIN" "$SCENARIO" --gib "$SMALL_GIB" "$@" > /dev/null
 COUNT_ALLOCS_OUT="$OUT_LARGE" LD_PRELOAD="$LIB" \
-    "$BIN" e2e --gib "$LARGE_GIB" "$@" > /dev/null
+    "$BIN" "$SCENARIO" --gib "$LARGE_GIB" "$@" > /dev/null
 
 SMALL=$(cat "$OUT_SMALL")
 LARGE=$(cat "$OUT_LARGE")

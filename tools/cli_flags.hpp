@@ -1,0 +1,110 @@
+// Shared validated command-line flag parsing for the tools/ front ends.
+//
+// Every numeric flag goes through one of these helpers so malformed values
+// ("--streams x", "--gib 12q", "--numa 2", out-of-range counts) are rejected
+// uniformly: a "bad <flag> '<value>': <why>" line on stderr, then the
+// caller-supplied usage() (which prints the option table and exits 2).
+// strtol-family leniency — silently parsing a prefix and ignoring trailing
+// garbage, or wrapping out-of-range values — is exactly what a sweep script
+// must not be allowed to hit silently.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace e2e::cli {
+
+/// The caller's usage printer; must not return (print options, exit 2).
+using UsageFn = void (*)();
+
+[[noreturn]] inline void fail(UsageFn usage, const char* flag,
+                              const char* value, const char* why) {
+  std::fprintf(stderr, "bad %s '%s': %s\n", flag, value, why);
+  usage();
+  std::abort();  // unreachable: usage() exits; keeps [[noreturn]] honest
+}
+
+/// Unsigned integer in [lo, hi]. Rejects empty strings, signs, trailing
+/// garbage, and out-of-range values (including strtoull's silent wrap of
+/// negative input).
+inline std::uint64_t parse_u64(UsageFn usage, const char* flag,
+                               const char* s, std::uint64_t lo,
+                               std::uint64_t hi) {
+  if (s[0] == '\0' || s[0] == '-' || s[0] == '+')
+    fail(usage, flag, s, "expected an unsigned integer");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0')
+    fail(usage, flag, s, "expected an unsigned integer");
+  if (errno == ERANGE || v < lo || v > hi)
+    fail(usage, flag, s, "out of range");
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Signed integer in [lo, hi].
+inline int parse_int(UsageFn usage, const char* flag, const char* s,
+                     long long lo, long long hi) {
+  if (s[0] == '\0') fail(usage, flag, s, "expected an integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0')
+    fail(usage, flag, s, "expected an integer");
+  if (errno == ERANGE || v < lo || v > hi)
+    fail(usage, flag, s, "out of range");
+  return static_cast<int>(v);
+}
+
+/// Finite double in [lo, hi].
+inline double parse_double(UsageFn usage, const char* flag, const char* s,
+                           double lo, double hi) {
+  if (s[0] == '\0') fail(usage, flag, s, "expected a number");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') fail(usage, flag, s, "expected a number");
+  if (errno == ERANGE || !(v >= lo && v <= hi))
+    fail(usage, flag, s, "out of range");
+  return v;
+}
+
+/// Boolean switch value: exactly "0" or "1".
+inline bool parse_bool01(UsageFn usage, const char* flag, const char* s) {
+  if (s[0] != '\0' && s[1] == '\0') {
+    if (s[0] == '0') return false;
+    if (s[0] == '1') return true;
+  }
+  fail(usage, flag, s, "expected 0 or 1");
+}
+
+/// Byte size with an optional k/m/g (KiB/MiB/GiB) suffix, in [lo, hi].
+/// Fractional values are allowed before the suffix ("0.5m"); the result is
+/// truncated to whole bytes.
+inline std::uint64_t parse_size(UsageFn usage, const char* flag,
+                                const char* s, std::uint64_t lo,
+                                std::uint64_t hi) {
+  if (s[0] == '\0' || s[0] == '-') fail(usage, flag, s, "expected a size");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s) fail(usage, flag, s, "expected a size");
+  std::uint64_t mult = 1;
+  if (*end == 'k' || *end == 'K') mult = 1024, ++end;
+  else if (*end == 'm' || *end == 'M') mult = 1ull << 20, ++end;
+  else if (*end == 'g' || *end == 'G') mult = 1ull << 30, ++end;
+  if (*end != '\0')  // trailing garbage ("4mb", "12q", ...)
+    fail(usage, flag, s, "expected N with an optional k/m/g suffix");
+  const double bytes = v * static_cast<double>(mult);
+  if (errno == ERANGE || !(bytes >= 0.0) ||
+      bytes > static_cast<double>(std::numeric_limits<std::uint64_t>::max()))
+    fail(usage, flag, s, "out of range");
+  const auto b = static_cast<std::uint64_t>(bytes);
+  if (b < lo || b > hi) fail(usage, flag, s, "out of range");
+  return b;
+}
+
+}  // namespace e2e::cli

@@ -10,11 +10,13 @@
 //          --write, --duration SECONDS, --files N (multi-file e2e),
 //          --trace FILE (Perfetto JSON), --report FILE (run report),
 //          --fault-plan SPEC (scripted faults), --fault-seed N (random plan)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -30,6 +32,8 @@
 #include "rftp/rftp.hpp"
 #include "stats/stats.hpp"
 #include "trace/trace.hpp"
+
+#include "cli_flags.hpp"
 
 using namespace e2e;
 
@@ -54,6 +58,7 @@ struct Options {
   int shards = 1;               // fleet: parallel worker threads
   bool stats = true;            // always-on metrics + flight recorder
   std::string stats_out;        // --stats-out FILE (.csv -> CSV, else JSON)
+  bool fast_forward = false;    // steady-state analytic collapse (rftp)
 #ifdef NDEBUG
   bool audit = false;  // Release: opt in with --audit 1
 #else
@@ -90,33 +95,22 @@ struct Options {
       "  --audit 0|1      cross-layer invariant audits (default: on in\n"
       "                   Debug builds, off in Release)\n"
       "  --stats 0|1      per-entity metrics + flight recorder (default: on)\n"
-      "  --stats-out FILE write the stats dump (.csv -> CSV, else JSON)\n",
+      "  --stats-out FILE write the stats dump (.csv -> CSV, else JSON)\n"
+      "  --fast-forward 0|1  collapse proven steady-state bulk phases into\n"
+      "                   closed-form spans (default 0 = event-exact; final\n"
+      "                   metrics are identical either way; rftp transfer\n"
+      "                   scenarios only — inert for san/motivating/fleet)\n",
       stderr);
   std::exit(2);
-}
-
-std::uint64_t parse_size(const char* s) {
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  if (end == s || v < 0) {
-    std::fprintf(stderr, "bad size: '%s'\n", s);
-    usage();
-  }
-  std::uint64_t mult = 1;
-  if (*end == 'k' || *end == 'K') mult = 1024, ++end;
-  else if (*end == 'm' || *end == 'M') mult = 1ull << 20, ++end;
-  else if (*end == 'g' || *end == 'G') mult = 1ull << 30, ++end;
-  if (*end != '\0') {  // trailing garbage ("4mb", "12q", ...)
-    std::fprintf(stderr, "bad size: '%s'\n", s);
-    usage();
-  }
-  return static_cast<std::uint64_t>(v * static_cast<double>(mult));
 }
 
 Options parse(int argc, char** argv) {
   if (argc < 2) usage();
   Options o;
   o.scenario = argv[1];
+  // Range ceilings are sanity bounds (catch pasted garbage), not tuning
+  // limits: 1 EiB datasets, 4 Ki streams, a day of fio.
+  constexpr std::uint64_t kMaxGib = 1ull << 30;
   for (int i = 2; i < argc; ++i) {
     auto need = [&](const char* flag) {
       if (i + 1 >= argc) {
@@ -126,21 +120,25 @@ Options parse(int argc, char** argv) {
       return argv[++i];
     };
     if (!std::strcmp(argv[i], "--gib"))
-      o.gib = std::strtoull(need("--gib"), nullptr, 10);
+      o.gib = cli::parse_u64(usage, "--gib", need("--gib"), 1, kMaxGib);
     else if (!std::strcmp(argv[i], "--block"))
-      o.block = parse_size(need("--block"));
+      o.block = cli::parse_size(usage, "--block", need("--block"), 512,
+                                1ull << 30);
     else if (!std::strcmp(argv[i], "--streams"))
-      o.streams = std::atoi(need("--streams"));
+      o.streams = cli::parse_int(usage, "--streams", need("--streams"), 1,
+                                 4096);
     else if (!std::strcmp(argv[i], "--credits"))
-      o.credits = std::atoi(need("--credits"));
+      o.credits = cli::parse_int(usage, "--credits", need("--credits"), 1,
+                                 65536);
     else if (!std::strcmp(argv[i], "--numa"))
-      o.numa = std::atoi(need("--numa")) != 0;
+      o.numa = cli::parse_bool01(usage, "--numa", need("--numa"));
     else if (!std::strcmp(argv[i], "--write"))
       o.write = true;
     else if (!std::strcmp(argv[i], "--duration"))
-      o.duration_s = std::atof(need("--duration"));
+      o.duration_s = cli::parse_double(usage, "--duration",
+                                       need("--duration"), 1e-3, 86400.0);
     else if (!std::strcmp(argv[i], "--files"))
-      o.files = std::atoi(need("--files"));
+      o.files = cli::parse_int(usage, "--files", need("--files"), 1, 1 << 20);
     else if (!std::strcmp(argv[i], "--trace"))
       o.trace_file = need("--trace");
     else if (!std::strcmp(argv[i], "--report"))
@@ -148,19 +146,26 @@ Options parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--fault-plan"))
       o.fault_plan = need("--fault-plan");
     else if (!std::strcmp(argv[i], "--fault-seed"))
-      o.fault_seed = std::strtoull(need("--fault-seed"), nullptr, 10);
+      o.fault_seed = cli::parse_u64(usage, "--fault-seed",
+                                    need("--fault-seed"), 0,
+                                    ~std::uint64_t{0});
     else if (!std::strcmp(argv[i], "--checkpoint"))
-      o.checkpoint = std::atoi(need("--checkpoint"));
+      o.checkpoint = cli::parse_int(usage, "--checkpoint",
+                                    need("--checkpoint"), 0, 1 << 30);
     else if (!std::strcmp(argv[i], "--pairs"))
-      o.pairs = std::atoi(need("--pairs"));
+      o.pairs = cli::parse_int(usage, "--pairs", need("--pairs"), 1, 65536);
     else if (!std::strcmp(argv[i], "--shards"))
-      o.shards = std::atoi(need("--shards"));
+      o.shards = cli::parse_int(usage, "--shards", need("--shards"), 1,
+                                65536);
     else if (!std::strcmp(argv[i], "--audit"))
-      o.audit = std::atoi(need("--audit")) != 0;
+      o.audit = cli::parse_bool01(usage, "--audit", need("--audit"));
     else if (!std::strcmp(argv[i], "--stats"))
-      o.stats = std::atoi(need("--stats")) != 0;
+      o.stats = cli::parse_bool01(usage, "--stats", need("--stats"));
     else if (!std::strcmp(argv[i], "--stats-out"))
       o.stats_out = need("--stats-out");
+    else if (!std::strcmp(argv[i], "--fast-forward"))
+      o.fast_forward =
+          cli::parse_bool01(usage, "--fast-forward", need("--fast-forward"));
     else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       usage();
@@ -287,49 +292,86 @@ class AuditScope {
   std::unique_ptr<check::Auditor> auditor_;
 };
 
-/// Optional fault injection for one rftp scenario run. Construct after the
-/// session (so a qpkill in the plan can map to kill_stream) and before the
-/// measured engine run; call summary() afterwards. With neither
-/// --fault-plan nor --fault-seed the scope is inert.
-class FaultScope {
- public:
-  FaultScope(sim::Engine& eng, const Options& o,
-             const std::vector<net::Link*>& links,
-             rftp::RftpSession* sess, int streams) {
-    if (o.fault_plan.empty() && o.fault_seed == 0) return;
-    fault::FaultPlan plan;
-    if (!o.fault_plan.empty()) {
-      // A malformed plan is an operator typo, not a crash: report it the
-      // same way an unknown flag is reported (usage + exit 2).
-      try {
-        plan = fault::FaultPlan::parse(o.fault_plan);
-      } catch (const std::invalid_argument& ex) {
-        std::fprintf(stderr, "bad --fault-plan: %s\n", ex.what());
+/// Builds and validates the scripted/random fault plan, or nullopt when
+/// neither --fault-plan nor --fault-seed was given. Called *before* the
+/// session is constructed so the session config can derive its fast-forward
+/// quiet horizon (cfg.ff_quiet_after) from the plan's last scheduled event.
+std::optional<fault::FaultPlan> make_fault_plan(const Options& o, int links,
+                                                int streams) {
+  if (o.fault_plan.empty() && o.fault_seed == 0) return std::nullopt;
+  fault::FaultPlan plan;
+  if (!o.fault_plan.empty()) {
+    // A malformed plan is an operator typo, not a crash: report it the
+    // same way an unknown flag is reported (usage + exit 2).
+    try {
+      plan = fault::FaultPlan::parse(o.fault_plan);
+    } catch (const std::invalid_argument& ex) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n", ex.what());
+      usage();
+    }
+    for (const auto& ev : plan.events) {
+      if (ev.type == fault::FaultType::kQpKill && ev.qp >= streams) {
+        std::fprintf(stderr,
+                     "bad --fault-plan: qp=%d out of range (streams=%d)\n",
+                     ev.qp, streams);
         usage();
       }
-      for (const auto& ev : plan.events) {
-        if (ev.type == fault::FaultType::kQpKill && ev.qp >= streams) {
-          std::fprintf(stderr,
-                       "bad --fault-plan: qp=%d out of range (streams=%d)\n",
-                       ev.qp, streams);
-          usage();
-        }
-        if (ev.type == fault::FaultType::kCrash && ev.host > 1) {
-          std::fprintf(stderr,
-                       "bad --fault-plan: host=%d out of range (hosts are "
-                       "0=sender, 1=receiver)\n",
-                       ev.host);
-          usage();
-        }
+      if (ev.type == fault::FaultType::kCrash && ev.host > 1) {
+        std::fprintf(stderr,
+                     "bad --fault-plan: host=%d out of range (hosts are "
+                     "0=sender, 1=receiver)\n",
+                     ev.host);
+        usage();
       }
-    } else {
-      fault::FaultPlan::RandomParams rp;
-      rp.links = static_cast<int>(links.size());
-      rp.qps = streams;
-      plan = fault::FaultPlan::random(o.fault_seed, rp);
     }
-    std::printf("fault plan: %s\n", plan.to_string().c_str());
-    inj_ = std::make_unique<fault::FaultInjector>(eng, std::move(plan));
+  } else {
+    fault::FaultPlan::RandomParams rp;
+    rp.links = links;
+    rp.qps = streams;
+    plan = fault::FaultPlan::random(o.fault_seed, rp);
+  }
+  return plan;
+}
+
+/// Applies --fast-forward to an rftp session config. The quiet horizon is
+/// the fault plan's last scheduled event plus generous settling slack
+/// (grant-retry pacing is 2*rtt; 20x that plus a fixed margin buries any
+/// recovery transient), so the detector only ever arms after every scripted
+/// perturbation has fired and drained. A crash plan whose down-time is
+/// unbounded yields kTimeInfinity and the session never builds the
+/// detector — honestly event-exact.
+void apply_fast_forward(rftp::RftpConfig& cfg, const Options& o,
+                        const std::optional<fault::FaultPlan>& plan,
+                        sim::SimDuration max_rtt) {
+  cfg.fast_forward = o.fast_forward;
+  if (!o.fast_forward) return;
+  const sim::SimDuration slack = 20 * max_rtt + 100 * sim::kMillisecond;
+  cfg.ff_quiet_after = plan ? plan->quiet_after(slack) : 0;
+}
+
+/// Prints the fast-forward engagement summary after a transfer run.
+void ff_summary(const Options& o, const rftp::TransferResult& r) {
+  if (!o.fast_forward) return;
+  std::printf("fast-forward: %llu span%s, %llu blocks collapsed, %.3f s "
+              "skipped\n",
+              static_cast<unsigned long long>(r.ff_spans),
+              r.ff_spans == 1 ? "" : "s",
+              static_cast<unsigned long long>(r.ff_blocks),
+              sim::to_seconds(r.ff_skipped_ns));
+}
+
+/// Optional fault injection for one rftp scenario run. Construct after the
+/// session (so a qpkill in the plan can map to kill_stream) and before the
+/// measured engine run, with the plan make_fault_plan() built earlier; call
+/// summary() afterwards. With no plan the scope is inert.
+class FaultScope {
+ public:
+  FaultScope(sim::Engine& eng, std::optional<fault::FaultPlan> plan,
+             const std::vector<net::Link*>& links,
+             rftp::RftpSession* sess, int streams) {
+    if (!plan) return;
+    std::printf("fault plan: %s\n", plan->to_string().c_str());
+    inj_ = std::make_unique<fault::FaultInjector>(eng, std::move(*plan));
     for (auto* l : links) inj_->attach(*l);
     if (sess != nullptr && streams > 0) {
       inj_->set_qp_kill_handler(
@@ -383,19 +425,24 @@ int run_quick(const Options& o) {
   cfg.credits_per_stream = o.credits;
   cfg.numa_aware = o.numa;
   cfg.checkpoint_blocks = o.checkpoint;
+  auto plan = make_fault_plan(o, 1, cfg.streams);
+  apply_fast_forward(cfg, o, plan, link->rtt());
   rftp::RftpSession sess({&pa, {&da}}, {&pb, {&db}}, {link.get()}, cfg);
   rftp::MemorySource src(o.gib << 30, numa::Placement::on(0));
   rftp::MemorySink dst;
   StatsScope ss(eng, o);
   AuditScope as(eng, o);
   TraceScope ts(eng, o);
-  FaultScope fs(eng, o, {link.get()}, &sess, cfg.streams);
+  FaultScope fs(eng, std::move(plan), {link.get()}, &sess, cfg.streams);
   const auto r = exp::run_task(eng, sess.run(src, dst, o.gib << 30));
   if (auto* tr = ts.get()) tr->note("goodput_gbps", r.goodput_gbps);
   ts.finish();
   std::printf("quick: %llu GiB in %.2f s -> %.1f Gbps\n",
               static_cast<unsigned long long>(o.gib), r.elapsed_s,
               r.goodput_gbps);
+  std::printf("digest: %016llx\n",
+              static_cast<unsigned long long>(sess.sink_digest()));
+  ff_summary(o, r);
   fs.summary(sess, r);
   const int rc = r.complete && r.integrity_ok && !as.failed() ? 0 : 1;
   ss.finish(rc);
@@ -413,6 +460,11 @@ int run_e2e(const Options& o) {
   cfg.credits_per_stream = o.credits;
   cfg.checkpoint_blocks = o.checkpoint;
   if (o.streams > 0) cfg.streams = o.streams;
+  auto plan =
+      make_fault_plan(o, static_cast<int>(tb.links().size()), cfg.streams);
+  sim::SimDuration max_rtt = 0;
+  for (const auto* l : tb.links()) max_rtt = std::max(max_rtt, l->rtt());
+  apply_fast_forward(cfg, o, plan, max_rtt);
   rftp::RftpSession sess({&sp, tb.src_roce()}, {&rp, tb.dst_roce()},
                          tb.links(), cfg);
   exp::SanSection* san = tb.src_san.get();
@@ -425,7 +477,7 @@ int run_e2e(const Options& o) {
   StatsScope ss(tb.eng, o);
   AuditScope as(tb.eng, o);
   TraceScope ts(tb.eng, o);
-  FaultScope fs(tb.eng, o, tb.links(), &sess, cfg.streams);
+  FaultScope fs(tb.eng, std::move(plan), tb.links(), &sess, cfg.streams);
   rftp::TransferResult r;
   if (o.files > 1) {
     rftp::FileSet sset(*tb.src_fs);
@@ -448,6 +500,7 @@ int run_e2e(const Options& o) {
   std::printf("per-second series: ");
   for (double g : meter.series_gbps()) std::printf("%.0f ", g);
   std::printf("Gbps\n");
+  ff_summary(o, r);
   fs.summary(sess, r);
   const int rc = r.complete && r.integrity_ok && !as.failed() ? 0 : 1;
   ss.finish(rc);
@@ -461,6 +514,8 @@ int run_wan(const Options& o) {
   cfg.block_bytes = o.block;
   cfg.credits_per_stream = o.credits;
   cfg.checkpoint_blocks = o.checkpoint;
+  auto plan = make_fault_plan(o, 1, cfg.streams);
+  apply_fast_forward(cfg, o, plan, tb.link->rtt());
   rftp::RftpSession sess({tb.a_proc.get(), {tb.a_dev.get()}},
                          {tb.b_proc.get(), {tb.b_dev.get()}},
                          {tb.link.get()}, cfg);
@@ -469,7 +524,8 @@ int run_wan(const Options& o) {
   StatsScope ss(tb.eng, o);
   AuditScope as(tb.eng, o);
   TraceScope ts(tb.eng, o);
-  FaultScope fs(tb.eng, o, {tb.link.get()}, &sess, cfg.streams);
+  FaultScope fs(tb.eng, std::move(plan), {tb.link.get()}, &sess,
+                cfg.streams);
   const auto r = exp::run_task(tb.eng, sess.run(src, dst, o.gib << 30));
   if (auto* tr = ts.get()) tr->note("goodput_gbps", r.goodput_gbps);
   ts.finish();
@@ -479,6 +535,7 @@ int run_wan(const Options& o) {
       r.goodput_gbps, 100.0 * r.goodput_gbps / 40.0,
       static_cast<double>(cfg.streams) * cfg.credits_per_stream *
           static_cast<double>(cfg.block_bytes) / 1e6);
+  ff_summary(o, r);
   fs.summary(sess, r);
   const int rc = r.complete && r.integrity_ok && !as.failed() ? 0 : 1;
   ss.finish(rc);
@@ -522,6 +579,7 @@ int run_fleet(const Options& o) {
   fp.credits = o.credits;
   fp.checkpoint_blocks = o.checkpoint;
   fp.fault_seed = o.fault_seed;
+  fp.fast_forward = o.fast_forward;  // accepted but inert (cluster guard)
   fp.audit = o.audit;
   fp.stats = o.stats;
   fp.trace = !o.trace_file.empty();
