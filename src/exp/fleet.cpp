@@ -316,6 +316,17 @@ FleetResult run_fleet(const FleetParams& p) {
   if (p.stats) dg << " stats_fnv=" << fnv1a(out.stats_json);
   if (p.trace) dg << " trace_fnv=" << fnv1a(out.trace_json);
   out.digest = dg.str();
+
+  // Ordered ring teardown: rig i's cross-engine ring_link holds a Resource
+  // registered on rig (i+1)%P's engine, so the wraparound pair would
+  // deregister from a destroyed engine if the rigs vector tore down
+  // front-to-back. Drop connections then links across ALL rigs while every
+  // engine is still alive; runs after the digest, so output is unaffected.
+  for (auto& rig : rigs) {
+    rig->ring.cp = nullptr;
+    rig->ring_cp.reset();
+    rig->ring_link.reset();
+  }
   return out;
 }
 

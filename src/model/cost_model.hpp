@@ -60,10 +60,21 @@ struct CostModel {
   // --- RDMA verbs ---
   double rdma_post_wr_cycles = 1200;      // ibv_post_send/recv
   double rdma_poll_cqe_cycles = 900;      // completion handling
+  // Doorbell batching: posting N WRs through one ibv_post_send call pays
+  // the full post cost once (descriptor setup + the MMIO doorbell write)
+  // plus a small per-extra-WR descriptor chain cost.
+  double rdma_doorbell_wr_cycles = 150;   // each WR after the first
+  // Completion batching: draining extra CQEs in the same poll sweep skips
+  // the wakeup/cache-refill cost the first CQE pays.
+  double rdma_poll_extra_cqe_cycles = 250;  // each CQE after the first
   double rdma_setup_cycles = 350000;      // QP bring-up, CM exchange
   double rdma_mr_register_cycles_per_page = 90;  // memory pinning (4 KiB)
   double rdma_read_efficiency = 0.925;  // RDMA Read vs Write NIC efficiency
   double rdma_header_bytes_per_mtu = 58;  // RoCE/IB transport headers
+
+  // --- RPC small-message tier ---
+  double rpc_dispatch_cycles = 600;  // server-side demux + handler dispatch
+  double kv_lookup_cycles = 350;     // KV store probe (open-addressed table)
 
   // --- RFTP application ---
   double rftp_block_user_cycles = 130000;   // per data block, per side

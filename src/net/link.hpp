@@ -202,6 +202,26 @@ inline std::unique_ptr<Link> make_roce_lan(sim::Engine& eng_a,
                                 model::kLanRoceRtt / 2, 9000);
 }
 
+/// Rack-scale RoCE link: the Table 1 signalling rate (40 Gbps, MTU 9000)
+/// but a single top-of-rack switch hop — ~2 us one-way — instead of the
+/// paper's routed 83 us LAN path. This is the regime where the
+/// small-message RPC tier is latency- rather than wire-bound, and where
+/// the two-sided-RPC vs one-sided-READ crossover lands inside a
+/// 64 B..256 KiB value sweep (bench/bench_rpc.cpp).
+inline constexpr sim::SimDuration kRackOneWay = 2 * sim::kMicrosecond;
+
+inline std::unique_ptr<Link> make_roce_rack(sim::Engine& eng,
+                                            const std::string& name) {
+  return std::make_unique<Link>(eng, name, 40.0, kRackOneWay, 9000);
+}
+
+/// Cross-shard rack link (side A on `eng_a`, side B on `eng_b`).
+inline std::unique_ptr<Link> make_roce_rack(sim::Engine& eng_a,
+                                            sim::Engine& eng_b,
+                                            const std::string& name) {
+  return std::make_unique<Link>(eng_a, eng_b, name, 40.0, kRackOneWay, 9000);
+}
+
 /// LAN InfiniBand FDR link per Table 1 (56 Gbps, MTU 65520, RTT 144 us).
 inline std::unique_ptr<Link> make_ib_lan(sim::Engine& eng,
                                          const std::string& name) {

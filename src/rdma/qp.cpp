@@ -108,7 +108,7 @@ void QueuePair::connect(QueuePair& a, QueuePair& b, net::Link& link) {
   sim::co_spawn(b.receiver_loop());
 }
 
-sim::Task<> QueuePair::post_send(numa::Thread& th, const SendWr& wr) {
+void QueuePair::validate_send(const SendWr& wr) const {
   if (!connected()) throw std::logic_error("post_send on unconnected QP");
   if (wr.local == nullptr && wr.bytes > 0)
     throw std::invalid_argument("send WR without a local buffer");
@@ -117,8 +117,9 @@ sim::Task<> QueuePair::post_send(numa::Thread& th, const SendWr& wr) {
        wr.op == Opcode::kRead) &&
       wr.remote.buffer == nullptr)
     throw std::invalid_argument("one-sided WR without a remote key");
-  co_await th.compute(th.host().costs().rdma_post_wr_cycles,
-                      metrics::CpuCategory::kUserProto);
+}
+
+void QueuePair::enqueue_send(const SendWr& wr) {
   if (auto* tr = trace::of(dev_.host().engine()))
     ctr_wr_posted_.get(tr, "rdma/wr_posted").add(1);
   if (auto* st = stats::of(dev_.host().engine())) {
@@ -146,7 +147,7 @@ sim::Task<> QueuePair::post_send(numa::Thread& th, const SendWr& wr) {
       st->flight(stats::Layer::kRdma, e, code_flush_.get(st, "wr-flush"),
                  wr.wr_id);
     }
-    co_return;
+    return;
   }
   send_q_.send(wr);
   // Depth after queueing: how many WRs the NIC engine has not picked up.
@@ -157,12 +158,47 @@ sim::Task<> QueuePair::post_send(numa::Thread& th, const SendWr& wr) {
   }
 }
 
+sim::Task<> QueuePair::post_send(numa::Thread& th, const SendWr& wr) {
+  validate_send(wr);
+  co_await th.compute(th.host().costs().rdma_post_wr_cycles,
+                      metrics::CpuCategory::kUserProto);
+  enqueue_send(wr);
+}
+
+sim::Task<> QueuePair::post_send_batch(numa::Thread& th,
+                                       const std::vector<SendWr>& wrs) {
+  if (wrs.empty()) co_return;
+  for (const SendWr& wr : wrs) validate_send(wr);
+  const auto& cm = th.host().costs();
+  co_await th.compute(cm.rdma_post_wr_cycles +
+                          static_cast<double>(wrs.size() - 1) *
+                              cm.rdma_doorbell_wr_cycles,
+                      metrics::CpuCategory::kUserProto);
+  for (const SendWr& wr : wrs) enqueue_send(wr);
+}
+
 sim::Task<> QueuePair::post_recv(numa::Thread& th, RecvWr wr) {
   if (wr.buf == nullptr) throw std::invalid_argument("recv WR without buffer");
   ProtectionDomain::require_registered(*wr.buf);
   co_await th.compute(th.host().costs().rdma_post_wr_cycles,
                       metrics::CpuCategory::kUserProto);
   recv_q_.send(wr);
+}
+
+sim::Task<> QueuePair::post_recv_batch(numa::Thread& th,
+                                       const std::vector<RecvWr>& wrs) {
+  if (wrs.empty()) co_return;
+  for (const RecvWr& wr : wrs) {
+    if (wr.buf == nullptr)
+      throw std::invalid_argument("recv WR without buffer");
+    ProtectionDomain::require_registered(*wr.buf);
+  }
+  const auto& cm = th.host().costs();
+  co_await th.compute(cm.rdma_post_wr_cycles +
+                          static_cast<double>(wrs.size() - 1) *
+                              cm.rdma_doorbell_wr_cycles,
+                      metrics::CpuCategory::kUserProto);
+  for (const RecvWr& wr : wrs) recv_q_.send(wr);
 }
 
 void QueuePair::deliver_after_latency(Delivery d,

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "net/link.hpp"
 #include "rdma/device.hpp"
@@ -57,6 +58,18 @@ class QueuePair {
   /// prvalue by-value arguments; await the post before releasing the WR.
   sim::Task<> post_send(numa::Thread& th, const SendWr& wr);
   sim::Task<> post_recv(numa::Thread& th, RecvWr wr);  // RecvWr is trivial
+
+  /// Posts a chain of WRs behind one doorbell (ibv_post_send with a linked
+  /// wr list): full posting CPU for the first WR plus the per-extra
+  /// descriptor cost (rdma_doorbell_wr_cycles) for each one after it.
+  /// Semantically identical to posting each WR individually — same
+  /// validation, same in-order NIC processing, same flush behaviour on an
+  /// error-state QP. The vectors are borrowed for the duration of the call
+  /// (awaiting callers may reuse them after co_await returns).
+  sim::Task<> post_send_batch(numa::Thread& th,
+                              const std::vector<SendWr>& wrs);
+  sim::Task<> post_recv_batch(numa::Thread& th,
+                              const std::vector<RecvWr>& wrs);
 
   [[nodiscard]] Device& device() noexcept { return dev_; }
   [[nodiscard]] CompletionQueue& send_cq() noexcept { return scq_; }
@@ -123,6 +136,11 @@ class QueuePair {
   }
 
  private:
+  void validate_send(const SendWr& wr) const;
+  /// Post-charge half of post_send: books the WR with the NIC engine (or
+  /// flushes it when the QP sits in the error state).
+  void enqueue_send(const SendWr& wr);
+
   struct Delivery {
     Opcode op;
     std::uint64_t bytes;

@@ -2,9 +2,20 @@
 //
 // Every stochastic component takes an explicit Rng (or a seed) so that runs
 // are reproducible; nothing in the library reads global entropy.
+//
+// Portability contract: the raw generator is std::mt19937_64, whose output
+// sequence is fully specified by the standard, and every derived draw
+// (bounded integers, canonical doubles, exponentials, Bernoulli trials) is
+// computed here with explicit arithmetic. The std::*_distribution adaptors
+// are deliberately NOT used: their mapping from generator output to values
+// is implementation-defined, so the same seed produced different schedules
+// on libstdc++ vs libc++ — silently voiding the byte-identical determinism
+// contract. Golden-value tests (tests/sim/resource_test.cpp) pin the exact
+// sequences so any future drift fails loudly.
 #pragma once
 
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <random>
 
@@ -14,23 +25,43 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : gen_(seed) {}
 
-  /// Uniform integer in [lo, hi] (inclusive).
+  /// Raw 64-bit draw from the underlying (standard-specified) generator.
+  std::uint64_t next_u64() { return gen_(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Bounded rejection sampling:
+  /// draws are mapped with a plain modulo after rejecting the short final
+  /// cycle of the 2^64 space, so every value in the span is exactly
+  /// equally likely and the draw sequence is a pure function of the seed.
   std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
-    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
+    assert(lo <= hi && "Rng::uniform_u64: empty range");
+    const std::uint64_t span = hi - lo;
+    if (span == ~std::uint64_t{0}) return next_u64();  // full 2^64 range
+    const std::uint64_t n = span + 1;
+    // Reject draws from the final partial cycle [2^64 - 2^64 % n, 2^64):
+    // threshold = 2^64 mod n, computed in 64-bit as (0 - n) mod n.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return lo + r % n;
+    }
   }
 
-  /// Uniform double in [lo, hi).
+  /// Uniform double in [lo, hi). Canonical mapping: the top 53 bits of one
+  /// generator draw scale by 2^-53, the exact arithmetic every IEEE-754
+  /// platform reproduces bit-identically.
   double uniform(double lo, double hi) {
-    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+    return lo + (hi - lo) * canonical();
   }
 
-  /// Exponential with the given mean (> 0).
+  /// Exponential with the given mean (> 0), via inversion sampling:
+  /// -mean * log(1 - U). One generator draw per value.
   double exponential(double mean) {
-    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+    return -mean * std::log(1.0 - canonical());
   }
 
-  /// Bernoulli with probability p.
-  bool chance(double p) { return std::bernoulli_distribution(p)(gen_); }
+  /// Bernoulli with probability p (one generator draw, also for p <= 0 or
+  /// p >= 1, so the consumed-stream length never depends on p).
+  bool chance(double p) { return canonical() < p; }
 
   /// Uniform index in [0, n). n must be > 0: there is no valid index into
   /// an empty range, so n == 0 asserts in debug builds and clamps to 0 in
@@ -42,9 +73,12 @@ class Rng {
     return static_cast<std::size_t>(uniform_u64(0, n - 1));
   }
 
-  std::mt19937_64& engine() noexcept { return gen_; }
-
  private:
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double canonical() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
   std::mt19937_64 gen_;
 };
 

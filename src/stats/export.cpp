@@ -55,7 +55,7 @@ void put_hist_buckets(std::ostream& os, const Histogram& h) {
   os << "[";
   bool first = true;
   for (std::size_t i = 0; i < Histogram::kSlots; ++i) {
-    const std::uint32_t c = h.bucket_count(i);
+    const std::uint64_t c = h.bucket_count(i);
     if (c == 0) continue;
     os << (first ? "" : ", ") << "[" << Histogram::bucket_lower(i) << ", "
        << Histogram::bucket_upper(i) << ", " << c << "]";

@@ -5,7 +5,7 @@
 // linear sub-buckets of width 2^(m-4), giving <= 1/16 (~6.25%) relative
 // bucket error everywhere. Values at or above 2^43 ns (~2.4 simulated
 // hours) clamp into the top bucket; the true maximum is still tracked
-// exactly in max(). Total: 640 uint32 slots, ~2.6 KB per instance,
+// exactly in max(). Total: 640 uint64 slots, ~5 KB per instance,
 // allocation-free for its whole life.
 //
 // record() is a handful of ALU ops (bit_width, shift, add) plus one array
@@ -65,9 +65,11 @@ class Histogram {
     return i + 1 < kSlots ? bucket_lower(i + 1) : kMaxTrackable + 1;
   }
 
-  /// Records one value. Counts are wrapping uint32 per bucket (2^32 per
-  /// bucket before wrap — far above any simulated workload here) and the
-  /// value sum wraps mod 2^64; both choices keep merge() associative.
+  /// Records one value. Counts are wrapping uint64 per bucket — wide
+  /// enough that a hot bucket never wraps in practice (the Mops/s RPC tier
+  /// overflowed the former uint32 counters in long runs, corrupting
+  /// quantiles) — and the value sum wraps mod 2^64; both choices keep
+  /// merge() associative.
   void record(std::uint64_t v) noexcept {
     ++counts_[index_of(v)];
     ++count_;
@@ -83,7 +85,7 @@ class Histogram {
   /// This is the closed-form histogram fill the fast-forward spans use.
   void record(std::uint64_t v, std::uint64_t n) noexcept {
     if (n == 0) return;
-    counts_[index_of(v)] += static_cast<std::uint32_t>(n);  // wrapping
+    counts_[index_of(v)] += n;  // wrapping
     count_ += n;
     sum_ += v * n;  // wrapping
     min_ = std::min(min_, v);
@@ -93,7 +95,7 @@ class Histogram {
   /// Element-wise difference `to - from` of two snapshots of the *same*
   /// histogram taken at two points in time, for replaying the interval k
   /// times via add_scaled(). Bucket counts and the value sum subtract
-  /// mod 2^32 / 2^64 (exact under the same congruence argument as bulk
+  /// mod 2^64 (exact under the same congruence argument as bulk
   /// record). Returns false — no usable delta — when min or max moved in
   /// the interval: extrema are not replayable as deltas, and a window in
   /// which they moved is not steady state.
@@ -115,7 +117,7 @@ class Histogram {
   void add_scaled(const Histogram& d, std::uint64_t k) noexcept {
     if (k == 0) return;
     for (std::size_t i = 0; i < kSlots; ++i)
-      counts_[i] += d.counts_[i] * static_cast<std::uint32_t>(k);
+      counts_[i] += d.counts_[i] * k;
     count_ += d.count_ * k;
     sum_ += d.sum_ * k;
     if (d.count_ != 0) {
@@ -152,7 +154,7 @@ class Histogram {
     return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
                   : 0.0;
   }
-  [[nodiscard]] std::uint32_t bucket_count(std::size_t i) const noexcept {
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
     return counts_[i];
   }
 
@@ -193,7 +195,7 @@ class Histogram {
   }
 
  private:
-  std::array<std::uint32_t, kSlots> counts_{};
+  std::array<std::uint64_t, kSlots> counts_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;  // wrapping
   std::uint64_t min_ = ~0ull;

@@ -1,0 +1,83 @@
+// kv scenario determinism: the sharded parallel engine must produce
+// byte-identical results (digest, audited ledgers, merged stats JSON) at
+// any shard count, in both GET modes, and runs must be reproducible
+// seed-for-seed. This is the same guarantee parallel_determinism_test
+// pins for the bulk fleet, applied to the small-message tier.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "exp/kv_scenario.hpp"
+
+namespace e2e::exp {
+namespace {
+
+KvParams tiny_kv(int shards) {
+  KvParams p;
+  p.pairs = 4;
+  p.shards = shards;
+  p.keys = 1024;
+  p.ops_per_pair = 512;
+  p.value_bytes = 1024;
+  p.store_shards = 2;
+  p.depth = 4;
+  p.remote_every = 16;
+  p.seed = 42;
+  p.audit = true;
+  p.stats = true;
+  return p;
+}
+
+TEST(KvDeterminismTest, DigestInvariantAcrossShardCounts) {
+  const auto seq = run_kv(tiny_kv(1));   // one shard: plain sequential DES
+  const auto par = run_kv(tiny_kv(4));   // four shards: conservative PDES
+  ASSERT_TRUE(seq.complete);
+  ASSERT_TRUE(seq.audit_ok) << seq.audit_violations;
+  ASSERT_TRUE(par.complete);
+  ASSERT_TRUE(par.audit_ok) << par.audit_violations;
+  EXPECT_EQ(seq.digest, par.digest);
+  EXPECT_EQ(seq.stats_json, par.stats_json);
+  EXPECT_FALSE(seq.stats_json.empty());
+}
+
+TEST(KvDeterminismTest, SameSeedReproducesByteIdentically) {
+  const auto a = run_kv(tiny_kv(2));
+  const auto b = run_kv(tiny_kv(2));
+  ASSERT_TRUE(a.complete);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.stats_json, b.stats_json);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+TEST(KvDeterminismTest, ReadModeIsDeterministicToo) {
+  auto p = tiny_kv(2);
+  p.get_via_read = true;
+  const auto a = run_kv(p);
+  const auto b = run_kv(p);
+  ASSERT_TRUE(a.complete);
+  ASSERT_TRUE(a.audit_ok) << a.audit_violations;
+  EXPECT_GT(a.gets, 0u);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(KvDeterminismTest, DifferentSeedsDiverge) {
+  auto p = tiny_kv(2);
+  const auto a = run_kv(p);
+  p.seed = 43;
+  const auto b = run_kv(p);
+  EXPECT_NE(a.digest, b.digest);
+}
+
+TEST(KvDeterminismTest, RejectsBadParams) {
+  auto p = tiny_kv(1);
+  p.keys = 0;
+  EXPECT_THROW(run_kv(p), std::invalid_argument);
+  p = tiny_kv(1);
+  p.depth = 0;
+  EXPECT_THROW(run_kv(p), std::invalid_argument);
+  p = tiny_kv(8);  // more shards than pairs
+  EXPECT_THROW(run_kv(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace e2e::exp

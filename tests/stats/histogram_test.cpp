@@ -253,6 +253,55 @@ TEST(Histogram, DeltaTimesKEqualsKIntervals) {
   expect_same(collapsed, replayed);
 }
 
+TEST(Histogram, HotBucketPast2To32KeepsQuantilesExact) {
+  // Regression: bucket counters were uint32, so a hot bucket wrapped past
+  // 2^32 samples under long Mops/s RPC runs — the wrapped bucket made
+  // cumulative ranks undershoot and quantiles collapse toward the tail.
+  // Counters are uint64 now; a bucket holding > 2^32 entries must still
+  // report exact counts and sane quantiles.
+  constexpr std::uint64_t kHot = (1ull << 32) + 12345;
+  Histogram h;
+  h.record(4096, kHot);  // bulk fill: one bucket, past the uint32 limit
+  h.record(1ull << 30, 7);
+  EXPECT_EQ(h.bucket_count(Histogram::index_of(4096)), kHot);
+  EXPECT_EQ(h.count(), kHot + 7);
+  // Quantiles report the bucket's inclusive upper bound (4096 lands in
+  // [4096, 4352)); with wrapped uint32 counters they collapsed to the
+  // 2^30 tail instead.
+  EXPECT_EQ(h.p50(), 4351u);
+  EXPECT_EQ(h.p999(), 4351u);  // the tail bucket holds only 7 of ~4.3e9
+  EXPECT_EQ(h.value_at_quantile(1.0), 1ull << 30);
+}
+
+TEST(Histogram, MergeAndDeltaStayExactAcross2To32) {
+  // The overflow fix must preserve the algebra: shard merges and delta*k
+  // folds that cross the former uint32 boundary stay exact in uint64.
+  constexpr std::uint64_t kHalf = 1ull << 31;
+  Histogram a, b;
+  a.record(100, kHalf + 99);
+  b.record(100, kHalf + 901);
+  Histogram merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.bucket_count(Histogram::index_of(100)),
+            (1ull << 32) + 1000);
+
+  // delta x k with a period crossing 2^32 in the scaled result.
+  Histogram base;
+  base.record(0);
+  base.record(1 << 20);
+  const Histogram snap_a = base;
+  base.record(500, 3);
+  const Histogram snap_b = base;
+  Histogram d;
+  ASSERT_TRUE(Histogram::delta(snap_a, snap_b, d));
+  Histogram folded = snap_b;
+  constexpr std::uint64_t k = (1ull << 32) / 3 + 17;
+  folded.add_scaled(d, k);
+  EXPECT_EQ(folded.bucket_count(Histogram::index_of(500)), 3 * (k + 1));
+  EXPECT_EQ(folded.count(), 3 * (k + 1) + 2);
+  EXPECT_EQ(folded.p50(), 511u);  // upper bound of 500's bucket [496, 512)
+}
+
 TEST(Histogram, DeltaRefusesMovedExtrema) {
   // A window in which min or max moved is not steady state — the delta is
   // not replayable (extrema are idempotent, not additive) and must be

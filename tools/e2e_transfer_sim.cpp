@@ -26,6 +26,7 @@
 #include "check/audit.hpp"
 #include "exp/exp.hpp"
 #include "exp/fleet.hpp"
+#include "exp/kv_scenario.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "metrics/metrics.hpp"
@@ -54,8 +55,18 @@ struct Options {
   std::string fault_plan;       // scripted FaultPlan (see fault/plan.hpp)
   std::uint64_t fault_seed = 0; // != 0: seeded random plan instead
   int checkpoint = 1;           // rftp ledger checkpoint interval (blocks)
-  int pairs = 4;                // fleet: transfer pairs (one shard each)
-  int shards = 1;               // fleet: parallel worker threads
+  int pairs = 4;                // fleet/kv: host pairs (one shard each)
+  int shards = 1;               // fleet/kv: parallel worker threads
+  std::uint64_t keys = 16384;     // kv: keys per server
+  std::uint64_t ops = 0;          // kv: ops per pair (0 = derive from --gib)
+  std::uint64_t value_size = 4096;  // kv: value bytes
+  int kv_shards = 2;              // kv: per-server NUMA store shards
+  int depth = 8;                  // kv: closed-loop workers per client
+  std::string get_mode = "rpc";   // kv: rpc | read
+  double zipf = 0.99;             // kv: key-popularity skew
+  double put_frac = 0.1;          // kv: fraction of ops that are PUTs
+  int remote_every = 16;          // kv: every Nth op to the next pair
+  std::uint64_t seed = 1;         // kv: workload rng seed
   bool stats = true;            // always-on metrics + flight recorder
   std::string stats_out;        // --stats-out FILE (.csv -> CSV, else JSON)
   bool fast_forward = false;    // steady-state analytic collapse (rftp)
@@ -68,7 +79,7 @@ struct Options {
 
 [[noreturn]] void usage() {
   std::fputs(
-      "usage: e2e_transfer_sim <quick|e2e|wan|san|motivating|fleet> "
+      "usage: e2e_transfer_sim <quick|e2e|wan|san|motivating|fleet|kv> "
       "[options]\n"
       "  --gib N          dataset size in GiB (transfer scenarios)\n"
       "  --block N[k|m|g] RFTP block / fio I/O size (KiB/MiB/GiB suffix)\n"
@@ -87,11 +98,27 @@ struct Options {
       "  --checkpoint N   rftp acked-block ledger checkpoint interval in\n"
       "                   blocks (default 1 = every ack durable; 0 disables,\n"
       "                   so a receiver crash restarts from byte zero)\n"
-      "  --pairs N        fleet: transfer pairs, one engine shard each\n"
+      "  --pairs N        fleet/kv: host pairs, one engine shard each\n"
       "                   (default 4)\n"
-      "  --shards N       fleet: worker threads driving the shards, in\n"
+      "  --shards N       fleet/kv: worker threads driving the shards, in\n"
       "                   [1, pairs]; results are bit-identical for any\n"
       "                   value (default 1)\n"
+      "  --keys N         kv: keys per server (default 16384)\n"
+      "  --ops N          kv: operations per pair (default: --gib x 1GiB\n"
+      "                   divided by --value-size)\n"
+      "  --value-size N[k|m]  kv: value bytes (default 4096)\n"
+      "  --kv-shards N    kv: per-server NUMA store shards (default 2)\n"
+      "  --depth N        kv: closed-loop client workers per pair\n"
+      "                   (default 8)\n"
+      "  --get-mode M     kv: GET path, 'rpc' (two-sided SEND/RECV) or\n"
+      "                   'read' (two chained one-sided READs; default rpc)\n"
+      "  --zipf X         kv: Zipf key-popularity skew, 0 = uniform\n"
+      "                   (default 0.99)\n"
+      "  --put-frac X     kv: PUT fraction of the op mix (default 0.1)\n"
+      "  --remote-every N kv: every Nth op targets the next pair's server\n"
+      "                   over the cross-shard connection (0 disables;\n"
+      "                   default 16)\n"
+      "  --seed N         kv: workload rng seed (default 1)\n"
       "  --audit 0|1      cross-layer invariant audits (default: on in\n"
       "                   Debug builds, off in Release)\n"
       "  --stats 0|1      per-entity metrics + flight recorder (default: on)\n"
@@ -157,6 +184,36 @@ Options parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--shards"))
       o.shards = cli::parse_int(usage, "--shards", need("--shards"), 1,
                                 65536);
+    else if (!std::strcmp(argv[i], "--keys"))
+      o.keys = cli::parse_u64(usage, "--keys", need("--keys"), 1, 1ull << 30);
+    else if (!std::strcmp(argv[i], "--ops"))
+      o.ops = cli::parse_u64(usage, "--ops", need("--ops"), 1, 1ull << 40);
+    else if (!std::strcmp(argv[i], "--value-size"))
+      o.value_size = cli::parse_size(usage, "--value-size",
+                                     need("--value-size"), 1, 16ull << 20);
+    else if (!std::strcmp(argv[i], "--kv-shards"))
+      o.kv_shards = cli::parse_int(usage, "--kv-shards", need("--kv-shards"),
+                                   1, 64);
+    else if (!std::strcmp(argv[i], "--depth"))
+      o.depth = cli::parse_int(usage, "--depth", need("--depth"), 1, 1024);
+    else if (!std::strcmp(argv[i], "--get-mode")) {
+      o.get_mode = need("--get-mode");
+      if (o.get_mode != "rpc" && o.get_mode != "read") {
+        std::fprintf(stderr, "bad --get-mode %s: must be rpc or read\n",
+                     o.get_mode.c_str());
+        usage();
+      }
+    } else if (!std::strcmp(argv[i], "--zipf"))
+      o.zipf = cli::parse_double(usage, "--zipf", need("--zipf"), 0.0, 16.0);
+    else if (!std::strcmp(argv[i], "--put-frac"))
+      o.put_frac = cli::parse_double(usage, "--put-frac", need("--put-frac"),
+                                     0.0, 1.0);
+    else if (!std::strcmp(argv[i], "--remote-every"))
+      o.remote_every = cli::parse_int(usage, "--remote-every",
+                                      need("--remote-every"), 0, 1 << 20);
+    else if (!std::strcmp(argv[i], "--seed"))
+      o.seed = cli::parse_u64(usage, "--seed", need("--seed"), 0,
+                              ~std::uint64_t{0});
     else if (!std::strcmp(argv[i], "--audit"))
       o.audit = cli::parse_bool01(usage, "--audit", need("--audit"));
     else if (!std::strcmp(argv[i], "--stats"))
@@ -625,6 +682,69 @@ int run_fleet(const Options& o) {
   return r.complete && r.integrity_ok && r.audit_ok ? 0 : 1;
 }
 
+int run_kv(const Options& o) {
+  exp::KvParams kp;
+  kp.pairs = o.pairs;
+  kp.shards = o.shards;
+  kp.keys = o.keys;
+  kp.value_bytes = o.value_size;
+  kp.ops_per_pair =
+      o.ops > 0 ? o.ops
+                : std::max<std::uint64_t>(1, (o.gib << 30) / o.value_size);
+  kp.store_shards = o.kv_shards;
+  kp.depth = o.depth;
+  kp.get_via_read = o.get_mode == "read";
+  kp.zipf_theta = o.zipf;
+  kp.put_frac = o.put_frac;
+  kp.remote_every = o.remote_every;
+  kp.seed = o.seed;
+  kp.fault_seed = o.fault_seed;
+  kp.audit = o.audit;
+  kp.stats = o.stats;
+  const auto r = exp::run_kv(kp);
+  std::printf(
+      "kv: %d pairs x %llu ops (%llu B values, %s GETs) on %d shard "
+      "worker%s -> %.3f Mops/s aggregate\n",
+      kp.pairs, static_cast<unsigned long long>(kp.ops_per_pair),
+      static_cast<unsigned long long>(kp.value_bytes), o.get_mode.c_str(),
+      kp.shards, kp.shards == 1 ? "" : "s", r.aggregate_mops);
+  std::printf(
+      "kv: get p50/p99/p999 = %.1f/%.1f/%.1f us, put = %.1f/%.1f/%.1f us, "
+      "%llu retries, %llu failed\n",
+      static_cast<double>(r.get_p50_ns) / 1e3,
+      static_cast<double>(r.get_p99_ns) / 1e3,
+      static_cast<double>(r.get_p999_ns) / 1e3,
+      static_cast<double>(r.put_p50_ns) / 1e3,
+      static_cast<double>(r.put_p99_ns) / 1e3,
+      static_cast<double>(r.put_p999_ns) / 1e3,
+      static_cast<unsigned long long>(r.rpc_retries),
+      static_cast<unsigned long long>(r.failed_ops));
+  std::printf(
+      "kv: %llu events in %.2f s wall (%.0f ev/s), %llu windows, "
+      "%llu cross-shard posts, %llu remote ops\n",
+      static_cast<unsigned long long>(r.sim_events), r.wall_seconds,
+      r.wall_seconds > 0 ? static_cast<double>(r.sim_events) / r.wall_seconds
+                         : 0.0,
+      static_cast<unsigned long long>(r.windows),
+      static_cast<unsigned long long>(r.cross_posts),
+      static_cast<unsigned long long>(r.remote_ops));
+  // The digest is the golden-determinism handle: byte-identical for any
+  // --shards value (tests diff this line across worker counts).
+  std::printf("digest: %s\n", r.digest.c_str());
+  if (!r.audit_ok)
+    std::printf("kv: %llu audit violation(s)\n",
+                static_cast<unsigned long long>(r.audit_violations));
+  if (!o.stats_out.empty()) {
+    std::ofstream os(o.stats_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", o.stats_out.c_str());
+      return 1;
+    }
+    os << r.stats_json;
+  }
+  return r.complete && r.audit_ok ? 0 : 1;
+}
+
 int run_motivating(const Options& o) {
   bool audit_bad = false;
   for (const bool tuned : {false, true}) {
@@ -661,7 +781,7 @@ int run_motivating(const Options& o) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
-  if (o.scenario == "fleet") {
+  if (o.scenario == "fleet" || o.scenario == "kv") {
     if (o.pairs < 1) {
       std::fprintf(stderr, "bad --pairs %d: need at least one pair\n",
                    o.pairs);
@@ -676,11 +796,12 @@ int main(int argc, char** argv) {
     }
     if (!o.fault_plan.empty()) {
       std::fprintf(stderr,
-                   "fleet uses --fault-seed; a scripted --fault-plan targets "
-                   "a single session\n");
+                   "%s uses --fault-seed; a scripted --fault-plan targets "
+                   "a single session\n",
+                   o.scenario.c_str());
       usage();
     }
-    return run_fleet(o);
+    return o.scenario == "kv" ? run_kv(o) : run_fleet(o);
   }
   if (o.shards != 1) {
     std::fprintf(stderr,
